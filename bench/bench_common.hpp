@@ -1,0 +1,82 @@
+#pragma once
+
+// Shared helpers for the experiment-regeneration benches. Each bench binary
+// reproduces one table or figure of the paper (see DESIGN.md Section 4) and
+// prints the same rows/series the paper reports. Scales (scene counts,
+// training-set sizes) are chosen so every bench finishes in minutes on a
+// laptop; the *shape* of each result is what must match the paper.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/detector.hpp"
+#include "eval/detection_eval.hpp"
+#include "vision/synth.hpp"
+
+namespace pcnn::bench {
+
+/// Standard synthetic dataset sizes used across benches.
+struct BenchDataset {
+  std::vector<vision::Image> trainPositives;
+  std::vector<vision::Image> trainNegatives;
+  std::vector<vision::Image> negativeScenes;  ///< person-free, for mining
+  std::vector<vision::Scene> testScenes;
+};
+
+inline BenchDataset makeBenchDataset(int trainCount, int negSceneCount,
+                                     int testSceneCount, int sceneW,
+                                     int sceneH, std::uint64_t seed) {
+  BenchDataset data;
+  vision::SyntheticPersonDataset synth;
+  Rng rng(seed);
+  for (int i = 0; i < trainCount; ++i) {
+    data.trainPositives.push_back(synth.positiveWindow(rng));
+    data.trainNegatives.push_back(synth.negativeWindow(rng));
+  }
+  for (int i = 0; i < negSceneCount; ++i) {
+    data.negativeScenes.push_back(synth.scene(rng, sceneW, sceneH, 0).image);
+  }
+  for (int i = 0; i < testSceneCount; ++i) {
+    data.testScenes.push_back(
+        synth.scene(rng, sceneW, sceneH, 2, 96, 170));
+  }
+  return data;
+}
+
+/// Runs a detector over the test scenes and returns per-image results.
+inline std::vector<eval::ImageResult> evaluateDetector(
+    const core::GridDetector& detector,
+    const std::vector<vision::Scene>& scenes) {
+  std::vector<eval::ImageResult> results;
+  results.reserve(scenes.size());
+  for (const vision::Scene& scene : scenes) {
+    eval::ImageResult r;
+    r.detections = detector.detect(scene.image);
+    r.groundTruth = scene.groundTruth;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+/// Prints a miss-rate/FPPI curve as a fixed set of sample points plus the
+/// log-average miss rate summary (the paper's Figures 4 and 5 axes).
+inline void printCurve(const std::string& label,
+                       const std::vector<eval::CurvePoint>& curve) {
+  std::printf("%s\n", label.c_str());
+  std::printf("  %10s  %10s  %10s\n", "threshold", "FPPI", "miss rate");
+  const std::size_t step = curve.size() > 12 ? curve.size() / 12 : 1;
+  for (std::size_t i = 0; i < curve.size(); i += step) {
+    std::printf("  %10.3f  %10.3f  %10.3f\n", curve[i].threshold,
+                curve[i].fppi, curve[i].missRate);
+  }
+  if (!curve.empty()) {
+    std::printf("  %10s  %10.3f  %10.3f\n", "(last)", curve.back().fppi,
+                curve.back().missRate);
+  }
+  std::printf("  log-average miss rate: %.3f\n\n",
+              eval::logAverageMissRate(curve));
+}
+
+}  // namespace pcnn::bench

@@ -1,0 +1,104 @@
+// Figure 6: classifier accuracy and miss rate as a function of the Parrot
+// HoG input representation, swept from 32-spike stochastic coding down to
+// 1-spike. "Accuracy" follows the paper's usage: performance on the
+// validation set of the (auto-generated) training data -- here the
+// dominant-bin accuracy of the parrot itself plus the downstream Eedn
+// window classifier's accuracy; "miss rate" is the window-level miss rate
+// of the Eedn classifier at the zero-score operating point.
+// Expected shape (paper): graceful degradation down to a few spikes, with
+// low-precision codes remaining usable (which is what makes the 192 mW
+// 1-spike deployment of Table 2 viable).
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "parrot/parrot.hpp"
+
+int main() {
+  using namespace pcnn;
+  std::printf("=== Figure 6: Parrot input-precision sweep ===\n\n");
+
+  const bench::BenchDataset data =
+      bench::makeBenchDataset(120, 0, 0, 0, 0, 66);
+  vision::SyntheticPersonDataset synth;
+  Rng rng(9);
+  std::vector<vision::Image> valWindows;
+  std::vector<int> valLabels;
+  for (int i = 0; i < 80; ++i) {
+    valWindows.push_back(synth.positiveWindow(rng));
+    valLabels.push_back(1);
+    valWindows.push_back(synth.negativeWindow(rng));
+    valLabels.push_back(-1);
+  }
+
+  // Train the parrot once with exact inputs (deployment precision is a
+  // representation choice, not a retraining).
+  auto parrotHog = std::make_shared<parrot::ParrotHog>([] {
+    parrot::ParrotConfig config;
+    config.seed = 2017;
+    return config;
+  }());
+  const parrot::OrientedSampleGenerator generator;
+  std::printf("training parrot (exact inputs)...\n\n");
+  parrotHog->train(generator, 4000, 16, 0.005f);
+
+  std::printf("%8s  %18s  %18s  %12s\n", "spikes", "parrot bin acc",
+              "classifier acc", "miss rate");
+  for (int spikes : {32, 16, 8, 4, 2, 1}) {
+    parrotHog->setInputSpikes(spikes);
+
+    // Downstream Eedn classifier trained on features at this precision.
+    eedn::EednClassifierConfig config;
+    config.inputSize = 8 * 16 * 18;
+    config.groupInputSize = 126;
+    config.outputsPerGroup = 12;
+    config.hiddenWidths = {120};
+    config.outputPopulation = 8;
+    config.inputScale = 1.0f / 64.0f;  // cell votes arrive as spike rates
+    config.seed = 5;
+    core::PartitionedPipeline pipeline(
+        [parrotHog](const vision::Image& w) {
+          return parrotHog->cellDescriptor(w);
+        },
+        config);
+    // Three stochastic-coding realizations per window so the classifier
+    // learns the coding noise rather than one draw of it.
+    std::vector<vision::Image> windows;
+    std::vector<int> labels;
+    for (int rep = 0; rep < 3; ++rep) {
+      for (const auto& w : data.trainPositives) {
+        windows.push_back(w);
+        labels.push_back(1);
+      }
+      for (const auto& w : data.trainNegatives) {
+        windows.push_back(w);
+        labels.push_back(-1);
+      }
+    }
+    pipeline.trainClassifier(windows, labels, 25, 0.05f);
+
+    int misses = 0, positives = 0;
+    int correct = 0;
+    for (std::size_t i = 0; i < valWindows.size(); ++i) {
+      const int predicted = pipeline.predict(valWindows[i]);
+      if (predicted == valLabels[i]) ++correct;
+      if (valLabels[i] > 0) {
+        ++positives;
+        if (predicted < 0) ++misses;
+      }
+    }
+    const double accuracy =
+        static_cast<double>(correct) / static_cast<double>(valWindows.size());
+    const double missRate =
+        positives > 0 ? static_cast<double>(misses) / positives : 0.0;
+    std::printf("%8d  %18.3f  %18.3f  %12.3f\n", spikes,
+                parrotHog->dominantBinAccuracy(generator, 250), accuracy,
+                missRate);
+  }
+  std::printf("\nExpected shape (paper): accuracy degrades gracefully as "
+              "spike precision falls. The paper reports even 1-spike coding "
+              "as usable; at our (smaller) parrot and classifier scale the "
+              "knee sits around 2-4 spikes -- see EXPERIMENTS.md.\n");
+  return 0;
+}

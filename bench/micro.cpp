@@ -1,0 +1,150 @@
+// Microbenchmarks (google-benchmark): raw throughput of every substrate --
+// the numbers a systems integrator needs to budget a deployment of this
+// library (cells/s per software thread, simulator ticks/s, classifier
+// inferences/s).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "hog/fixed_point.hpp"
+#include "hog/hog.hpp"
+#include "napprox/corelet.hpp"
+#include "napprox/napprox.hpp"
+#include "napprox/quantized.hpp"
+#include "parrot/parrot.hpp"
+#include "svm/linear_svm.hpp"
+#include "tn/network.hpp"
+#include "vision/synth.hpp"
+
+namespace {
+
+using namespace pcnn;
+
+const vision::Image& testWindow() {
+  static const vision::Image window = [] {
+    vision::SyntheticPersonDataset synth;
+    Rng rng(1);
+    return synth.positiveWindow(rng);
+  }();
+  return window;
+}
+
+void BM_ClassicHogWindow(benchmark::State& state) {
+  const hog::HogExtractor extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.windowDescriptor(testWindow()));
+  }
+  state.SetItemsProcessed(state.iterations() * 128);  // cells per window
+}
+BENCHMARK(BM_ClassicHogWindow);
+
+void BM_FixedPointHogWindow(benchmark::State& state) {
+  const hog::FixedPointHog extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.windowDescriptor(testWindow()));
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_FixedPointHogWindow);
+
+void BM_NApproxFpCell(benchmark::State& state) {
+  const napprox::NApproxHog extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.cellHistogram(testWindow(), 24, 48));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NApproxFpCell);
+
+void BM_NApproxQuantizedCell_Analytic(benchmark::State& state) {
+  const napprox::QuantizedNApproxHog extractor(
+      {}, {}, napprox::QuantizedMode::kAnalytic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.cellHistogram(testWindow(), 24, 48));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NApproxQuantizedCell_Analytic);
+
+void BM_NApproxQuantizedCell_TickAccurate(benchmark::State& state) {
+  const napprox::QuantizedNApproxHog extractor(
+      {}, {}, napprox::QuantizedMode::kTickAccurate);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.cellHistogram(testWindow(), 24, 48));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NApproxQuantizedCell_TickAccurate);
+
+void BM_NApproxCoreletCell(benchmark::State& state) {
+  const napprox::QuantizedNApproxHog model(
+      {}, {}, napprox::QuantizedMode::kTickAccurate);
+  napprox::NApproxCorelet corelet(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corelet.extract(testWindow(), 24, 48));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NApproxCoreletCell);
+
+void BM_ParrotInferCell(benchmark::State& state) {
+  parrot::ParrotHog extractor;
+  std::vector<float> patch(100, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.infer(patch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParrotInferCell);
+
+void BM_TnNetworkTick(benchmark::State& state) {
+  // A busy 8-core network with dense random wiring and steady input.
+  tn::Network net(7);
+  Rng rng(7);
+  for (int c = 0; c < 8; ++c) net.addCore();
+  for (int c = 0; c < 8; ++c) {
+    tn::Core& core = net.core(c);
+    for (int a = 0; a < 256; ++a) core.setAxonType(a, a % 4);
+    for (int n = 0; n < 256; ++n) {
+      core.neuron(n).synapticWeights = {1, -1, 2, -2};
+      core.neuron(n).threshold = 4;
+      core.neuron(n).resetMode = tn::ResetMode::kLinear;
+      core.neuron(n).floorPotential = -64;
+      core.neuron(n).dest = tn::Destination{(c + 1) % 8,
+                                            rng.uniformInt(0, 255), 1};
+    }
+    for (int i = 0; i < 4096; ++i) {
+      core.setConnection(rng.uniformInt(0, 255), rng.uniformInt(0, 255),
+                         true);
+    }
+  }
+  for (int a = 0; a < 64; ++a) net.scheduleInput(0, 0, a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.run(1));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);  // core-ticks
+}
+BENCHMARK(BM_TnNetworkTick);
+
+void BM_SvmDecision7560(benchmark::State& state) {
+  // Decision cost at the paper's descriptor width.
+  svm::LinearSvm model;
+  Rng rng(9);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<float> f(7560);
+    for (auto& v : f) {
+      v = static_cast<float>(rng.uniform()) + (i % 2 == 0 ? 0.2f : -0.2f);
+    }
+    x.push_back(std::move(f));
+    y.push_back(i % 2 == 0 ? 1 : -1);
+  }
+  model.train(x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.decision(x[0]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SvmDecision7560);
+
+}  // namespace

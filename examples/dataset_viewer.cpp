@@ -1,0 +1,103 @@
+// Renders samples of the synthetic pedestrian dataset (the INRIA
+// substitute) to image files for visual inspection: positive and negative
+// training windows, a full scene with ground-truth boxes drawn, HoG glyph
+// visualizations of a positive window under the classic and NApprox
+// extractors, and a sheet of parrot training patches (paper Figure 3).
+//
+// Usage: dataset_viewer [outDir=/tmp] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.hpp"
+#include "hog/hog.hpp"
+#include "hog/visualize.hpp"
+#include "napprox/napprox.hpp"
+#include "parrot/generator.hpp"
+#include "vision/draw.hpp"
+#include "vision/pgm.hpp"
+#include "vision/synth.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcnn;
+  const std::string outDir = argc > 1 ? argv[1] : "/tmp";
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  vision::SyntheticPersonDataset dataset;
+  Rng rng(seed);
+
+  // Contact sheet of training windows: top row positives, bottom negatives.
+  {
+    const int cols = 8;
+    vision::Image sheet(cols * 66, 2 * 130, 1.0f);
+    for (int i = 0; i < cols; ++i) {
+      const vision::Image pos = dataset.positiveWindow(rng);
+      const vision::Image neg = dataset.negativeWindow(rng);
+      for (int y = 0; y < 128; ++y) {
+        for (int x = 0; x < 64; ++x) {
+          sheet.at(i * 66 + x + 1, y + 1) = pos.at(x, y);
+          sheet.at(i * 66 + x + 1, 130 + y + 1) = neg.at(x, y);
+        }
+      }
+    }
+    const std::string path = outDir + "/pcnn_windows.pgm";
+    vision::writePgm(sheet, path);
+    std::printf("training windows -> %s\n", path.c_str());
+  }
+
+  // Scene with ground truth boxes.
+  {
+    const vision::Scene scene = dataset.scene(rng, 480, 360, 3, 96, 240);
+    vision::RgbImage rgb(scene.image);
+    for (const vision::Rect& gt : scene.groundTruth) {
+      vision::drawRect(rgb, gt, vision::Color{0.1f, 1.0f, 0.1f});
+    }
+    const std::string path = outDir + "/pcnn_scene_gt.ppm";
+    vision::writePpm(rgb, path);
+    std::printf("scene with %zu ground-truth boxes -> %s\n",
+                scene.groundTruth.size(), path.c_str());
+  }
+
+  // HoG glyphs of one positive window: classic 9-bin vs NApprox 18-bin.
+  {
+    const vision::Image window = dataset.positiveWindow(rng);
+    vision::writePgm(window, outDir + "/pcnn_window.pgm");
+
+    const hog::HogExtractor classic;
+    vision::writePpm(
+        hog::renderHogGlyphs(classic.computeCells(window), false),
+        outDir + "/pcnn_hog_classic.ppm");
+
+    const napprox::NApproxHog napproxHog;
+    vision::writePpm(
+        hog::renderHogGlyphs(napproxHog.computeCells(window), true),
+        outDir + "/pcnn_hog_napprox.ppm");
+    std::printf("HoG glyphs -> %s/pcnn_hog_{classic,napprox}.ppm\n",
+                outDir.c_str());
+  }
+
+  // Parrot training patches (paper Figure 3): binary oriented samples.
+  {
+    parrot::GeneratorParams params;
+    params.grayLevels = false;
+    params.textureProbability = 0.0f;
+    const parrot::OrientedSampleGenerator generator(params);
+    const int cols = 16;
+    vision::Image sheet(cols * 12, 3 * 12, 1.0f);
+    for (int row = 0; row < 3; ++row) {
+      for (int col = 0; col < cols; ++col) {
+        const vision::Image patch = generator.patch(rng);
+        for (int y = 0; y < 10; ++y) {
+          for (int x = 0; x < 10; ++x) {
+            sheet.at(col * 12 + x + 1, row * 12 + y + 1) = patch.at(x, y);
+          }
+        }
+      }
+    }
+    const std::string path = outDir + "/pcnn_parrot_samples.pgm";
+    vision::writePgm(sheet, path);
+    std::printf("parrot training patches (Fig. 3 style) -> %s\n",
+                path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Parrot co-training demo (the paper's Section 3.2): train a 2-layer Eedn
+// network to mimic NApprox HoG histograms from randomly generated oriented
+// samples, sweep the stochastic input coding from exact down to 1-spike,
+// and deploy the trained parrot onto the TrueNorth simulator through the
+// Eedn mapper.
+//
+// Usage: parrot_training [trainSamples] [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "eedn/mapper.hpp"
+#include "eval/stats.hpp"
+#include "parrot/generator.hpp"
+#include "parrot/parrot.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcnn;
+  const int trainSamples = argc > 1 ? std::atoi(argv[1]) : 4000;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 15;
+
+  parrot::OrientedSampleGenerator generator;
+  parrot::ParrotConfig config;
+  config.seed = 2017;
+  parrot::ParrotHog parrot(config);
+
+  std::printf("training parrot on %d auto-labelled samples, %d epochs...\n",
+              trainSamples, epochs);
+  const float loss = parrot.train(generator, trainSamples, epochs, 0.005f);
+  std::printf("final training MSE: %.4f\n", loss);
+  std::printf("validation MSE:     %.4f\n", parrot.validate(generator, 400));
+  std::printf("dominant-bin accuracy (exact inputs): %.3f\n",
+              parrot.dominantBinAccuracy(generator, 400));
+
+  // Precision sweep (the Figure 6 axis).
+  std::printf("\nstochastic input coding sweep:\n");
+  std::printf("  %8s  %12s  %10s\n", "spikes", "accuracy", "val MSE");
+  for (int spikes : {32, 16, 8, 4, 2, 1}) {
+    parrot.setInputSpikes(spikes);
+    std::printf("  %8d  %12.3f  %10.4f\n", spikes,
+                parrot.dominantBinAccuracy(generator, 300),
+                parrot.validate(generator, 300));
+  }
+  parrot.setInputSpikes(0);
+
+  // Deployment onto the neurosynaptic simulator.
+  auto mapped = eedn::TnMapper::map(parrot.net());
+  std::printf("\nmapped parrot onto %d TrueNorth core(s), depth %d\n",
+              mapped->coreCount(), mapped->depth());
+  Rng rng(5);
+  int agree = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> input(100);
+    for (auto& v : input) v = rng.bernoulli(0.5) ? 1 : 0;
+    if (mapped->forwardSpikes(input) == mapped->referenceForward(input)) {
+      ++agree;
+    }
+  }
+  std::printf("simulator vs reference agreement: %d/%d binary probes\n",
+              agree, trials);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Prints the paper's Table 2 power comparison for full-HD pedestrian
+// detection at 26 fps, plus the NApprox-vs-Parrot power ratio quoted in
+// the abstract (6.5x-208x).
+#include <cstdio>
+
+#include "power/power.hpp"
+
+int main() {
+  using namespace pcnn::power;
+  const FullHdWorkload workload;
+  std::printf("full-HD workload: %ld cells/frame @ %d fps = %.3g cells/s\n\n",
+              workload.cellsPerFrame(), workload.fps,
+              workload.cellsPerSecond());
+
+  std::printf("%-32s %-18s %12s %10s %10s\n", "Approach", "Signal resolution",
+              "modules", "chips", "power");
+  for (const PowerEstimate& row : table2(workload)) {
+    char power[32];
+    if (row.watts >= 1.0) {
+      std::snprintf(power, sizeof(power), "%.2f W", row.watts);
+    } else {
+      std::snprintf(power, sizeof(power), "%.0f mW", row.watts * 1e3);
+    }
+    if (row.modules > 0) {
+      std::printf("%-32s %-18s %12.0f %10.1f %10s\n", row.approach.c_str(),
+                  row.signalResolution.c_str(), row.modules, row.chips,
+                  power);
+    } else {
+      std::printf("%-32s %-18s %12s %10s %10s\n", row.approach.c_str(),
+                  row.signalResolution.c_str(), "-", "-", power);
+    }
+  }
+
+  const auto [low, high] = napproxOverParrotRatio(workload);
+  std::printf("\nParrot vs NApprox power advantage: %.1fx (32-spike) to "
+              "%.0fx (1-spike)\n", low, high);
+  std::printf("paper quotes 6.5x-208x\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "core/detector.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pcnn::core {
+
+GridDetector::GridDetector(const GridDetectorParams& params,
+                           GridExtractor extractor,
+                           WindowFeatureAssembler assembler,
+                           WindowScorer scorer)
+    : params_(params),
+      extractor_(std::move(extractor)),
+      assembler_(std::move(assembler)),
+      scorer_(std::move(scorer)) {
+  if (!extractor_ || !assembler_ || !scorer_) {
+    throw std::invalid_argument("GridDetector: null callable");
+  }
+}
+
+std::vector<vision::Detection> GridDetector::detectRaw(
+    const vision::Image& scene) const {
+  std::vector<vision::Detection> detections;
+  vision::PyramidParams pp = params_.pyramid;
+  pp.minWidth = params_.windowCellsX * params_.cellSize;
+  pp.minHeight = params_.windowCellsY * params_.cellSize;
+  const auto levels = vision::buildPyramid(scene, pp);
+
+  for (const vision::PyramidLevel& level : levels) {
+    const hog::CellGrid grid = extractor_(level.image);
+    const int maxCy = grid.cellsY - params_.windowCellsY;
+    const int maxCx = grid.cellsX - params_.windowCellsX;
+    for (int cy = 0; cy <= maxCy; ++cy) {
+      for (int cx = 0; cx <= maxCx; ++cx) {
+        const std::vector<float> features = assembler_(grid, cx, cy);
+        const float score = scorer_(features);
+        if (score < params_.scoreThreshold) continue;
+        vision::Detection det;
+        det.score = score;
+        det.box.x = static_cast<float>(cx * params_.cellSize) * level.scale;
+        det.box.y = static_cast<float>(cy * params_.cellSize) * level.scale;
+        det.box.w = static_cast<float>(params_.windowCellsX *
+                                       params_.cellSize) *
+                    level.scale;
+        det.box.h = static_cast<float>(params_.windowCellsY *
+                                       params_.cellSize) *
+                    level.scale;
+        detections.push_back(det);
+      }
+    }
+  }
+  return detections;
+}
+
+std::vector<vision::Detection> GridDetector::detect(
+    const vision::Image& scene) const {
+  return vision::nonMaximumSuppression(detectRaw(scene), params_.nmsEpsilon);
+}
+
+WindowFeatureAssembler cellFeatureAssembler(int windowCellsX,
+                                            int windowCellsY) {
+  return [windowCellsX, windowCellsY](const hog::CellGrid& grid, int cx0,
+                                      int cy0) {
+    std::vector<float> features;
+    features.reserve(static_cast<std::size_t>(windowCellsX) * windowCellsY *
+                     grid.bins);
+    for (int cy = 0; cy < windowCellsY; ++cy) {
+      for (int cx = 0; cx < windowCellsX; ++cx) {
+        const float* hist = grid.cell(cx0 + cx, cy0 + cy);
+        features.insert(features.end(), hist, hist + grid.bins);
+      }
+    }
+    return features;
+  };
+}
+
+WindowFeatureAssembler blockFeatureAssembler(const hog::HogParams& params,
+                                             int windowCellsX,
+                                             int windowCellsY) {
+  return [params, windowCellsX, windowCellsY](const hog::CellGrid& grid,
+                                              int cx0, int cy0) {
+    // Copy the window's sub-grid, then reuse the HoG block assembly.
+    hog::CellGrid sub;
+    sub.cellsX = windowCellsX;
+    sub.cellsY = windowCellsY;
+    sub.bins = grid.bins;
+    sub.data.reserve(static_cast<std::size_t>(windowCellsX) * windowCellsY *
+                     grid.bins);
+    for (int cy = 0; cy < windowCellsY; ++cy) {
+      for (int cx = 0; cx < windowCellsX; ++cx) {
+        const float* hist = grid.cell(cx0 + cx, cy0 + cy);
+        sub.data.insert(sub.data.end(), hist, hist + grid.bins);
+      }
+    }
+    const hog::HogExtractor assembler(params);
+    return assembler.blocksFromGrid(sub);
+  };
+}
+
+}  // namespace pcnn::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hog/hog.hpp"
+#include "vision/image.hpp"
+#include "vision/nms.hpp"
+#include "vision/pyramid.hpp"
+
+namespace pcnn::core {
+
+/// Computes the per-cell feature grid of a (pyramid-level) image. Cell
+/// grids are computed once per level and shared by every window over it --
+/// the same economy the hardware pipeline exploits (cells are the unit of
+/// work in Sec. 5.2).
+using GridExtractor = std::function<hog::CellGrid(const vision::Image&)>;
+
+/// Assembles a window's feature vector from the level grid given the
+/// window's top-left cell (cx0, cy0).
+using WindowFeatureAssembler = std::function<std::vector<float>(
+    const hog::CellGrid&, int cx0, int cy0)>;
+
+/// Scores a window feature vector; higher = more person-like.
+using WindowScorer = std::function<float(const std::vector<float>&)>;
+
+/// Multi-scale sliding-window detector over cell grids.
+struct GridDetectorParams {
+  int cellSize = 8;
+  int windowCellsX = 8;   ///< 64-pixel-wide window
+  int windowCellsY = 16;  ///< 128-pixel-tall window
+  float scoreThreshold = 0.0f;  ///< keep windows scoring at least this
+  float nmsEpsilon = 0.2f;      ///< the paper's NMS epsilon
+  vision::PyramidParams pyramid;  ///< 1.1x scale steps by default
+};
+
+class GridDetector {
+ public:
+  GridDetector(const GridDetectorParams& params, GridExtractor extractor,
+               WindowFeatureAssembler assembler, WindowScorer scorer);
+
+  /// Scans all pyramid levels with a one-cell stride, scores every window,
+  /// keeps those above threshold, and applies NMS. Boxes are in original
+  /// scene coordinates.
+  std::vector<vision::Detection> detect(const vision::Image& scene) const;
+
+  /// Same but without NMS (for threshold sweeps in the evaluation).
+  std::vector<vision::Detection> detectRaw(const vision::Image& scene) const;
+
+  const GridDetectorParams& params() const { return params_; }
+
+ private:
+  GridDetectorParams params_;
+  GridExtractor extractor_;
+  WindowFeatureAssembler assembler_;
+  WindowScorer scorer_;
+};
+
+/// Assembler producing the flat concatenation of the window's cell
+/// histograms (the Eedn feature path -- block normalization elided).
+WindowFeatureAssembler cellFeatureAssembler(int windowCellsX,
+                                            int windowCellsY);
+
+/// Assembler producing overlapping 2x2-cell blocks, optionally
+/// L2-normalized, from the window's sub-grid (the SVM feature path).
+WindowFeatureAssembler blockFeatureAssembler(const hog::HogParams& params,
+                                             int windowCellsX,
+                                             int windowCellsY);
+
+}  // namespace pcnn::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "eedn/classifier.hpp"
+#include "parrot/parrot.hpp"
+#include "vision/image.hpp"
+
+namespace pcnn::core {
+
+/// Extracts flat cell features from a full detection window (the Eedn
+/// classifier's input path).
+using WindowExtractorFn =
+    std::function<std::vector<float>(const vision::Image&)>;
+
+/// Resource accounting for the three paradigms. Paper numbers (Sec. 5.1):
+/// the Parrot extractor uses 8 cores per 8x8 cell -> 1024 cores for a
+/// 64x128 window; the Eedn classifier uses 2864 cores; the Absorbed
+/// monolithic network is granted the combined 3888 cores.
+struct ResourceBudget {
+  int windowCellsX = 8;
+  int windowCellsY = 16;
+  int parrotCoresPerCell = 8;
+  int classifierCores = 2864;
+
+  int cellsPerWindow() const { return windowCellsX * windowCellsY; }
+  int parrotExtractorCores() const {
+    return parrotCoresPerCell * cellsPerWindow();  // 1024 in the paper
+  }
+  int combinedCores() const {
+    return parrotExtractorCores() + classifierCores;  // 3888 in the paper
+  }
+};
+
+/// The paper's primary artifact: a *partitioned* network -- an explicit
+/// feature-extraction stage (NApprox, Parrot, or classic HoG) feeding a
+/// separately trained Eedn classification stage, the two co-trained as a
+/// pipeline rather than absorbed into one monolithic network.
+class PartitionedPipeline {
+ public:
+  PartitionedPipeline(WindowExtractorFn extractor,
+                      const eedn::EednClassifierConfig& classifierConfig);
+
+  /// Extract features for every window, then train the classifier stage.
+  /// Returns final-epoch mean loss.
+  float trainClassifier(const std::vector<vision::Image>& windows,
+                        const std::vector<int>& labels, int epochs,
+                        float learningRate, float momentum = 0.9f,
+                        int batchSize = 16);
+
+  float score(const vision::Image& window);
+  int predict(const vision::Image& window) {
+    return score(window) >= 0.0f ? 1 : -1;
+  }
+  double evalAccuracy(const std::vector<vision::Image>& windows,
+                      const std::vector<int>& labels);
+
+  std::vector<float> features(const vision::Image& window) const {
+    return extractor_(window);
+  }
+  eedn::EednClassifier& classifier() { return *classifier_; }
+
+ private:
+  WindowExtractorFn extractor_;
+  std::unique_ptr<eedn::EednClassifier> classifier_;
+};
+
+/// Builds and trains the Parrot feature extractor stage: stage A of the
+/// co-training procedure (the classifier stage is stage B, trained on the
+/// parrot's outputs by PartitionedPipeline::trainClassifier).
+parrot::ParrotHog trainParrotStage(const parrot::ParrotConfig& config,
+                                   const parrot::GeneratorParams& genParams,
+                                   int numSamples, int epochs,
+                                   float learningRate);
+
+/// The Absorbed baseline: a monolithic pixels-to-decision Eedn classifier
+/// given (at least) the combined resource budget of extractor + classifier
+/// and trained on the same windows (Sec. 3.3 / 5.1). Returns a classifier
+/// over raw 64x128 = 8192-pixel inputs.
+std::unique_ptr<eedn::EednClassifier> makeAbsorbedClassifier(
+    const ResourceBudget& budget, float tau = 0.5f, std::uint64_t seed = 99);
+
+/// Flattens a window's raw pixels (the absorbed network's input).
+std::vector<float> rawPixelFeatures(const vision::Image& window);
+
+}  // namespace pcnn::core

@@ -1,0 +1,152 @@
+#include "eedn/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace pcnn::eedn {
+
+EednClassifier::EednClassifier(const EednClassifierConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config.inputSize <= 0) {
+    throw std::invalid_argument("EednClassifier: inputSize must be set");
+  }
+  if (config.outputPopulation <= 0) {
+    throw std::invalid_argument("EednClassifier: outputPopulation must be >0");
+  }
+  auto front = std::make_unique<PartitionedDense>(
+      config.inputSize, config.groupInputSize, config.outputsPerGroup, rng_,
+      config.tau);
+  int width = front->outputSize();
+  // One core per group: with the two-axon sign encoding a 128-input group
+  // occupies a full 256-axon crossbar, so groups cannot share cores.
+  stageCores_.push_back(front->groupCount());
+  layerFanIns_.push_back(config.groupInputSize);
+  layerWidths_.push_back(width);
+  net_.add(std::move(front));
+  net_.add(std::make_unique<SpikingThreshold>(
+      width, std::sqrt(static_cast<float>(config.groupInputSize))));
+
+  auto denseCores = [](int fanIn, int outWidth) {
+    const long fanInSplits = std::max(1, (fanIn + 127) / 128);
+    const long neuronBanks = std::max(1, (outWidth + 255) / 256);
+    return fanInSplits * neuronBanks;
+  };
+
+  for (int hidden : config.hiddenWidths) {
+    stageCores_.push_back(denseCores(width, hidden));
+    layerFanIns_.push_back(width);
+    layerWidths_.push_back(hidden);
+    net_.add(std::make_unique<TrinaryDense>(width, hidden, rng_, config.tau));
+    net_.add(std::make_unique<SpikingThreshold>(
+        hidden, std::sqrt(static_cast<float>(width))));
+    width = hidden;
+  }
+
+  const int outWidth = 2 * config.outputPopulation;
+  stageCores_.push_back(denseCores(width, outWidth));
+  layerFanIns_.push_back(width);
+  layerWidths_.push_back(outWidth);
+  net_.add(std::make_unique<TrinaryDense>(width, outWidth, rng_, config.tau));
+}
+
+std::vector<float> EednClassifier::classScores(
+    const std::vector<float>& features, bool train) {
+  std::vector<float> scaled;
+  const std::vector<float>* input = &features;
+  if (config_.inputScale != 1.0f) {
+    scaled.resize(features.size());
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      scaled[i] = features[i] * config_.inputScale;
+    }
+    input = &scaled;
+  }
+  const std::vector<float> out = net_.forward(*input, train);
+  const int population = config_.outputPopulation;
+  float background = 0.0f;
+  float person = 0.0f;
+  for (int i = 0; i < population; ++i) background += out[i];
+  for (int i = 0; i < population; ++i) person += out[population + i];
+  const float inv = 1.0f / static_cast<float>(population);
+  return {background * inv, person * inv};
+}
+
+float EednClassifier::score(const std::vector<float>& features) {
+  const auto scores = classScores(features, false);
+  return scores[1] - scores[0];
+}
+
+float EednClassifier::trainEpoch(const BinaryDataset& data,
+                                 float learningRate, float momentum,
+                                 int batchSize) {
+  if (data.features.size() != data.labels.size()) {
+    throw std::invalid_argument("trainEpoch: features/labels mismatch");
+  }
+  if (data.features.empty()) return 0.0f;
+  std::vector<std::size_t> order(data.features.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<std::size_t>(rng_.uniformInt(
+                  0, static_cast<int>(i) - 1))]);
+  }
+
+  const int population = config_.outputPopulation;
+  const float inv = 1.0f / static_cast<float>(population);
+  double lossSum = 0.0;
+  int inBatch = 0;
+  for (std::size_t idx : order) {
+    const auto scores = classScores(data.features[idx], true);
+    const int target = data.labels[idx] > 0 ? 1 : 0;
+    const nn::LossResult loss = nn::softmaxCrossEntropy(scores, target);
+    lossSum += loss.value;
+
+    // Spread the per-class gradient uniformly over the class population.
+    std::vector<float> grad(static_cast<std::size_t>(2 * population));
+    for (int i = 0; i < population; ++i) {
+      grad[i] = loss.grad[0] * inv;
+      grad[population + i] = loss.grad[1] * inv;
+    }
+    net_.backward(grad);
+    if (++inBatch == batchSize) {
+      net_.applyGradients(learningRate, momentum, inBatch);
+      inBatch = 0;
+    }
+  }
+  if (inBatch > 0) net_.applyGradients(learningRate, momentum, inBatch);
+  return static_cast<float>(lossSum / static_cast<double>(order.size()));
+}
+
+double EednClassifier::evalAccuracy(const BinaryDataset& data) {
+  if (data.features.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.features.size(); ++i) {
+    if (predict(data.features[i]) == (data.labels[i] > 0 ? 1 : -1)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(data.features.size());
+}
+
+double EednClassifier::blindDecisionRate(const BinaryDataset& data) {
+  if (data.features.empty()) return 0.0;
+  std::size_t positive = 0;
+  for (const auto& f : data.features) {
+    if (predict(f) > 0) ++positive;
+  }
+  const double p = static_cast<double>(positive) /
+                   static_cast<double>(data.features.size());
+  return std::max(p, 1.0 - p);
+}
+
+long EednClassifier::coreCountEstimate() const {
+  long cores = 0;
+  for (long c : stageCores_) cores += c;
+  return cores;
+}
+
+}  // namespace pcnn::eedn

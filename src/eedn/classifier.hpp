@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eedn/partitioned.hpp"
+#include "nn/sequential.hpp"
+
+namespace pcnn::eedn {
+
+/// Configuration of an Eedn binary classifier (person / not-person).
+///
+/// Layer structure: PartitionedDense over the feature vector, a spiking
+/// threshold, zero or more TrinaryDense+spike hidden layers, and a final
+/// TrinaryDense producing `outputPopulation` score neurons per class whose
+/// summed activity is the class score (population coding, as in Eedn).
+struct EednClassifierConfig {
+  int inputSize = 0;
+  int groupInputSize = 128;   ///< crossbar fan-in limit with sign encoding
+  int outputsPerGroup = 16;
+  std::vector<int> hiddenWidths = {128};
+  int outputPopulation = 8;   ///< score neurons per class
+  float tau = 0.5f;           ///< trinarization dead zone
+  /// Multiplier applied to input features before the first layer. On the
+  /// chip, features arrive as spike *rates* in [0, 1]; count-scaled
+  /// features (e.g. HoG cell votes, 0..64) should use 1/64 so the network
+  /// trains in the regime it is deployed in.
+  float inputScale = 1.0f;
+  std::uint64_t seed = 7;
+};
+
+/// Dataset for binary training: labels are +1 (person) / -1 (background).
+struct BinaryDataset {
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+};
+
+/// Trainable Eedn binary classifier.
+class EednClassifier {
+ public:
+  explicit EednClassifier(const EednClassifierConfig& config);
+
+  /// Raw detection score: mean positive-class minus mean negative-class
+  /// population pre-activation. Positive means "person".
+  float score(const std::vector<float>& features);
+
+  /// +1 for person, -1 for background.
+  int predict(const std::vector<float>& features) {
+    return score(features) >= 0.0f ? 1 : -1;
+  }
+
+  /// One epoch of mini-batch SGD with softmax cross-entropy over the two
+  /// population-summed class scores. Returns the mean loss.
+  float trainEpoch(const BinaryDataset& data, float learningRate,
+                   float momentum = 0.9f, int batchSize = 16);
+
+  /// Fraction of correctly classified samples.
+  double evalAccuracy(const BinaryDataset& data);
+
+  /// Fraction of samples assigned to the majority predicted class. 1.0
+  /// means the classifier makes "blind decisions (all-positive or
+  /// all-negative)" -- the degenerate behaviour the paper reports for the
+  /// Absorbed monolithic network (Sec. 5.1).
+  double blindDecisionRate(const BinaryDataset& data);
+
+  /// Estimated TrueNorth cores needed to deploy this network with the
+  /// two-axon sign encoding (one core per <=128-input, <=256-neuron bank;
+  /// larger fan-ins use input-splitting trees).
+  long coreCountEstimate() const;
+
+  nn::Sequential& net() { return net_; }
+  const EednClassifierConfig& config() const { return config_; }
+
+ private:
+  std::vector<float> classScores(const std::vector<float>& features,
+                                 bool train);
+  EednClassifierConfig config_;
+  pcnn::Rng rng_;
+  nn::Sequential net_;
+  std::vector<int> layerFanIns_;   ///< fan-in of each trinary stage
+  std::vector<int> layerWidths_;   ///< outputs of each trinary stage
+  std::vector<long> stageCores_;   ///< core estimate per trinary stage
+};
+
+}  // namespace pcnn::eedn

@@ -1,0 +1,248 @@
+#include "eedn/mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "eedn/partitioned.hpp"
+#include "eedn/trinary.hpp"
+
+namespace pcnn::eedn {
+namespace {
+
+constexpr int kBiasAxonType = 2;
+
+/// Per-group geometry inside a core: input i occupies axons 2i (type 0,
+/// +1) and 2i+1 (type 1, -1); the bias axon sits at 2*fanIn.
+int positiveAxon(int localInput) { return 2 * localInput; }
+int negativeAxon(int localInput) { return 2 * localInput + 1; }
+int biasAxon(int fanIn) { return 2 * fanIn; }
+
+}  // namespace
+
+std::unique_ptr<MappedEedn> TnMapper::map(const nn::Sequential& net) {
+  auto mapped = std::make_unique<MappedEedn>();
+
+  // 1. Collect the trinary stages (groups with weights and biases).
+  for (std::size_t li = 0; li < net.layerCount(); ++li) {
+    const nn::Layer& layer = net.layer(li);
+    if (dynamic_cast<const SpikingThreshold*>(&layer) != nullptr) {
+      continue;  // implicit in the neuron threshold
+    }
+    MappedEedn::Stage stage;
+    // A bank wider than 128 logical neurons is split across cores in
+    // chunks (each chunk shares the full input range); this is how wide
+    // Eedn banks deploy in practice.
+    auto addGroup = [&stage](int offset, int fanIn, const TrinaryDense& td) {
+      if (fanIn > 127) {
+        throw std::invalid_argument(
+            "TnMapper: stage fan-in exceeds 127 (two axons per input plus "
+            "bias axon must fit a 256-axon crossbar)");
+      }
+      for (int chunkStart = 0; chunkStart < td.outputSize();
+           chunkStart += 128) {
+        const int chunkSize = std::min(128, td.outputSize() - chunkStart);
+        MappedEedn::Group group;
+        group.inputOffset = offset;
+        group.inputSize = fanIn;
+        group.logicalNeurons = chunkSize;
+        group.weights.resize(static_cast<std::size_t>(chunkSize));
+        group.biases.resize(static_cast<std::size_t>(chunkSize));
+        for (int j = 0; j < chunkSize; ++j) {
+          group.weights[j].resize(static_cast<std::size_t>(fanIn));
+          for (int i = 0; i < fanIn; ++i) {
+            group.weights[j][i] = td.effectiveWeight(chunkStart + j, i);
+          }
+          group.biases[j] =
+              static_cast<int>(std::lround(td.bias(chunkStart + j)));
+        }
+        stage.groups.push_back(std::move(group));
+        stage.outputSize += chunkSize;
+      }
+    };
+
+    if (const auto* pd = dynamic_cast<const PartitionedDense*>(&layer)) {
+      for (int g = 0; g < pd->groupCount(); ++g) {
+        const auto view = pd->group(g);
+        addGroup(view.inputOffset, view.inputSize, *view.layer);
+      }
+    } else if (const auto* td = dynamic_cast<const TrinaryDense*>(&layer)) {
+      addGroup(0, td->inputSize(), *td);
+    } else {
+      throw std::invalid_argument(
+          "TnMapper: unsupported layer type in Eedn network");
+    }
+    if (mapped->stages_.empty()) {
+      mapped->inputSize_ = layer.inputSize();
+    }
+    mapped->stages_.push_back(std::move(stage));
+  }
+  if (mapped->stages_.empty()) {
+    throw std::invalid_argument("TnMapper: network has no trinary stages");
+  }
+  mapped->outputSize_ = mapped->stages_.back().outputSize;
+
+  // 2. Determine per-stage physical copy counts. A logical neuron needs
+  //    two copies (positive/negative axon) per downstream group that reads
+  //    its output: chunked wide banks downstream share their input range,
+  //    so every producer output feeds each chunk core.
+  std::vector<int> stageCopies(mapped->stages_.size(), 1);
+  for (std::size_t s = 0; s + 1 < mapped->stages_.size(); ++s) {
+    const auto& next = mapped->stages_[s + 1];
+    int maxConsumers = 0;
+    for (int q = 0; q < mapped->stages_[s].outputSize; ++q) {
+      int consumers = 0;
+      for (const auto& cand : next.groups) {
+        if (q >= cand.inputOffset && q < cand.inputOffset + cand.inputSize) {
+          ++consumers;
+        }
+      }
+      maxConsumers = std::max(maxConsumers, consumers);
+    }
+    stageCopies[s] = 2 * std::max(1, maxConsumers);
+  }
+  for (std::size_t s = 0; s < mapped->stages_.size(); ++s) {
+    for (const auto& group : mapped->stages_[s].groups) {
+      if (group.logicalNeurons * stageCopies[s] > tn::kNeuronsPerCore) {
+        throw std::invalid_argument(
+            "TnMapper: neuron duplication for downstream fan-out overflows "
+            "the core (reduce bank width or downstream chunking)");
+      }
+    }
+    mapped->stageCopies_.push_back(stageCopies[s]);
+  }
+
+  // 3. Allocate cores and program crossbars.
+  tn::Network& network = mapped->network_;
+  for (std::size_t s = 0; s < mapped->stages_.size(); ++s) {
+    const bool last = (s + 1 == mapped->stages_.size());
+    const int copies = stageCopies[s];
+    for (auto& group : mapped->stages_[s].groups) {
+      group.core = network.addCore();
+      tn::Core& core = network.core(group.core);
+      for (int i = 0; i < group.inputSize; ++i) {
+        core.setAxonType(positiveAxon(i), 0);
+        core.setAxonType(negativeAxon(i), 1);
+      }
+      core.setAxonType(biasAxon(group.inputSize), kBiasAxonType);
+
+      for (int j = 0; j < group.logicalNeurons; ++j) {
+        for (int copy = 0; copy < copies; ++copy) {
+          const int neuron = copies * j + copy;
+          tn::NeuronConfig& cfg = core.neuron(neuron);
+          cfg.synapticWeights = {1, -1, group.biases[j] + 1, 0};
+          cfg.threshold = 1;
+          cfg.resetMode = tn::ResetMode::kAbsolute;
+          cfg.resetValue = 0;
+          cfg.recordOutput = last && copy == 0;
+          for (int i = 0; i < group.inputSize; ++i) {
+            const int w = group.weights[j][i];
+            if (w == 1) {
+              core.setConnection(positiveAxon(i), neuron, true);
+            } else if (w == -1) {
+              core.setConnection(negativeAxon(i), neuron, true);
+            }
+          }
+          core.setConnection(biasAxon(group.inputSize), neuron, true);
+        }
+      }
+    }
+  }
+
+  // 4. Route stage outputs: logical output q drives the positive and
+  //    negative axon of every downstream group covering q, one copy pair
+  //    per consumer.
+  for (std::size_t s = 0; s + 1 < mapped->stages_.size(); ++s) {
+    const auto& stage = mapped->stages_[s];
+    const auto& next = mapped->stages_[s + 1];
+    const int copies = stageCopies[s];
+    int globalOut = 0;
+    for (const auto& group : stage.groups) {
+      for (int j = 0; j < group.logicalNeurons; ++j, ++globalOut) {
+        int consumer = 0;
+        tn::Core& core = network.core(group.core);
+        for (const auto& cand : next.groups) {
+          if (globalOut < cand.inputOffset ||
+              globalOut >= cand.inputOffset + cand.inputSize) {
+            continue;
+          }
+          const int local = globalOut - cand.inputOffset;
+          core.neuron(copies * j + 2 * consumer).dest =
+              tn::Destination{cand.core, positiveAxon(local), 1};
+          core.neuron(copies * j + 2 * consumer + 1).dest =
+              tn::Destination{cand.core, negativeAxon(local), 1};
+          ++consumer;
+        }
+      }
+    }
+  }
+  return mapped;
+}
+
+std::vector<int> MappedEedn::forwardSpikes(const std::vector<int>& input) {
+  if (static_cast<int>(input.size()) != inputSize_) {
+    throw std::invalid_argument("MappedEedn: input size mismatch");
+  }
+  network_.reset(true);
+
+  // Inputs to stage 0 at tick 0 (both axons of each active input).
+  for (const auto& group : stages_.front().groups) {
+    for (int i = 0; i < group.inputSize; ++i) {
+      if (input[group.inputOffset + i] != 0) {
+        network_.scheduleInput(0, group.core, positiveAxon(i));
+        network_.scheduleInput(0, group.core, negativeAxon(i));
+      }
+    }
+  }
+  // Bias pulses: stage s integrates at tick s.
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    for (const auto& group : stages_[s].groups) {
+      network_.scheduleInput(static_cast<long>(s), group.core,
+                             biasAxon(group.inputSize));
+    }
+  }
+
+  const tn::RunResult result = network_.run(static_cast<long>(depth()));
+
+  // Decode final-stage spikes (they fire at tick depth-1).
+  std::vector<int> out(static_cast<std::size_t>(outputSize_), 0);
+  const auto& lastStage = stages_.back();
+  for (const tn::OutputSpike& spike : result.outputSpikes) {
+    if (spike.tick != static_cast<long>(depth()) - 1) continue;
+    int globalOut = 0;
+    for (const auto& group : lastStage.groups) {
+      if (spike.core == group.core) {
+        out[globalOut + spike.neuron] = 1;  // last stage: 1 copy per neuron
+        break;
+      }
+      globalOut += group.logicalNeurons;
+    }
+  }
+  network_.reset(true);
+  return out;
+}
+
+std::vector<int> MappedEedn::referenceForward(
+    const std::vector<int>& input) const {
+  if (static_cast<int>(input.size()) != inputSize_) {
+    throw std::invalid_argument("MappedEedn: input size mismatch");
+  }
+  std::vector<int> activ = input;
+  for (const Stage& stage : stages_) {
+    std::vector<int> next;
+    next.reserve(static_cast<std::size_t>(stage.outputSize));
+    for (const Group& group : stage.groups) {
+      for (int j = 0; j < group.logicalNeurons; ++j) {
+        int acc = group.biases[j];
+        for (int i = 0; i < group.inputSize; ++i) {
+          acc += group.weights[j][i] * activ[group.inputOffset + i];
+        }
+        next.push_back(acc >= 0 ? 1 : 0);
+      }
+    }
+    activ = std::move(next);
+  }
+  return activ;
+}
+
+}  // namespace pcnn::eedn

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tn/network.hpp"
+
+namespace pcnn::eedn {
+
+/// A trained Eedn network deployed onto the TrueNorth simulator.
+///
+/// Mapping scheme (the standard Eedn deployment, Esser et al.):
+///  - trinary weight signs are realised with the *two-axon* encoding: every
+///    input of a stage arrives on a pair of axons, one of type 0 (LUT value
+///    +1) and one of type 1 (-1); a +1 weight connects the positive axon, a
+///    -1 weight the negative axon, a 0 weight neither;
+///  - each logical neuron that feeds a later stage is physically duplicated
+///    so that one copy drives the positive axon and the other the negative
+///    axon of the downstream core (TrueNorth neurons have fan-out 1);
+///  - the (rounded) bias of each neuron is delivered on a per-core bias
+///    axon of type 2, pulsed by the host exactly at the tick the stage
+///    integrates; the per-neuron LUT entry for type 2 is round(bias) + 1
+///    with a firing threshold of 1, so a neuron fires iff
+///    sum_i w_ij x_i + round(b_j) >= 0;
+///  - stages are pipelined one tick apart: inputs at tick 0, stage k fires
+///    at tick k, outputs are read at tick depth-1.
+///
+/// Constraints checked at map time: stage fan-in <= 127 (two axons per
+/// input plus the bias axon must fit in 256). Banks wider than 128 logical
+/// neurons are split across cores in 128-neuron chunks sharing the input
+/// range; producers feeding several chunk cores get one copy pair per
+/// consumer, and the total copies per logical neuron must fit the core.
+class MappedEedn {
+ public:
+  /// Binary classification/feature pass: `input` holds 0/1 activations.
+  /// Returns the 0/1 outputs of the final stage. Resets network state
+  /// afterwards so calls are independent.
+  std::vector<int> forwardSpikes(const std::vector<int>& input);
+
+  /// Reference semantics of the mapped network computed in plain C++
+  /// (trinary weights, integer-rounded biases, hard thresholds). The
+  /// simulator run must agree with this exactly.
+  std::vector<int> referenceForward(const std::vector<int>& input) const;
+
+  int inputSize() const { return inputSize_; }
+  int outputSize() const { return outputSize_; }
+  int depth() const { return static_cast<int>(stages_.size()); }
+  int coreCount() const { return network_.coreCount(); }
+  tn::Network& network() { return network_; }
+
+ private:
+  friend class TnMapper;
+
+  struct Group {
+    int inputOffset = 0;
+    int inputSize = 0;
+    int core = -1;
+    std::vector<std::vector<int>> weights;  ///< [localNeuron][localInput]
+    std::vector<int> biases;                ///< rounded
+    int logicalNeurons = 0;
+  };
+  struct Stage {
+    std::vector<Group> groups;
+    int outputSize = 0;
+  };
+
+  tn::Network network_{12345};
+  std::vector<Stage> stages_;
+  std::vector<int> stageCopies_;  ///< physical copies per logical neuron
+  int inputSize_ = 0;
+  int outputSize_ = 0;
+};
+
+/// Builds a MappedEedn from a Sequential of TrinaryDense / PartitionedDense
+/// stages (SpikingThreshold layers are consumed implicitly; a trailing
+/// score layer is mapped like any other stage, its neurons firing when the
+/// score is >= 0). Throws std::invalid_argument when the network violates
+/// the mapping constraints or contains unsupported layer types.
+class TnMapper {
+ public:
+  static std::unique_ptr<MappedEedn> map(const nn::Sequential& net);
+};
+
+}  // namespace pcnn::eedn

@@ -1,0 +1,82 @@
+#include "eedn/partitioned.hpp"
+
+#include <stdexcept>
+
+namespace pcnn::eedn {
+
+PartitionedDense::PartitionedDense(int inputSize, int groupInputSize,
+                                   int outputsPerGroup, pcnn::Rng& rng,
+                                   float tau)
+    : in_(inputSize),
+      groupInputSize_(groupInputSize),
+      outputsPerGroup_(outputsPerGroup) {
+  if (inputSize <= 0 || groupInputSize <= 0 || outputsPerGroup <= 0) {
+    throw std::invalid_argument("PartitionedDense: sizes must be positive");
+  }
+  for (int offset = 0; offset < inputSize; offset += groupInputSize) {
+    const int size = std::min(groupInputSize, inputSize - offset);
+    groups_.push_back(
+        Group{offset, TrinaryDense(size, outputsPerGroup, rng, tau)});
+  }
+  out_ = static_cast<int>(groups_.size()) * outputsPerGroup;
+}
+
+std::vector<float> PartitionedDense::forward(const std::vector<float>& input,
+                                             bool train) {
+  if (static_cast<int>(input.size()) != in_) {
+    throw std::invalid_argument("PartitionedDense::forward: size mismatch");
+  }
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(out_));
+  for (Group& g : groups_) {
+    const int size = g.layer.inputSize();
+    std::vector<float> slice(input.begin() + g.offset,
+                             input.begin() + g.offset + size);
+    std::vector<float> y = g.layer.forward(slice, train);
+    out.insert(out.end(), y.begin(), y.end());
+  }
+  return out;
+}
+
+std::vector<float> PartitionedDense::backward(
+    const std::vector<float>& gradOutput) {
+  if (static_cast<int>(gradOutput.size()) != out_) {
+    throw std::invalid_argument("PartitionedDense::backward: size mismatch");
+  }
+  std::vector<float> gradIn(static_cast<std::size_t>(in_), 0.0f);
+  int outOffset = 0;
+  for (Group& g : groups_) {
+    std::vector<float> slice(gradOutput.begin() + outOffset,
+                             gradOutput.begin() + outOffset + outputsPerGroup_);
+    std::vector<float> gi = g.layer.backward(slice);
+    for (int i = 0; i < g.layer.inputSize(); ++i) {
+      gradIn[g.offset + i] += gi[i];
+    }
+    outOffset += outputsPerGroup_;
+  }
+  return gradIn;
+}
+
+void PartitionedDense::applyGradients(float learningRate, float momentum,
+                                      int batch) {
+  for (Group& g : groups_) {
+    g.layer.applyGradients(learningRate, momentum, batch);
+  }
+}
+
+long PartitionedDense::parameterCount() const {
+  long count = 0;
+  for (const Group& g : groups_) count += g.layer.parameterCount();
+  return count;
+}
+
+PartitionedDense::GroupView PartitionedDense::group(int g) const {
+  const Group& grp = groups_.at(static_cast<std::size_t>(g));
+  return GroupView{grp.offset, grp.layer.inputSize(), &grp.layer};
+}
+
+TrinaryDense& PartitionedDense::mutableGroupLayer(int g) {
+  return groups_.at(static_cast<std::size_t>(g)).layer;
+}
+
+}  // namespace pcnn::eedn

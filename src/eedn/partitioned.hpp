@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "eedn/trinary.hpp"
+
+namespace pcnn::eedn {
+
+/// Grouped (partitioned) trinary layer.
+///
+/// Eedn "partitions layers and the corresponding filters into multiple
+/// groups to ensure the filters are sized such that they can be implemented
+/// using the 256x256 TrueNorth core crossbars" (Sec. 2.2). With the
+/// two-axon sign encoding used when mapping trinary weights onto the
+/// crossbar, each neuron may read at most 128 distinct inputs, so the input
+/// vector is split into contiguous groups of at most `groupInputSize`
+/// (default 128) inputs, each feeding its own bank of `outputsPerGroup`
+/// neurons. The layer output is the concatenation of all banks.
+class PartitionedDense : public nn::Layer {
+ public:
+  PartitionedDense(int inputSize, int groupInputSize, int outputsPerGroup,
+                   pcnn::Rng& rng, float tau = 0.5f);
+
+  std::vector<float> forward(const std::vector<float>& input,
+                             bool train) override;
+  std::vector<float> backward(const std::vector<float>& gradOutput) override;
+  void applyGradients(float learningRate, float momentum, int batch) override;
+
+  int inputSize() const override { return in_; }
+  int outputSize() const override { return out_; }
+  long parameterCount() const override;
+
+  int groupCount() const { return static_cast<int>(groups_.size()); }
+  int groupInputSize() const { return groupInputSize_; }
+  int outputsPerGroup() const { return outputsPerGroup_; }
+
+  /// Input range and sub-layer of one group (for the TrueNorth mapper).
+  struct GroupView {
+    int inputOffset;
+    int inputSize;
+    const TrinaryDense* layer;
+  };
+  GroupView group(int g) const;
+
+  /// Mutable access to one group's sub-layer (weight I/O).
+  TrinaryDense& mutableGroupLayer(int g);
+
+ private:
+  struct Group {
+    int offset;
+    TrinaryDense layer;
+  };
+  int in_, out_, groupInputSize_, outputsPerGroup_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace pcnn::eedn

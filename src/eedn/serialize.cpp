@@ -1,0 +1,113 @@
+#include "eedn/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "eedn/partitioned.hpp"
+#include "eedn/trinary.hpp"
+
+namespace pcnn::eedn {
+namespace {
+
+void saveTrinary(const TrinaryDense& layer, std::ostream& out) {
+  out << "TrinaryDense " << layer.inputSize() << ' ' << layer.outputSize()
+      << '\n';
+  for (float w : layer.hiddenWeights()) out << w << ' ';
+  out << '\n';
+  for (float b : layer.biases()) out << b << ' ';
+  out << '\n';
+}
+
+void loadTrinary(TrinaryDense& layer, std::istream& in) {
+  std::string tag;
+  int inSize = 0, outSize = 0;
+  if (!(in >> tag >> inSize >> outSize) || tag != "TrinaryDense" ||
+      inSize != layer.inputSize() || outSize != layer.outputSize()) {
+    throw std::runtime_error("loadNetwork: TrinaryDense shape mismatch");
+  }
+  for (float& w : layer.hiddenWeights()) {
+    if (!(in >> w)) throw std::runtime_error("loadNetwork: truncated weights");
+  }
+  for (float& b : layer.biases()) {
+    if (!(in >> b)) throw std::runtime_error("loadNetwork: truncated biases");
+  }
+}
+
+}  // namespace
+
+void saveNetwork(const nn::Sequential& net, std::ostream& out) {
+  out.precision(9);  // float max_digits10: exact decimal round trip
+  out << "pcnn-eedn-v1 " << net.layerCount() << '\n';
+  for (std::size_t i = 0; i < net.layerCount(); ++i) {
+    const nn::Layer& layer = net.layer(i);
+    if (const auto* td = dynamic_cast<const TrinaryDense*>(&layer)) {
+      saveTrinary(*td, out);
+    } else if (const auto* pd =
+                   dynamic_cast<const PartitionedDense*>(&layer)) {
+      out << "PartitionedDense " << pd->groupCount() << '\n';
+      for (int g = 0; g < pd->groupCount(); ++g) {
+        saveTrinary(*pd->group(g).layer, out);
+      }
+    } else if (const auto* spike =
+                   dynamic_cast<const SpikingThreshold*>(&layer)) {
+      out << "SpikingThreshold " << spike->inputSize() << ' '
+          << spike->steWidth() << '\n';
+    } else {
+      throw std::invalid_argument(
+          "saveNetwork: unsupported layer type in Eedn network");
+    }
+  }
+  if (!out) throw std::runtime_error("saveNetwork: write failure");
+}
+
+void loadNetwork(nn::Sequential& net, std::istream& in) {
+  std::string magic;
+  std::size_t layerCount = 0;
+  if (!(in >> magic >> layerCount) || magic != "pcnn-eedn-v1" ||
+      layerCount != net.layerCount()) {
+    throw std::runtime_error("loadNetwork: bad header or layer count");
+  }
+  for (std::size_t i = 0; i < net.layerCount(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    if (auto* td = dynamic_cast<TrinaryDense*>(&layer)) {
+      loadTrinary(*td, in);
+    } else if (auto* pd = dynamic_cast<PartitionedDense*>(&layer)) {
+      std::string tag;
+      int groups = 0;
+      if (!(in >> tag >> groups) || tag != "PartitionedDense" ||
+          groups != pd->groupCount()) {
+        throw std::runtime_error("loadNetwork: PartitionedDense mismatch");
+      }
+      for (int g = 0; g < groups; ++g) {
+        loadTrinary(pd->mutableGroupLayer(g), in);
+      }
+    } else if (dynamic_cast<SpikingThreshold*>(&layer) != nullptr) {
+      std::string tag;
+      int size = 0;
+      float width = 0.0f;
+      if (!(in >> tag >> size >> width) || tag != "SpikingThreshold" ||
+          size != layer.inputSize()) {
+        throw std::runtime_error("loadNetwork: SpikingThreshold mismatch");
+      }
+    } else {
+      throw std::invalid_argument(
+          "loadNetwork: unsupported layer type in Eedn network");
+    }
+  }
+}
+
+void saveNetworkFile(const nn::Sequential& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveNetworkFile: cannot open " + path);
+  saveNetwork(net, out);
+}
+
+void loadNetworkFile(nn::Sequential& net, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadNetworkFile: cannot open " + path);
+  loadNetwork(net, in);
+}
+
+}  // namespace pcnn::eedn

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace pcnn::eedn {
+
+/// Text serialization of trained Eedn networks (TrinaryDense,
+/// PartitionedDense, and SpikingThreshold layers).
+///
+/// Format: one line per layer header, whitespace-separated numbers for
+/// parameters. The *structure* is not serialized -- loading requires a
+/// network built with the same configuration (the usual
+/// construct-then-load pattern); mismatched shapes throw
+/// std::runtime_error. Hidden (float) weights are stored so that training
+/// can resume after a round trip, not just the trinarized deployment
+/// values.
+void saveNetwork(const nn::Sequential& net, std::ostream& out);
+void loadNetwork(nn::Sequential& net, std::istream& in);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void saveNetworkFile(const nn::Sequential& net, const std::string& path);
+void loadNetworkFile(nn::Sequential& net, const std::string& path);
+
+}  // namespace pcnn::eedn

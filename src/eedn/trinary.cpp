@@ -1,0 +1,125 @@
+#include "eedn/trinary.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcnn::eedn {
+
+TrinaryDense::TrinaryDense(int inputSize, int outputSize, pcnn::Rng& rng,
+                           float tau)
+    : in_(inputSize), out_(outputSize), tau_(tau) {
+  if (inputSize <= 0 || outputSize <= 0) {
+    throw std::invalid_argument("TrinaryDense: sizes must be positive");
+  }
+  if (tau <= 0.0f || tau >= 1.0f) {
+    throw std::invalid_argument("TrinaryDense: tau must be in (0, 1)");
+  }
+  hidden_.resize(static_cast<std::size_t>(in_) * out_);
+  // Uniform init across [-1, 1]: roughly half the weights start inside the
+  // dead zone (effective 0) and the rest split between +-1.
+  for (float& v : hidden_) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  b_.assign(static_cast<std::size_t>(out_), 0.0f);
+  gradW_.assign(hidden_.size(), 0.0f);
+  gradB_.assign(b_.size(), 0.0f);
+  momW_.assign(hidden_.size(), 0.0f);
+  momB_.assign(b_.size(), 0.0f);
+}
+
+std::vector<float> TrinaryDense::forward(const std::vector<float>& input,
+                                         bool train) {
+  if (static_cast<int>(input.size()) != in_) {
+    throw std::invalid_argument("TrinaryDense::forward: input size mismatch");
+  }
+  if (train) inputCache_ = input;
+  std::vector<float> out(static_cast<std::size_t>(out_));
+  for (int j = 0; j < out_; ++j) {
+    const float* row = hidden_.data() + static_cast<std::size_t>(j) * in_;
+    float acc = b_[j];
+    for (int i = 0; i < in_; ++i) {
+      const int w = trinarize(row[i], tau_);
+      if (w == 1) {
+        acc += input[i];
+      } else if (w == -1) {
+        acc -= input[i];
+      }
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+std::vector<float> TrinaryDense::backward(
+    const std::vector<float>& gradOutput) {
+  if (static_cast<int>(gradOutput.size()) != out_) {
+    throw std::invalid_argument("TrinaryDense::backward: grad size mismatch");
+  }
+  std::vector<float> gradIn(static_cast<std::size_t>(in_), 0.0f);
+  for (int j = 0; j < out_; ++j) {
+    const float g = gradOutput[j];
+    if (g == 0.0f) continue;
+    const float* row = hidden_.data() + static_cast<std::size_t>(j) * in_;
+    float* gRow = gradW_.data() + static_cast<std::size_t>(j) * in_;
+    for (int i = 0; i < in_; ++i) {
+      // Straight-through: the hidden weight receives the gradient the
+      // effective weight would, while the input gradient uses the effective
+      // (deployed) value.
+      gRow[i] += g * inputCache_[i];
+      const int w = trinarize(row[i], tau_);
+      if (w == 1) {
+        gradIn[i] += g;
+      } else if (w == -1) {
+        gradIn[i] -= g;
+      }
+    }
+    gradB_[j] += g;
+  }
+  return gradIn;
+}
+
+void TrinaryDense::applyGradients(float learningRate, float momentum,
+                                  int batch) {
+  const float scale = 1.0f / static_cast<float>(batch > 0 ? batch : 1);
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    momW_[i] = momentum * momW_[i] - learningRate * gradW_[i] * scale;
+    hidden_[i] = std::clamp(hidden_[i] + momW_[i], -1.0f, 1.0f);
+    gradW_[i] = 0.0f;
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    momB_[i] = momentum * momB_[i] - learningRate * gradB_[i] * scale;
+    b_[i] += momB_[i];
+    gradB_[i] = 0.0f;
+  }
+}
+
+SpikingThreshold::SpikingThreshold(int size, float steWidth)
+    : size_(size), steWidth_(steWidth) {
+  if (size <= 0 || steWidth <= 0.0f) {
+    throw std::invalid_argument("SpikingThreshold: bad parameters");
+  }
+}
+
+std::vector<float> SpikingThreshold::forward(const std::vector<float>& input,
+                                             bool train) {
+  if (static_cast<int>(input.size()) != size_) {
+    throw std::invalid_argument("SpikingThreshold::forward: size mismatch");
+  }
+  if (train) preActCache_ = input;
+  std::vector<float> out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out[i] = input[i] >= 0.0f ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+std::vector<float> SpikingThreshold::backward(
+    const std::vector<float>& gradOutput) {
+  std::vector<float> gradIn(gradOutput.size(), 0.0f);
+  for (std::size_t i = 0; i < gradOutput.size(); ++i) {
+    if (preActCache_[i] >= -steWidth_ && preActCache_[i] <= steWidth_) {
+      gradIn[i] = gradOutput[i];
+    }
+  }
+  return gradIn;
+}
+
+}  // namespace pcnn::eedn

@@ -1,0 +1,83 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace pcnn::eedn {
+
+/// Projects a hidden high-precision weight onto the trinary deployment
+/// alphabet {-1, 0, +1} with dead zone [-tau, tau]. This is the Eedn weight
+/// discipline: "weights maintain a high precision hidden value during
+/// training which are then mapped to one of the trinary weights (-1, 0, 1)
+/// during network operation" (Esser et al., quoted in the paper Sec. 2.2).
+inline int trinarize(float hidden, float tau) {
+  if (hidden > tau) return 1;
+  if (hidden < -tau) return -1;
+  return 0;
+}
+
+/// Fully connected layer with trinary effective weights.
+///
+/// Forward always uses the trinarized weights (so training sees exactly the
+/// deployment function); gradients flow straight-through to the hidden
+/// float weights, which are clipped to [-1, 1] after each step.
+class TrinaryDense : public nn::Layer {
+ public:
+  TrinaryDense(int inputSize, int outputSize, pcnn::Rng& rng,
+               float tau = 0.5f);
+
+  std::vector<float> forward(const std::vector<float>& input,
+                             bool train) override;
+  std::vector<float> backward(const std::vector<float>& gradOutput) override;
+  void applyGradients(float learningRate, float momentum, int batch) override;
+
+  int inputSize() const override { return in_; }
+  int outputSize() const override { return out_; }
+  long parameterCount() const override {
+    return static_cast<long>(in_) * out_ + out_;
+  }
+
+  /// Deployment weight at (output j, input i): -1, 0, or +1.
+  int effectiveWeight(int j, int i) const {
+    return trinarize(hidden_[static_cast<std::size_t>(j) * in_ + i], tau_);
+  }
+  float bias(int j) const { return b_[static_cast<std::size_t>(j)]; }
+  float tau() const { return tau_; }
+
+  std::vector<float>& hiddenWeights() { return hidden_; }
+  const std::vector<float>& hiddenWeights() const { return hidden_; }
+  std::vector<float>& biases() { return b_; }
+  const std::vector<float>& biases() const { return b_; }
+
+ private:
+  int in_, out_;
+  float tau_;
+  std::vector<float> hidden_, b_;
+  std::vector<float> gradW_, gradB_, momW_, momB_;
+  std::vector<float> inputCache_;
+};
+
+/// Heaviside (spiking) activation with a straight-through surrogate
+/// gradient. Eedn neurons "are spiking neurons which have a threshold
+/// activation function; the derivative of this function is approximated for
+/// training" -- we use the standard boxcar surrogate: dL/dz = dL/dy when
+/// |z| <= steWidth, else 0.
+class SpikingThreshold : public nn::Layer {
+ public:
+  SpikingThreshold(int size, float steWidth);
+
+  std::vector<float> forward(const std::vector<float>& input,
+                             bool train) override;
+  std::vector<float> backward(const std::vector<float>& gradOutput) override;
+
+  int inputSize() const override { return size_; }
+  int outputSize() const override { return size_; }
+  float steWidth() const { return steWidth_; }
+
+ private:
+  int size_;
+  float steWidth_;
+  std::vector<float> preActCache_;
+};
+
+}  // namespace pcnn::eedn

@@ -1,0 +1,127 @@
+#include "eedn/trinary_conv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcnn::eedn {
+
+TrinaryConv2d::TrinaryConv2d(int inChannels, int inHeight, int inWidth,
+                             int outChannels, int kernel, int padding,
+                             pcnn::Rng& rng, float tau)
+    : inC_(inChannels),
+      inH_(inHeight),
+      inW_(inWidth),
+      outC_(outChannels),
+      k_(kernel),
+      pad_(padding),
+      outH_(inHeight + 2 * padding - kernel + 1),
+      outW_(inWidth + 2 * padding - kernel + 1),
+      tau_(tau) {
+  if (inChannels <= 0 || outChannels <= 0 || kernel <= 0 || padding < 0 ||
+      outH_ <= 0 || outW_ <= 0) {
+    throw std::invalid_argument("TrinaryConv2d: invalid geometry");
+  }
+  if (tau <= 0.0f || tau >= 1.0f) {
+    throw std::invalid_argument("TrinaryConv2d: tau must be in (0, 1)");
+  }
+  hidden_.resize(static_cast<std::size_t>(outC_) * inC_ * k_ * k_);
+  for (float& v : hidden_) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  b_.assign(static_cast<std::size_t>(outC_), 0.0f);
+  gradW_.assign(hidden_.size(), 0.0f);
+  gradB_.assign(b_.size(), 0.0f);
+  momW_.assign(hidden_.size(), 0.0f);
+  momB_.assign(b_.size(), 0.0f);
+}
+
+std::vector<float> TrinaryConv2d::forward(const std::vector<float>& input,
+                                          bool train) {
+  if (static_cast<int>(input.size()) != inputSize()) {
+    throw std::invalid_argument("TrinaryConv2d::forward: size mismatch");
+  }
+  if (train) inputCache_ = input;
+  std::vector<float> out(static_cast<std::size_t>(outputSize()), 0.0f);
+  auto in = [&](int c, int y, int x) -> float {
+    if (y < 0 || y >= inH_ || x < 0 || x >= inW_) return 0.0f;
+    return input[(static_cast<std::size_t>(c) * inH_ + y) * inW_ + x];
+  };
+  for (int oc = 0; oc < outC_; ++oc) {
+    for (int oy = 0; oy < outH_; ++oy) {
+      for (int ox = 0; ox < outW_; ++ox) {
+        float acc = b_[oc];
+        for (int ic = 0; ic < inC_; ++ic) {
+          for (int ky = 0; ky < k_; ++ky) {
+            for (int kx = 0; kx < k_; ++kx) {
+              const int w = effectiveWeight(oc, ic, ky, kx);
+              if (w == 0) continue;
+              const float v = in(ic, oy - pad_ + ky, ox - pad_ + kx);
+              acc += w == 1 ? v : -v;
+            }
+          }
+        }
+        out[(static_cast<std::size_t>(oc) * outH_ + oy) * outW_ + ox] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> TrinaryConv2d::backward(
+    const std::vector<float>& gradOutput) {
+  if (static_cast<int>(gradOutput.size()) != outputSize()) {
+    throw std::invalid_argument("TrinaryConv2d::backward: size mismatch");
+  }
+  std::vector<float> gradIn(static_cast<std::size_t>(inputSize()), 0.0f);
+  auto inIdx = [&](int c, int y, int x) {
+    return (static_cast<std::size_t>(c) * inH_ + y) * inW_ + x;
+  };
+  for (int oc = 0; oc < outC_; ++oc) {
+    for (int oy = 0; oy < outH_; ++oy) {
+      for (int ox = 0; ox < outW_; ++ox) {
+        const float g =
+            gradOutput[(static_cast<std::size_t>(oc) * outH_ + oy) * outW_ +
+                       ox];
+        if (g == 0.0f) continue;
+        gradB_[oc] += g;
+        for (int ic = 0; ic < inC_; ++ic) {
+          for (int ky = 0; ky < k_; ++ky) {
+            const int y = oy - pad_ + ky;
+            if (y < 0 || y >= inH_) continue;
+            for (int kx = 0; kx < k_; ++kx) {
+              const int x = ox - pad_ + kx;
+              if (x < 0 || x >= inW_) continue;
+              // Straight-through to the hidden weight; input gradient via
+              // the effective (deployed) weight.
+              gradW_[((static_cast<std::size_t>(oc) * inC_ + ic) * k_ + ky) *
+                         k_ +
+                     kx] += g * inputCache_[inIdx(ic, y, x)];
+              const int w = effectiveWeight(oc, ic, ky, kx);
+              if (w == 1) {
+                gradIn[inIdx(ic, y, x)] += g;
+              } else if (w == -1) {
+                gradIn[inIdx(ic, y, x)] -= g;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return gradIn;
+}
+
+void TrinaryConv2d::applyGradients(float learningRate, float momentum,
+                                   int batch) {
+  const float scale = 1.0f / static_cast<float>(batch > 0 ? batch : 1);
+  for (std::size_t i = 0; i < hidden_.size(); ++i) {
+    momW_[i] = momentum * momW_[i] - learningRate * gradW_[i] * scale;
+    hidden_[i] = std::clamp(hidden_[i] + momW_[i], -1.0f, 1.0f);
+    gradW_[i] = 0.0f;
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    momB_[i] = momentum * momB_[i] - learningRate * gradB_[i] * scale;
+    b_[i] += momB_[i];
+    gradB_[i] = 0.0f;
+  }
+}
+
+}  // namespace pcnn::eedn

@@ -1,0 +1,62 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "eedn/trinary.hpp"
+#include "nn/layer.hpp"
+
+namespace pcnn::eedn {
+
+/// 2-D convolution with trinary effective weights -- the convolutional
+/// form of the Eedn discipline (Eedn networks are "CNN-like", Sec. 2.2):
+/// hidden float weights trinarized in the forward pass, straight-through
+/// gradients, hidden values clipped to [-1, 1]. Stride 1, optional zero
+/// padding, CHW layout.
+///
+/// Crossbar sizing: a conv neuron's fan-in is inChannels * kernel^2, which
+/// must stay within the 127-input mapping limit for single-core groups --
+/// the reason Eedn partitions channels into groups on deep layers.
+class TrinaryConv2d : public nn::Layer {
+ public:
+  TrinaryConv2d(int inChannels, int inHeight, int inWidth, int outChannels,
+                int kernel, int padding, pcnn::Rng& rng, float tau = 0.5f);
+
+  std::vector<float> forward(const std::vector<float>& input,
+                             bool train) override;
+  std::vector<float> backward(const std::vector<float>& gradOutput) override;
+  void applyGradients(float learningRate, float momentum, int batch) override;
+
+  int inputSize() const override { return inC_ * inH_ * inW_; }
+  int outputSize() const override { return outC_ * outH_ * outW_; }
+  long parameterCount() const override {
+    return static_cast<long>(outC_) * inC_ * k_ * k_ + outC_;
+  }
+
+  int outHeight() const { return outH_; }
+  int outWidth() const { return outW_; }
+  int fanIn() const { return inC_ * k_ * k_; }
+
+  /// Deployment weight for (outChannel, inChannel, ky, kx): -1, 0, or +1.
+  int effectiveWeight(int oc, int ic, int ky, int kx) const {
+    return trinarize(
+        hidden_[((static_cast<std::size_t>(oc) * inC_ + ic) * k_ + ky) * k_ +
+                kx],
+        tau_);
+  }
+  float bias(int oc) const { return b_[static_cast<std::size_t>(oc)]; }
+
+  std::vector<float>& hiddenWeights() { return hidden_; }
+  std::vector<float>& biases() { return b_; }
+
+ private:
+  float hiddenAt(int oc, int ic, int ky, int kx) const {
+    return hidden_[((static_cast<std::size_t>(oc) * inC_ + ic) * k_ + ky) *
+                       k_ +
+                   kx];
+  }
+  int inC_, inH_, inW_, outC_, k_, pad_, outH_, outW_;
+  float tau_;
+  std::vector<float> hidden_, b_, gradW_, gradB_, momW_, momB_;
+  std::vector<float> inputCache_;
+};
+
+}  // namespace pcnn::eedn

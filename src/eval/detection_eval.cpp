@@ -1,0 +1,104 @@
+#include "eval/detection_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pcnn::eval {
+
+Counts evaluateAtThreshold(const std::vector<ImageResult>& results,
+                           float threshold, float minOverlap) {
+  Counts counts;
+  for (const ImageResult& image : results) {
+    std::vector<vision::Detection> dets;
+    for (const auto& d : image.detections) {
+      if (d.score >= threshold) dets.push_back(d);
+    }
+    std::sort(dets.begin(), dets.end(),
+              [](const auto& a, const auto& b) { return a.score > b.score; });
+    std::vector<bool> gtMatched(image.groundTruth.size(), false);
+    int tp = 0;
+    for (const auto& det : dets) {
+      int best = -1;
+      float bestIou = minOverlap;
+      for (std::size_t g = 0; g < image.groundTruth.size(); ++g) {
+        if (gtMatched[g]) continue;
+        const float overlap = vision::iou(det.box, image.groundTruth[g]);
+        if (overlap >= bestIou) {
+          bestIou = overlap;
+          best = static_cast<int>(g);
+        }
+      }
+      if (best >= 0) {
+        gtMatched[best] = true;
+        ++tp;
+      } else {
+        ++counts.falsePositives;
+      }
+    }
+    counts.truePositives += tp;
+    counts.misses += static_cast<int>(image.groundTruth.size()) - tp;
+  }
+  return counts;
+}
+
+std::vector<CurvePoint> missRateCurve(const std::vector<ImageResult>& results,
+                                      const EvalParams& params) {
+  // Gather the score range to build thresholds.
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+  for (const auto& image : results) {
+    for (const auto& d : image.detections) {
+      lo = std::min(lo, d.score);
+      hi = std::max(hi, d.score);
+    }
+  }
+  std::vector<CurvePoint> curve;
+  if (results.empty() || lo > hi) return curve;
+
+  long totalGt = 0;
+  for (const auto& image : results) {
+    totalGt += static_cast<long>(image.groundTruth.size());
+  }
+  const int n = std::max(2, params.numThresholds);
+  for (int i = 0; i < n; ++i) {
+    // Descending thresholds: strictest first (lowest FPPI first).
+    const float t = hi - (hi - lo) * static_cast<float>(i) /
+                             static_cast<float>(n - 1);
+    const Counts c = evaluateAtThreshold(results, t, params.minOverlap);
+    CurvePoint p;
+    p.threshold = t;
+    p.fppi = static_cast<float>(c.falsePositives) /
+             static_cast<float>(results.size());
+    p.missRate = totalGt > 0 ? static_cast<float>(c.misses) /
+                                   static_cast<float>(totalGt)
+                             : 0.0f;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+float logAverageMissRate(const std::vector<CurvePoint>& curve) {
+  if (curve.empty()) return 1.0f;
+  float sum = 0.0f;
+  int used = 0;
+  for (int i = 0; i < 9; ++i) {
+    const float targetFppi =
+        std::pow(10.0f, -2.0f + 2.0f * static_cast<float>(i) / 8.0f);
+    // Curve is ordered by increasing FPPI; find the miss rate at the largest
+    // FPPI <= target (conservative: use the point just under the target).
+    float missRate = curve.front().missRate;
+    for (const CurvePoint& p : curve) {
+      if (p.fppi <= targetFppi) {
+        missRate = p.missRate;
+      } else {
+        break;
+      }
+    }
+    sum += std::log(std::max(1e-4f, missRate));
+    ++used;
+  }
+  return std::exp(sum / static_cast<float>(used));
+}
+
+}  // namespace pcnn::eval

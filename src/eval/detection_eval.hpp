@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "vision/geometry.hpp"
+#include "vision/nms.hpp"
+
+namespace pcnn::eval {
+
+/// Detections and ground truth for one image.
+struct ImageResult {
+  std::vector<vision::Detection> detections;
+  std::vector<vision::Rect> groundTruth;
+};
+
+/// One operating point on a miss-rate versus false-positives-per-image
+/// curve (the standard pedestrian-detection proxy for precision-recall,
+/// Dollar et al., used in the paper's Figures 4 and 5).
+struct CurvePoint {
+  float threshold = 0.0f;  ///< score threshold producing this point
+  float fppi = 0.0f;       ///< false positives per image
+  float missRate = 0.0f;   ///< 1 - recall
+};
+
+/// Full evaluation protocol:
+///  - detections with score >= threshold are kept;
+///  - each ground-truth box is matched greedily (by descending detection
+///    score) to the unmatched detection with the highest IoU >= minOverlap;
+///  - unmatched detections are false positives, unmatched ground truths are
+///    misses. The paper uses minOverlap = 0.5.
+struct EvalParams {
+  float minOverlap = 0.5f;
+  int numThresholds = 64;  ///< curve resolution (thresholds from score range)
+};
+
+/// Computes the miss-rate/FPPI curve over a set of evaluated images by
+/// sweeping the detection-score threshold. Points are ordered by
+/// descending threshold (i.e. increasing FPPI).
+std::vector<CurvePoint> missRateCurve(const std::vector<ImageResult>& results,
+                                      const EvalParams& params = {});
+
+/// Log-average miss rate: the standard single-number summary, averaging the
+/// miss rate at nine FPPI points evenly log-spaced in [1e-2, 1e0]. Curve
+/// values are interpolated; FPPI below the curve's minimum uses the
+/// highest-threshold miss rate.
+float logAverageMissRate(const std::vector<CurvePoint>& curve);
+
+/// Counts (truePositives, falsePositives, misses) at a fixed threshold.
+struct Counts {
+  int truePositives = 0;
+  int falsePositives = 0;
+  int misses = 0;
+};
+Counts evaluateAtThreshold(const std::vector<ImageResult>& results,
+                           float threshold, float minOverlap = 0.5f);
+
+}  // namespace pcnn::eval

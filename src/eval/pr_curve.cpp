@@ -1,0 +1,62 @@
+#include "eval/pr_curve.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pcnn::eval {
+
+std::vector<PrPoint> precisionRecallCurve(
+    const std::vector<ImageResult>& results, const EvalParams& params) {
+  std::vector<PrPoint> curve;
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+  long totalGt = 0;
+  for (const auto& image : results) {
+    totalGt += static_cast<long>(image.groundTruth.size());
+    for (const auto& d : image.detections) {
+      lo = std::min(lo, d.score);
+      hi = std::max(hi, d.score);
+    }
+  }
+  if (results.empty() || lo > hi || totalGt == 0) return curve;
+
+  const int n = std::max(2, params.numThresholds);
+  for (int i = 0; i < n; ++i) {
+    const float t = hi - (hi - lo) * static_cast<float>(i) /
+                             static_cast<float>(n - 1);
+    const Counts c = evaluateAtThreshold(results, t, params.minOverlap);
+    PrPoint p;
+    p.threshold = t;
+    const int detected = c.truePositives + c.falsePositives;
+    p.precision = detected > 0 ? static_cast<float>(c.truePositives) /
+                                     static_cast<float>(detected)
+                               : 1.0f;
+    p.recall = static_cast<float>(c.truePositives) /
+               static_cast<float>(totalGt);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+float averagePrecision(const std::vector<PrPoint>& curve) {
+  if (curve.empty()) return 0.0f;
+  // Envelope: precision at recall r is the max precision at recall >= r.
+  std::vector<PrPoint> sorted = curve;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PrPoint& a, const PrPoint& b) {
+              return a.recall < b.recall;
+            });
+  float ap = 0.0f;
+  float prevRecall = 0.0f;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    float envelope = sorted[i].precision;
+    for (std::size_t j = i; j < sorted.size(); ++j) {
+      envelope = std::max(envelope, sorted[j].precision);
+    }
+    ap += envelope * (sorted[i].recall - prevRecall);
+    prevRecall = sorted[i].recall;
+  }
+  return ap;
+}
+
+}  // namespace pcnn::eval

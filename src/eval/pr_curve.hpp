@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "eval/detection_eval.hpp"
+
+namespace pcnn::eval {
+
+/// One precision/recall operating point.
+struct PrPoint {
+  float threshold = 0.0f;
+  float precision = 0.0f;
+  float recall = 0.0f;
+};
+
+/// Precision-recall curve over evaluated images (the paper describes the
+/// miss-rate/FPPI plot as "a proxy for precision-recall curves"; this is
+/// the non-proxied version for cross-checking). Points are ordered by
+/// descending threshold (increasing recall).
+std::vector<PrPoint> precisionRecallCurve(
+    const std::vector<ImageResult>& results, const EvalParams& params = {});
+
+/// Average precision: area under the precision-recall curve using the
+/// standard all-points interpolation (precision envelope).
+float averagePrecision(const std::vector<PrPoint>& curve);
+
+}  // namespace pcnn::eval

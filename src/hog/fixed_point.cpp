@@ -1,0 +1,176 @@
+#include "hog/fixed_point.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcnn::hog {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+FixedPointHog::FixedPointHog(const FixedPointHogParams& params)
+    : params_(params) {
+  if (params.numBins <= 0 || params.numBins % 2 == 0) {
+    // The fold-to-[0,90] binning below relies on the 90-degree boundary
+    // falling in the middle of a bin, which requires an odd bin count
+    // (9 bins of 20 degrees in the baseline).
+    throw std::invalid_argument(
+        "FixedPointHog: numBins must be odd (e.g. 9)");
+  }
+  const double binWidth = 180.0 / params.numBins;
+  const int boundariesBelow90 = params.numBins / 2;  // e.g. 20,40,60,80
+  const std::int64_t one = std::int64_t{1} << params.tanFractionBits;
+  tanLut_.clear();
+  for (int k = 1; k <= boundariesBelow90; ++k) {
+    const double boundary = binWidth * k * kPi / 180.0;
+    tanLut_.push_back(
+        static_cast<std::int64_t>(std::llround(std::tan(boundary) * one)));
+  }
+}
+
+std::int32_t FixedPointHog::approxMagnitude(int ix, int iy) {
+  const std::int32_t ax = ix < 0 ? -ix : ix;
+  const std::int32_t ay = iy < 0 ? -iy : iy;
+  const std::int32_t mx = ax > ay ? ax : ay;
+  const std::int32_t mn = ax > ay ? ay : ax;
+  return mx + ((3 * mn) >> 3);
+}
+
+std::uint32_t FixedPointHog::isqrt(std::uint64_t value) {
+  std::uint64_t result = 0;
+  std::uint64_t bit = std::uint64_t{1} << 62;
+  while (bit > value) bit >>= 2;
+  while (bit != 0) {
+    if (value >= result + bit) {
+      value -= result + bit;
+      result = (result >> 1) + bit;
+    } else {
+      result >>= 1;
+    }
+    bit >>= 2;
+  }
+  return static_cast<std::uint32_t>(result);
+}
+
+int FixedPointHog::orientationBin(int ix, int iy) const {
+  // Fold to unsigned orientation [0, 180): a gradient and its negation map
+  // to the same bin.
+  if (iy < 0 || (iy == 0 && ix < 0)) {
+    ix = -ix;
+    iy = -iy;
+  }
+  const std::int64_t ax = ix < 0 ? -ix : ix;
+  const std::int64_t ay = iy;
+  // Sub-angle s of atan2(ay, ax) in [0, 90], found with LUT comparisons:
+  // ay * 2^f >= tan(boundary_k) * ax  <=>  angle >= boundary_k.
+  int s = 0;
+  for (const std::int64_t tanQ : tanLut_) {
+    if ((ay << params_.tanFractionBits) >= tanQ * ax) {
+      ++s;
+    } else {
+      break;
+    }
+  }
+  // Mirror for the second quadrant: angle = 180 - a.
+  return ix >= 0 ? s : (params_.numBins - 1) - s;
+}
+
+FixedPointHog::IntCellGrid FixedPointHog::computeCells(
+    const vision::Image& img) const {
+  IntCellGrid grid;
+  grid.cellsX = img.width() / params_.cellSize;
+  grid.cellsY = img.height() / params_.cellSize;
+  grid.bins = params_.numBins;
+  grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY *
+                       grid.bins,
+                   0);
+  if (grid.cellsX <= 0 || grid.cellsY <= 0) return grid;
+
+  // Quantize pixels once (hardware receives 8-bit camera data).
+  const int maxLevel = (1 << params_.pixelBits) - 1;
+  const int w = img.width();
+  const int h = img.height();
+  std::vector<std::int32_t> pix(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float v = img.at(x, y);
+      v = v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v);
+      pix[static_cast<std::size_t>(y) * w + x] =
+          static_cast<std::int32_t>(std::lround(v * maxLevel));
+    }
+  }
+  auto at = [&](int x, int y) {
+    x = x < 0 ? 0 : (x >= w ? w - 1 : x);
+    y = y < 0 ? 0 : (y >= h ? h - 1 : y);
+    return pix[static_cast<std::size_t>(y) * w + x];
+  };
+
+  for (int cy = 0; cy < grid.cellsY; ++cy) {
+    for (int cx = 0; cx < grid.cellsX; ++cx) {
+      std::int32_t* hist =
+          grid.data.data() +
+          (static_cast<std::size_t>(cy) * grid.cellsX + cx) * grid.bins;
+      for (int dy = 0; dy < params_.cellSize; ++dy) {
+        for (int dx = 0; dx < params_.cellSize; ++dx) {
+          const int x = cx * params_.cellSize + dx;
+          const int y = cy * params_.cellSize + dy;
+          const int ix = at(x + 1, y) - at(x - 1, y);
+          const int iy = at(x, y - 1) - at(x, y + 1);
+          if (ix == 0 && iy == 0) continue;
+          hist[orientationBin(ix, iy)] += approxMagnitude(ix, iy);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<float> FixedPointHog::windowDescriptor(
+    const vision::Image& window) const {
+  const IntCellGrid grid = computeCells(window);
+  const int bc = params_.blockCells;
+  const int stride = params_.blockStrideCells;
+  const int blocksX = (grid.cellsX - bc) / stride + 1;
+  const int blocksY = (grid.cellsY - bc) / stride + 1;
+  std::vector<float> out;
+  if (blocksX <= 0 || blocksY <= 0) return out;
+
+  const int blockLen = bc * bc * grid.bins;
+  std::vector<std::int64_t> block(static_cast<std::size_t>(blockLen));
+  const float dequant =
+      1.0f / static_cast<float>(1 << params_.normFractionBits);
+  out.reserve(static_cast<std::size_t>(blocksX) * blocksY * blockLen);
+
+  for (int by = 0; by < blocksY; ++by) {
+    for (int bx = 0; bx < blocksX; ++bx) {
+      int k = 0;
+      for (int cy = 0; cy < bc; ++cy) {
+        for (int cx = 0; cx < bc; ++cx) {
+          const std::int32_t* hist =
+              grid.cell(bx * stride + cx, by * stride + cy);
+          for (int b = 0; b < grid.bins; ++b) block[k++] = hist[b];
+        }
+      }
+      if (params_.l2Normalize) {
+        std::uint64_t sumSq = 1;  // +1 plays the epsilon role, avoids /0
+        for (int i = 0; i < blockLen; ++i) {
+          sumSq += static_cast<std::uint64_t>(block[i] * block[i]);
+        }
+        const std::uint32_t norm = isqrt(sumSq);
+        for (int i = 0; i < blockLen; ++i) {
+          // v / ||v|| in Q(normFractionBits), then dequantized for the SVM.
+          const std::int64_t q =
+              (block[i] << params_.normFractionBits) / norm;
+          out.push_back(static_cast<float>(q) * dequant);
+        }
+      } else {
+        for (int i = 0; i < blockLen; ++i) {
+          out.push_back(static_cast<float>(block[i]));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pcnn::hog

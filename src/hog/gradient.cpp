@@ -1,0 +1,23 @@
+#include "hog/gradient.hpp"
+
+namespace pcnn::hog {
+
+GradientField computeGradients(const vision::Image& img) {
+  GradientField field;
+  field.width = img.width();
+  field.height = img.height();
+  const std::size_t n =
+      static_cast<std::size_t>(img.width()) * img.height();
+  field.ix.resize(n);
+  field.iy.resize(n);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * img.width() + x;
+      field.ix[i] = img.atClamped(x + 1, y) - img.atClamped(x - 1, y);
+      field.iy[i] = img.atClamped(x, y - 1) - img.atClamped(x, y + 1);
+    }
+  }
+  return field;
+}
+
+}  // namespace pcnn::hog

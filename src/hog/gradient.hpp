@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "vision/image.hpp"
+
+namespace pcnn::hog {
+
+/// Per-pixel centred gradients computed with the 1-D point-derivative mask
+/// [-1, 0, 1] (and its transpose), the mask Dalal & Triggs found optimal and
+/// the one the paper's Figure 2 illustrates: Ix = P5 - P3, Iy = P1 - P7.
+/// Borders use replicate-clamping.
+struct GradientField {
+  int width = 0;
+  int height = 0;
+  std::vector<float> ix;
+  std::vector<float> iy;
+
+  float gx(int x, int y) const { return ix[static_cast<std::size_t>(y) * width + x]; }
+  float gy(int x, int y) const { return iy[static_cast<std::size_t>(y) * width + x]; }
+};
+
+/// Computes the gradient field of a grayscale image.
+///
+/// Note on the sign convention: Iy = row above - row below (P1 - P7 with
+/// rows numbered top-down), matching the paper's pixel diagram.
+GradientField computeGradients(const vision::Image& img);
+
+}  // namespace pcnn::hog

@@ -1,0 +1,141 @@
+#include "hog/hog.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcnn::hog {
+namespace {
+constexpr float kPi = 3.14159265358979323846f;
+}
+
+HogExtractor::HogExtractor(const HogParams& params) : params_(params) {
+  if (params.cellSize <= 0 || params.numBins <= 0) {
+    throw std::invalid_argument("HogExtractor: invalid params");
+  }
+}
+
+void HogExtractor::voteForPixel(float gx, float gy, float* histogram) const {
+  const float mag = std::sqrt(gx * gx + gy * gy);
+  if (mag < 1e-9f) return;  // no orientation: contributes nothing
+  float angle = std::atan2(gy, gx);  // [-pi, pi]
+  const float range = params_.signedOrientation ? 2.0f * kPi : kPi;
+  if (angle < 0.0f) angle += 2.0f * kPi;           // [0, 2pi)
+  if (!params_.signedOrientation && angle >= kPi) angle -= kPi;  // [0, pi)
+
+  const float weight = params_.weightedVote ? mag : 1.0f;
+  const float binWidth = range / static_cast<float>(params_.numBins);
+  if (params_.bilinearBinning) {
+    // Vote split between the two nearest bin centres (aliasing mitigation,
+    // Dalal & Triggs; the paper's NApprox intentionally omits this).
+    const float pos = angle / binWidth - 0.5f;
+    int b0 = static_cast<int>(std::floor(pos));
+    const float frac = pos - static_cast<float>(b0);
+    int b1 = b0 + 1;
+    if (b0 < 0) b0 += params_.numBins;
+    if (b1 >= params_.numBins) b1 -= params_.numBins;
+    histogram[b0] += weight * (1.0f - frac);
+    histogram[b1] += weight * frac;
+  } else {
+    int bin = static_cast<int>(angle / binWidth);
+    if (bin >= params_.numBins) bin = params_.numBins - 1;
+    histogram[bin] += weight;
+  }
+}
+
+std::vector<float> HogExtractor::cellHistogram(const vision::Image& img,
+                                               int x0, int y0) const {
+  std::vector<float> histogram(static_cast<std::size_t>(params_.numBins),
+                               0.0f);
+  for (int dy = 0; dy < params_.cellSize; ++dy) {
+    for (int dx = 0; dx < params_.cellSize; ++dx) {
+      const int x = x0 + dx;
+      const int y = y0 + dy;
+      const float gx = img.atClamped(x + 1, y) - img.atClamped(x - 1, y);
+      const float gy = img.atClamped(x, y - 1) - img.atClamped(x, y + 1);
+      voteForPixel(gx, gy, histogram.data());
+    }
+  }
+  return histogram;
+}
+
+CellGrid HogExtractor::computeCells(const vision::Image& img) const {
+  CellGrid grid;
+  grid.cellsX = img.width() / params_.cellSize;
+  grid.cellsY = img.height() / params_.cellSize;
+  grid.bins = params_.numBins;
+  grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY *
+                       grid.bins,
+                   0.0f);
+  const GradientField field = computeGradients(img);
+  for (int cy = 0; cy < grid.cellsY; ++cy) {
+    for (int cx = 0; cx < grid.cellsX; ++cx) {
+      float* hist = grid.cell(cx, cy);
+      for (int dy = 0; dy < params_.cellSize; ++dy) {
+        for (int dx = 0; dx < params_.cellSize; ++dx) {
+          const int x = cx * params_.cellSize + dx;
+          const int y = cy * params_.cellSize + dy;
+          voteForPixel(field.gx(x, y), field.gy(x, y), hist);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<float> HogExtractor::blocksFromGrid(const CellGrid& grid) const {
+  const int bc = params_.blockCells;
+  const int stride = params_.blockStrideCells;
+  const int blocksX = (grid.cellsX - bc) / stride + 1;
+  const int blocksY = (grid.cellsY - bc) / stride + 1;
+  std::vector<float> out;
+  if (blocksX <= 0 || blocksY <= 0) return out;
+  out.reserve(static_cast<std::size_t>(blocksX) * blocksY * bc * bc *
+              grid.bins);
+  for (int by = 0; by < blocksY; ++by) {
+    for (int bx = 0; bx < blocksX; ++bx) {
+      const std::size_t blockStart = out.size();
+      for (int cy = 0; cy < bc; ++cy) {
+        for (int cx = 0; cx < bc; ++cx) {
+          const float* hist = grid.cell(bx * stride + cx, by * stride + cy);
+          out.insert(out.end(), hist, hist + grid.bins);
+        }
+      }
+      if (params_.l2Normalize) {
+        double sumSq = 0.0;
+        for (std::size_t i = blockStart; i < out.size(); ++i) {
+          sumSq += static_cast<double>(out[i]) * out[i];
+        }
+        const float norm = static_cast<float>(
+            std::sqrt(sumSq + params_.l2Epsilon * params_.l2Epsilon));
+        for (std::size_t i = blockStart; i < out.size(); ++i) {
+          out[i] /= norm;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> HogExtractor::windowDescriptor(
+    const vision::Image& window) const {
+  return blocksFromGrid(computeCells(window));
+}
+
+std::vector<float> HogExtractor::cellDescriptor(
+    const vision::Image& window) const {
+  CellGrid grid = computeCells(window);
+  return std::move(grid.data);
+}
+
+int HogExtractor::descriptorSize(int windowWidth, int windowHeight) const {
+  const int cellsX = windowWidth / params_.cellSize;
+  const int cellsY = windowHeight / params_.cellSize;
+  const int bc = params_.blockCells;
+  const int stride = params_.blockStrideCells;
+  const int blocksX = (cellsX - bc) / stride + 1;
+  const int blocksY = (cellsY - bc) / stride + 1;
+  if (blocksX <= 0 || blocksY <= 0) return 0;
+  return blocksX * blocksY * bc * bc * params_.numBins;
+}
+
+}  // namespace pcnn::hog

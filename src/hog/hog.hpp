@@ -1,0 +1,87 @@
+#pragma once
+
+#include <vector>
+
+#include "hog/gradient.hpp"
+#include "vision/image.hpp"
+
+namespace pcnn::hog {
+
+/// Configuration of a Histogram-of-Oriented-Gradients extractor.
+///
+/// The two reference configurations used in the paper's Figure 4 are:
+///  - FPGA-HoG: 9 unsigned bins (0-180), weighted voting by magnitude,
+///    fixed-point arithmetic (see FixedPointHog);
+///  - NApprox(fp): 18 signed bins (0-360), voting by count, float math
+///    (see napprox::NApproxHog, which shares this histogram layout).
+/// Both exploit contrast normalization over 2x2-cell blocks with a stride
+/// of one cell, using the L2 norm v / ||v||_2.
+struct HogParams {
+  int cellSize = 8;          ///< pixels per cell edge (paper: 8)
+  int numBins = 9;           ///< orientation bins
+  bool signedOrientation = false;  ///< false: 0-180 deg, true: 0-360 deg
+  bool weightedVote = true;  ///< vote by gradient magnitude (vs. by count)
+  bool bilinearBinning = true;     ///< bilinear interpolation between bins
+  int blockCells = 2;        ///< cells per block edge (paper: 2x2)
+  int blockStrideCells = 1;  ///< block stride in cells (paper: 1)
+  bool l2Normalize = true;   ///< L2 block normalization (elided on TrueNorth)
+  float l2Epsilon = 1e-3f;   ///< epsilon added under the sqrt of the norm
+};
+
+/// A dense grid of per-cell orientation histograms.
+struct CellGrid {
+  int cellsX = 0;
+  int cellsY = 0;
+  int bins = 0;
+  std::vector<float> data;  ///< cellsY * cellsX * bins, row-major
+
+  float* cell(int cx, int cy) {
+    return data.data() + (static_cast<std::size_t>(cy) * cellsX + cx) * bins;
+  }
+  const float* cell(int cx, int cy) const {
+    return data.data() + (static_cast<std::size_t>(cy) * cellsX + cx) * bins;
+  }
+};
+
+/// Reference floating-point HoG extractor (Dalal & Triggs).
+class HogExtractor {
+ public:
+  explicit HogExtractor(const HogParams& params = {});
+
+  const HogParams& params() const { return params_; }
+
+  /// Computes per-cell histograms for the whole image. Cells are
+  /// non-overlapping cellSize x cellSize tiles; partial border cells are
+  /// dropped.
+  CellGrid computeCells(const vision::Image& img) const;
+
+  /// Histogram of a single cell whose top-left pixel is (x0, y0). The
+  /// gradients at the cell border use pixels outside the cell (the paper's
+  /// "10x10 pixels are fed to HoG" for an 8x8 cell).
+  std::vector<float> cellHistogram(const vision::Image& img, int x0,
+                                   int y0) const;
+
+  /// Full window descriptor: overlapping blocks of blockCells^2 cells,
+  /// each block L2-normalized when l2Normalize is set, concatenated.
+  /// For a 64x128 window this yields 7*15*4*numBins features (3780 at 9
+  /// bins; 7560 at 18 bins, the count quoted in the paper).
+  std::vector<float> windowDescriptor(const vision::Image& window) const;
+
+  /// Flat per-cell descriptor with no block structure or normalization --
+  /// the feature layout used when feeding the Eedn classifier, where the
+  /// paper elides block normalization (Section 5). 8*16*numBins features
+  /// for a 64x128 window.
+  std::vector<float> cellDescriptor(const vision::Image& window) const;
+
+  /// Descriptor length of windowDescriptor for the given window size.
+  int descriptorSize(int windowWidth, int windowHeight) const;
+
+  /// Assembles (and optionally normalizes) blocks from a precomputed grid.
+  std::vector<float> blocksFromGrid(const CellGrid& grid) const;
+
+ private:
+  void voteForPixel(float gx, float gy, float* histogram) const;
+  HogParams params_;
+};
+
+}  // namespace pcnn::hog

@@ -1,0 +1,47 @@
+#include "hog/visualize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcnn::hog {
+
+vision::RgbImage renderHogGlyphs(const CellGrid& grid, bool signedOrientation,
+                                 int cellPixels) {
+  vision::RgbImage out(grid.cellsX * cellPixels, grid.cellsY * cellPixels,
+                       0.05f, 0.05f, 0.08f);
+  const float range = signedOrientation ? 2.0f * 3.14159265f : 3.14159265f;
+  const float radius = 0.45f * static_cast<float>(cellPixels);
+  for (int cy = 0; cy < grid.cellsY; ++cy) {
+    for (int cx = 0; cx < grid.cellsX; ++cx) {
+      const float* hist = grid.cell(cx, cy);
+      float total = 0.0f;
+      float maxBin = 0.0f;
+      for (int k = 0; k < grid.bins; ++k) {
+        total += hist[k];
+        maxBin = std::max(maxBin, hist[k]);
+      }
+      if (total <= 0.0f) continue;
+      const float centreX =
+          (static_cast<float>(cx) + 0.5f) * static_cast<float>(cellPixels);
+      const float centreY =
+          (static_cast<float>(cy) + 0.5f) * static_cast<float>(cellPixels);
+      for (int k = 0; k < grid.bins; ++k) {
+        if (hist[k] <= 0.0f) continue;
+        const float gradAngle =
+            range * static_cast<float>(k) / static_cast<float>(grid.bins);
+        // Edge direction is perpendicular to the gradient.
+        const float edgeAngle = gradAngle + 1.57079633f;
+        const float c = std::cos(edgeAngle);
+        const float s = std::sin(edgeAngle);
+        const float w = hist[k] / maxBin;
+        vision::Color color{0.2f + 0.8f * w, 0.2f + 0.8f * w,
+                            0.3f + 0.5f * w};
+        vision::drawLine(out, centreX - radius * c, centreY - radius * s,
+                         centreX + radius * c, centreY + radius * s, color);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pcnn::hog

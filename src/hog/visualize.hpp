@@ -1,0 +1,22 @@
+#pragma once
+
+#include "hog/hog.hpp"
+#include "vision/draw.hpp"
+
+namespace pcnn::hog {
+
+/// Renders the classic HoG "glyph" visualization: for each cell, every
+/// orientation bin is drawn as a line through the cell centre,
+/// perpendicular to the gradient direction (i.e. along the edge it
+/// represents), with brightness proportional to the bin's share of the
+/// cell's total. Works for both unsigned (9-bin) and signed (18-bin)
+/// grids -- signed bins fold onto the same edge direction.
+///
+/// `cellPixels` is the rendered size of one cell (the source cell size is
+/// irrelevant here). Returns a grayscale-ish RGB image of size
+/// (cellsX * cellPixels) x (cellsY * cellPixels).
+vision::RgbImage renderHogGlyphs(const CellGrid& grid,
+                                 bool signedOrientation,
+                                 int cellPixels = 16);
+
+}  // namespace pcnn::hog

@@ -1,0 +1,189 @@
+#include "napprox/corelet.hpp"
+
+#include <stdexcept>
+
+#include "tn/spike_coding.hpp"
+
+namespace pcnn::napprox {
+namespace {
+constexpr int kInhibition = -1000;
+constexpr int kFiredFloor = -1000000;
+/// Stage-2 axon carrying the race-cutoff blanking pulse (the 7 pixel slots
+/// use axons 0..251; 252 is free).
+constexpr int kBlankingAxon = 252;
+}  // namespace
+
+NApproxCorelet::NApproxCorelet(const QuantizedNApproxHog& model)
+    : bins_(model.params().bins),
+      window_(model.quant().spikeWindow),
+      quant_(model.quant()),
+      threshold_(model.effectiveThreshold()),
+      rampThreshold_(model.rampThreshold()),
+      cutoffBucket_(model.cutoffBucket()),
+      cosQ_(model.cosWeights()),
+      sinQ_(model.sinWeights()) {
+  if (model.params().cellSize != kCell) {
+    throw std::invalid_argument("NApproxCorelet: cellSize must be 8");
+  }
+  if (2 * bins_ > tn::kNeuronsPerCore / 2) {
+    throw std::invalid_argument("NApproxCorelet: too many bins");
+  }
+  // The race's last admissible vote fires at stage-1 tick cutoffBucket-1
+  // and reaches the histogram three hops later; counters then need drain
+  // slack to emit queued same-tick votes one per tick.
+  runTicks_ = cutoffBucket_ + 4 + 16;
+  build();
+}
+
+void NApproxCorelet::build() {
+  const int numPixels = kCell * kCell;  // 64 gradient pixels
+  pixelsPerCore1_ = tn::kNeuronsPerCore / bins_;           // 14 at 18 bins
+  pixelsPerCore2_ = tn::kNeuronsPerCore / (2 * bins_);     // 7 at 18 bins
+
+  const int numCores1 = (numPixels + pixelsPerCore1_ - 1) / pixelsPerCore1_;
+  const int numCores2 = (numPixels + pixelsPerCore2_ - 1) / pixelsPerCore2_;
+  const int numCores3 = (numCores2 + 1) / 2;  // two stage-2 cores per counter
+
+  inputAxons_.assign(static_cast<std::size_t>(kSide) * kSide, {});
+  for (int c = 0; c < numCores1; ++c) stage1Cores_.push_back(network_.addCore());
+  for (int c = 0; c < numCores2; ++c) stage2Cores_.push_back(network_.addCore());
+  for (int c = 0; c < numCores3; ++c) stage3Cores_.push_back(network_.addCore());
+
+  // ---- Stage 3: per-direction counters --------------------------------
+  for (int h = 0; h < numCores3; ++h) {
+    tn::Core& core = network_.core(stage3Cores_[h]);
+    for (int a = 0; a < tn::kAxonsPerCore; ++a) core.setAxonType(a, 0);
+    for (int k = 0; k < bins_; ++k) {
+      tn::NeuronConfig& cfg = core.neuron(k);
+      cfg.synapticWeights = {1, 0, 0, 0};
+      cfg.threshold = 1;
+      cfg.resetMode = tn::ResetMode::kLinear;  // one output spike per vote
+      cfg.floorPotential = 0;
+      cfg.recordOutput = true;
+    }
+  }
+
+  // ---- Stages 1 and 2 ---------------------------------------------------
+  for (int p = 0; p < numPixels; ++p) {
+    const int px = p % kCell;
+    const int py = p / kCell;
+    // Input-grid (10x10) coordinates of the four neighbours.
+    const int east = (py + 1) * kSide + (px + 2);
+    const int west = (py + 1) * kSide + px;
+    const int north = py * kSide + (px + 1);
+    const int south = (py + 2) * kSide + (px + 1);
+    const int roles[4] = {east, west, north, south};
+
+    // Stage-1 slot.
+    const int c1 = stage1Cores_[p / pixelsPerCore1_];
+    const int slot1 = p % pixelsPerCore1_;
+    tn::Core& core1 = network_.core(c1);
+    // Four role axons per pixel: E(type0) W(1) N(2) S(3).
+    const int axonBase1 = slot1 * 4;
+    for (int r = 0; r < 4; ++r) {
+      core1.setAxonType(axonBase1 + r, r);
+      inputAxons_[static_cast<std::size_t>(roles[r])].emplace_back(
+          c1, axonBase1 + r);
+    }
+
+    // Stage-2 slot.
+    const int c2Index = p / pixelsPerCore2_;
+    const int c2 = stage2Cores_[c2Index];
+    const int slot2 = p % pixelsPerCore2_;
+    tn::Core& core2 = network_.core(c2);
+    const int axonBase2 = slot2 * 2 * bins_;  // [votes | feedback]
+    for (int k = 0; k < bins_; ++k) {
+      core2.setAxonType(axonBase2 + k, 0);           // vote arrival
+      core2.setAxonType(axonBase2 + bins_ + k, 1);   // recurrent feedback
+    }
+    core2.setAxonType(kBlankingAxon, 2);
+
+    // Stage-3 slot for this pixel's relays.
+    const int c3 = stage3Cores_[c2Index / 2];
+    const int axonBase3 =
+        (c2Index % 2) * (pixelsPerCore2_ * bins_) + slot2 * bins_;
+
+    for (int k = 0; k < bins_; ++k) {
+      // Stage-1 integration + ramp-race neuron (pixel p, direction k).
+      {
+        const int n = slot1 * bins_ + k;
+        tn::NeuronConfig& cfg = core1.neuron(n);
+        cfg.synapticWeights = {cosQ_[k], -cosQ_[k], sinQ_[k], -sinQ_[k]};
+        cfg.leak = quant_.rampLeak;        // the race ramp
+        cfg.threshold = rampThreshold_;    // unreachable during the window
+        cfg.resetMode = tn::ResetMode::kAbsolute;
+        cfg.resetValue = kFiredFloor;  // fire-once
+        cfg.floorPotential = 2 * kFiredFloor;
+        cfg.dest = tn::Destination{c2, axonBase2 + k, 1};
+        for (int r = 0; r < 4; ++r) {
+          core1.setConnection(axonBase1 + r, n, true);
+        }
+      }
+      // Stage-2 winner neuron (latched WTA; the blanking axon -- type 2 --
+      // closes the latch when the race passes the vote threshold).
+      {
+        const int n = slot2 * 2 * bins_ + k;
+        tn::NeuronConfig& cfg = core2.neuron(n);
+        cfg.synapticWeights = {1, kInhibition, kInhibition, 0};
+        cfg.threshold = 1;
+        cfg.resetMode = tn::ResetMode::kAbsolute;
+        cfg.resetValue = 0;
+        cfg.dest = tn::Destination{c2, axonBase2 + bins_ + k, 1};
+        core2.setConnection(axonBase2 + k, n, true);
+        for (int j = 0; j < bins_; ++j) {
+          core2.setConnection(axonBase2 + bins_ + j, n, true);
+        }
+        core2.setConnection(kBlankingAxon, n, true);
+      }
+      // Stage-2 relay neuron (forwards the winning vote to the counter).
+      {
+        const int n = slot2 * 2 * bins_ + bins_ + k;
+        tn::NeuronConfig& cfg = core2.neuron(n);
+        cfg.synapticWeights = {0, 1, 0, 0};
+        cfg.threshold = 1;
+        cfg.resetMode = tn::ResetMode::kAbsolute;
+        cfg.resetValue = 0;
+        cfg.floorPotential = 0;
+        cfg.dest = tn::Destination{c3, axonBase3 + k, 1};
+        core2.setConnection(axonBase2 + bins_ + k, n, true);
+        // Route this relay's stage-3 axon to counter k.
+        network_.core(c3).setConnection(axonBase3 + k, k, true);
+      }
+    }
+  }
+}
+
+std::vector<float> NApproxCorelet::extract(const vision::Image& img, int x0,
+                                           int y0) {
+  network_.reset(true);
+
+  // Inject rate-coded input spike trains, duplicated to every role axon.
+  for (int y = 0; y < kSide; ++y) {
+    for (int x = 0; x < kSide; ++x) {
+      const auto& targets = inputAxons_[static_cast<std::size_t>(y) * kSide + x];
+      if (targets.empty()) continue;
+      const float v = img.atClamped(x0 - 1 + x, y0 - 1 + y);
+      for (long t : tn::rateCodeTicks(v, window_)) {
+        for (const auto& [core, axon] : targets) {
+          network_.scheduleInput(t, core, axon);
+        }
+      }
+    }
+  }
+
+  // Blanking pulse: stage-1 votes fired at race tick cutoffBucket-1 arrive
+  // at stage 2 at tick cutoffBucket; anything later is suppressed.
+  for (int c2 : stage2Cores_) {
+    network_.scheduleInput(cutoffBucket_ + 1, c2, kBlankingAxon);
+  }
+
+  lastRun_ = network_.run(runTicks_);
+
+  std::vector<float> histogram(static_cast<std::size_t>(bins_), 0.0f);
+  for (const tn::OutputSpike& spike : lastRun_.outputSpikes) {
+    histogram[static_cast<std::size_t>(spike.neuron)] += 1.0f;
+  }
+  return histogram;
+}
+
+}  // namespace pcnn::napprox

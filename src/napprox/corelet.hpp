@@ -1,0 +1,88 @@
+#pragma once
+
+#include <vector>
+
+#include "napprox/quantized.hpp"
+#include "tn/corelet.hpp"
+#include "tn/network.hpp"
+#include "vision/image.hpp"
+
+namespace pcnn::napprox {
+
+/// TrueNorth corelet computing the NApprox HoG histogram of one 8x8 cell
+/// from its 10x10 pixel input neighbourhood.
+///
+/// Three stages, all built from the chip's primitives (paper Table 1):
+///
+///  1. *Integration + ramp race* (pattern matching, inner product, and
+///     comparison): per gradient pixel and direction k, a neuron with
+///     synaptic LUT (+cos_k, -cos_k, +sin_k, -sin_k) over axon types
+///     E/W/N/S accumulates Ix*cos_k + Iy*sin_k from the rate-coded input
+///     spikes -- the paper's "clock signals to accumulate the weighted sum
+///     for multiple clock ticks in the membrane potentials, so that we can
+///     provide more precise inner-product results". A constant positive
+///     leak plus a threshold no membrane can reach during the input window
+///     turns the readout into a race: once inputs stop, the *largest*
+///     projection crosses threshold *first* (comparison by timing),
+///     realising the paper's argmax angle computation.
+///  2. *Winner-take-all*: per pixel, the first arriving direction spike
+///     latches the winner and recurrent -1000 feedback suppresses the
+///     rest; same-tick ties all pass. A blanking pulse at the race tick
+///     corresponding to the vote threshold closes the latch, so pixels
+///     with no sufficiently strong projection cast no vote. A relay
+///     neuron per direction forwards the winning vote (fan-out-1
+///     discipline).
+///  3. *Histogram* (count binning): per-direction counter neurons with
+///     linear reset emit one spike per received vote; the output spike
+///     count over the run window is the 18-bin histogram.
+///
+/// The tick-accurate QuantizedNApproxHog is the software twin of this
+/// corelet; tests assert bit-exact agreement and the V1 experiment
+/// reproduces the paper's >99.5 % hardware-vs-software correlation.
+class NApproxCorelet {
+ public:
+  /// Builds the corelet using the model's quantized weights, threshold and
+  /// spike window.
+  explicit NApproxCorelet(const QuantizedNApproxHog& model);
+
+  /// Runs the corelet on the cell whose top-left pixel is (x0, y0) and
+  /// returns the 18-bin histogram (vote counts). Resets network state
+  /// between calls.
+  std::vector<float> extract(const vision::Image& img, int x0, int y0);
+
+  int coreCount() const { return network_.coreCount(); }
+  int ticksPerCell() const { return runTicks_; }
+  tn::Network& network() { return network_; }
+
+  /// Spike statistics of the most recent extract() (for energy reports).
+  const tn::RunResult& lastRun() const { return lastRun_; }
+
+ private:
+  static constexpr int kCell = 8;
+  static constexpr int kSide = kCell + 2;  ///< 10x10 input neighbourhood
+
+  int bins_;
+  int window_;
+  int runTicks_;
+  QuantizedParams quant_;
+  int threshold_;
+  int rampThreshold_;
+  int cutoffBucket_;
+  std::vector<int> cosQ_, sinQ_;
+
+  tn::Network network_{99};
+  tn::RunResult lastRun_;
+
+  // Geometry.
+  int pixelsPerCore1_;
+  int pixelsPerCore2_;
+  std::vector<int> stage1Cores_, stage2Cores_, stage3Cores_;
+  /// inputAxons_[inputPixel] = (core, axon) axon bindings for each of the
+  /// 100 input lines (one line fans out to every role-axon representing
+  /// that pixel).
+  std::vector<std::vector<std::pair<int, int>>> inputAxons_;
+  /// Output decode: counterLocation_[core3Index] maps neuron k -> bin k.
+  void build();
+};
+
+}  // namespace pcnn::napprox

@@ -1,0 +1,52 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcnn::nn {
+
+std::vector<float> Relu::forward(const std::vector<float>& input, bool train) {
+  if (static_cast<int>(input.size()) != size_) {
+    throw std::invalid_argument("Relu::forward: size mismatch");
+  }
+  std::vector<float> out(input.size());
+  if (train) mask_.assign(input.size(), 0.0f);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (input[i] > 0.0f) {
+      out[i] = input[i];
+      if (train) mask_[i] = 1.0f;
+    }
+  }
+  return out;
+}
+
+std::vector<float> Relu::backward(const std::vector<float>& gradOutput) {
+  std::vector<float> gradIn(gradOutput.size());
+  for (std::size_t i = 0; i < gradOutput.size(); ++i) {
+    gradIn[i] = gradOutput[i] * mask_[i];
+  }
+  return gradIn;
+}
+
+std::vector<float> Sigmoid::forward(const std::vector<float>& input,
+                                    bool train) {
+  if (static_cast<int>(input.size()) != size_) {
+    throw std::invalid_argument("Sigmoid::forward: size mismatch");
+  }
+  std::vector<float> out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-input[i]));
+  }
+  if (train) outputCache_ = out;
+  return out;
+}
+
+std::vector<float> Sigmoid::backward(const std::vector<float>& gradOutput) {
+  std::vector<float> gradIn(gradOutput.size());
+  for (std::size_t i = 0; i < gradOutput.size(); ++i) {
+    gradIn[i] = gradOutput[i] * outputCache_[i] * (1.0f - outputCache_[i]);
+  }
+  return gradIn;
+}
+
+}  // namespace pcnn::nn

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace pcnn::nn {
+
+/// Rectified linear unit (baseline activation for unconstrained networks).
+class Relu : public Layer {
+ public:
+  explicit Relu(int size) : size_(size) {}
+  std::vector<float> forward(const std::vector<float>& input,
+                             bool train) override;
+  std::vector<float> backward(const std::vector<float>& gradOutput) override;
+  int inputSize() const override { return size_; }
+  int outputSize() const override { return size_; }
+
+ private:
+  int size_;
+  std::vector<float> mask_;
+};
+
+/// Logistic sigmoid, used where a bounded [0,1] output is needed (e.g. the
+/// float-parrot ablation).
+class Sigmoid : public Layer {
+ public:
+  explicit Sigmoid(int size) : size_(size) {}
+  std::vector<float> forward(const std::vector<float>& input,
+                             bool train) override;
+  std::vector<float> backward(const std::vector<float>& gradOutput) override;
+  int inputSize() const override { return size_; }
+  int outputSize() const override { return size_; }
+
+ private:
+  int size_;
+  std::vector<float> outputCache_;
+};
+
+}  // namespace pcnn::nn

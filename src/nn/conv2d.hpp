@@ -1,0 +1,43 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace pcnn::nn {
+
+/// Plain 2-D convolution over CHW-flattened vectors. Stride 1, optional
+/// zero padding. Provided for the CNN form of the Eedn networks; the
+/// partitioned experiments mostly use dense/grouped layers, but convolution
+/// is part of the substrate the paper's classifier family (Esser et al.)
+/// is built from.
+class Conv2d : public Layer {
+ public:
+  Conv2d(int inChannels, int inHeight, int inWidth, int outChannels,
+         int kernel, int padding, Rng& rng);
+
+  std::vector<float> forward(const std::vector<float>& input,
+                             bool train) override;
+  std::vector<float> backward(const std::vector<float>& gradOutput) override;
+  void applyGradients(float learningRate, float momentum, int batch) override;
+
+  int inputSize() const override { return inC_ * inH_ * inW_; }
+  int outputSize() const override { return outC_ * outH_ * outW_; }
+  long parameterCount() const override {
+    return static_cast<long>(outC_) * inC_ * k_ * k_ + outC_;
+  }
+
+  int outHeight() const { return outH_; }
+  int outWidth() const { return outW_; }
+  std::vector<float>& weights() { return w_; }  ///< outC x inC x k x k
+
+ private:
+  float& wAt(int oc, int ic, int ky, int kx) {
+    return w_[((static_cast<std::size_t>(oc) * inC_ + ic) * k_ + ky) * k_ +
+              kx];
+  }
+  int inC_, inH_, inW_, outC_, k_, pad_, outH_, outW_;
+  std::vector<float> w_, b_, gradW_, gradB_, momW_, momB_;
+  std::vector<float> inputCache_;
+};
+
+}  // namespace pcnn::nn

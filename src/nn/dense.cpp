@@ -1,0 +1,74 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcnn::nn {
+
+Dense::Dense(int inputSize, int outputSize, Rng& rng, float initScale)
+    : in_(inputSize), out_(outputSize) {
+  if (inputSize <= 0 || outputSize <= 0) {
+    throw std::invalid_argument("Dense: sizes must be positive");
+  }
+  const float scale = initScale > 0.0f
+                          ? initScale
+                          : std::sqrt(2.0f / static_cast<float>(inputSize));
+  w_.resize(static_cast<std::size_t>(in_) * out_);
+  for (float& v : w_) v = scale * static_cast<float>(rng.normal());
+  b_.assign(static_cast<std::size_t>(out_), 0.0f);
+  gradW_.assign(w_.size(), 0.0f);
+  gradB_.assign(b_.size(), 0.0f);
+  momW_.assign(w_.size(), 0.0f);
+  momB_.assign(b_.size(), 0.0f);
+}
+
+std::vector<float> Dense::forward(const std::vector<float>& input,
+                                  bool train) {
+  if (static_cast<int>(input.size()) != in_) {
+    throw std::invalid_argument("Dense::forward: input size mismatch");
+  }
+  if (train) inputCache_ = input;
+  std::vector<float> out(static_cast<std::size_t>(out_));
+  for (int j = 0; j < out_; ++j) {
+    const float* row = w_.data() + static_cast<std::size_t>(j) * in_;
+    float acc = b_[j];
+    for (int i = 0; i < in_; ++i) acc += row[i] * input[i];
+    out[j] = acc;
+  }
+  return out;
+}
+
+std::vector<float> Dense::backward(const std::vector<float>& gradOutput) {
+  if (static_cast<int>(gradOutput.size()) != out_) {
+    throw std::invalid_argument("Dense::backward: grad size mismatch");
+  }
+  std::vector<float> gradIn(static_cast<std::size_t>(in_), 0.0f);
+  for (int j = 0; j < out_; ++j) {
+    const float g = gradOutput[j];
+    if (g == 0.0f) continue;
+    const float* row = w_.data() + static_cast<std::size_t>(j) * in_;
+    float* gRow = gradW_.data() + static_cast<std::size_t>(j) * in_;
+    for (int i = 0; i < in_; ++i) {
+      gradIn[i] += row[i] * g;
+      gRow[i] += inputCache_[i] * g;
+    }
+    gradB_[j] += g;
+  }
+  return gradIn;
+}
+
+void Dense::applyGradients(float learningRate, float momentum, int batch) {
+  const float scale = 1.0f / static_cast<float>(batch > 0 ? batch : 1);
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    momW_[i] = momentum * momW_[i] - learningRate * gradW_[i] * scale;
+    w_[i] += momW_[i];
+    gradW_[i] = 0.0f;
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    momB_[i] = momentum * momB_[i] - learningRate * gradB_[i] * scale;
+    b_[i] += momB_[i];
+    gradB_[i] = 0.0f;
+  }
+}
+
+}  // namespace pcnn::nn

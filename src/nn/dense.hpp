@@ -1,0 +1,39 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace pcnn::nn {
+
+/// Fully connected layer: y = W x + b with float weights (the unconstrained
+/// baseline against which the Eedn trinary layers are compared).
+class Dense : public Layer {
+ public:
+  Dense(int inputSize, int outputSize, Rng& rng, float initScale = 0.0f);
+
+  std::vector<float> forward(const std::vector<float>& input,
+                             bool train) override;
+  std::vector<float> backward(const std::vector<float>& gradOutput) override;
+  void applyGradients(float learningRate, float momentum, int batch) override;
+
+  int inputSize() const override { return in_; }
+  int outputSize() const override { return out_; }
+  long parameterCount() const override {
+    return static_cast<long>(in_) * out_ + out_;
+  }
+
+  std::vector<float>& weights() { return w_; }           ///< out x in, row-major
+  const std::vector<float>& weights() const { return w_; }
+  std::vector<float>& biases() { return b_; }
+  const std::vector<float>& biases() const { return b_; }
+
+ private:
+  int in_;
+  int out_;
+  std::vector<float> w_, b_;
+  std::vector<float> gradW_, gradB_;
+  std::vector<float> momW_, momB_;
+  std::vector<float> inputCache_;
+};
+
+}  // namespace pcnn::nn

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+namespace pcnn::nn {
+
+/// Minimal single-sample layer interface used by the from-scratch training
+/// framework. Layers cache what they need in forward() and consume it in
+/// backward(); gradients accumulate across samples until applyGradients()
+/// (mini-batch SGD by accumulation).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `train` enables caching for backward().
+  virtual std::vector<float> forward(const std::vector<float>& input,
+                                     bool train) = 0;
+
+  /// Consumes dLoss/dOutput, accumulates parameter gradients, and returns
+  /// dLoss/dInput.
+  virtual std::vector<float> backward(const std::vector<float>& gradOutput) = 0;
+
+  /// SGD step with momentum over the accumulated gradients (averaged over
+  /// `batch` samples), then clears them. Layers without parameters ignore it.
+  virtual void applyGradients(float learningRate, float momentum, int batch) {
+    (void)learningRate;
+    (void)momentum;
+    (void)batch;
+  }
+
+  virtual int inputSize() const = 0;
+  virtual int outputSize() const = 0;
+
+  /// Number of learnable parameters (0 for stateless layers).
+  virtual long parameterCount() const { return 0; }
+};
+
+}  // namespace pcnn::nn

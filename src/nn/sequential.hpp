@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace pcnn::nn {
+
+/// Ordered stack of layers with whole-network forward/backward/update.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; checks size compatibility with the previous layer.
+  void add(std::unique_ptr<Layer> layer) {
+    if (!layers_.empty() &&
+        layers_.back()->outputSize() != layer->inputSize()) {
+      throw std::invalid_argument("Sequential: layer size mismatch");
+    }
+    layers_.push_back(std::move(layer));
+  }
+
+  std::vector<float> forward(const std::vector<float>& input,
+                             bool train) override {
+    std::vector<float> x = input;
+    for (auto& layer : layers_) x = layer->forward(x, train);
+    return x;
+  }
+
+  std::vector<float> backward(const std::vector<float>& gradOutput) override {
+    std::vector<float> g = gradOutput;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->backward(g);
+    }
+    return g;
+  }
+
+  void applyGradients(float learningRate, float momentum, int batch) override {
+    for (auto& layer : layers_) {
+      layer->applyGradients(learningRate, momentum, batch);
+    }
+  }
+
+  int inputSize() const override {
+    return layers_.empty() ? 0 : layers_.front()->inputSize();
+  }
+  int outputSize() const override {
+    return layers_.empty() ? 0 : layers_.back()->outputSize();
+  }
+  long parameterCount() const override {
+    long count = 0;
+    for (const auto& layer : layers_) count += layer->parameterCount();
+    return count;
+  }
+
+  std::size_t layerCount() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace pcnn::nn

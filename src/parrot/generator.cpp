@@ -1,0 +1,127 @@
+#include "parrot/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vision/synth.hpp"
+
+namespace pcnn::parrot {
+namespace {
+constexpr int kSide = 10;
+constexpr float kTwoPi = 6.28318530717958647692f;
+
+napprox::NApproxParams referenceParams(int bins) {
+  napprox::NApproxParams p;
+  p.bins = bins;
+  return p;
+}
+}  // namespace
+
+OrientedSampleGenerator::OrientedSampleGenerator(const GeneratorParams& params)
+    : params_(params), reference_(referenceParams(params.bins)) {}
+
+vision::Image OrientedSampleGenerator::patch(Rng& rng) const {
+  vision::Image img(kSide, kSide, 0.0f);
+  const double roll = rng.uniform();
+  if (roll < params_.textureProbability) {
+    // Smooth texture patch: already gray-level, returned directly.
+    const float base = 0.2f + 0.6f * static_cast<float>(rng.uniform());
+    img = vision::valueNoise(kSide, kSide, 3 + rng.uniformInt(0, 3), base,
+                             0.05f + 0.15f * static_cast<float>(rng.uniform()),
+                             rng);
+    if (params_.noiseSigma > 0.0f) {
+      vision::addGaussianNoise(img, params_.noiseSigma, rng);
+    }
+    return img;
+  }
+  if (roll < params_.textureProbability + params_.randomProbability) {
+    // Unstructured patch: teaches the parrot what "no dominant
+    // orientation" looks like.
+    for (float& v : img.data()) {
+      v = rng.bernoulli(rng.uniform()) ? 1.0f : 0.0f;
+    }
+  } else {
+    const float theta = static_cast<float>(rng.uniform(0.0, kTwoPi));
+    const float c = std::cos(theta);
+    const float s = std::sin(theta);
+    const float fill = static_cast<float>(
+        rng.uniform(params_.minFill, params_.maxFill));
+    const bool grating =
+        rng.uniform() < static_cast<double>(params_.gratingProbability);
+    // Project each pixel on the edge normal; a step edge thresholds the
+    // projection at a fill-dependent offset, a grating thresholds a
+    // sinusoid of the projection.
+    const float period = 3.0f + 5.0f * static_cast<float>(rng.uniform());
+    const float phase = static_cast<float>(rng.uniform(0.0, kTwoPi));
+    // Offset such that `fill` of the projection range is foreground.
+    const float span = 0.5f * static_cast<float>(kSide) *
+                       (std::abs(c) + std::abs(s));
+    const float offset = span * (1.0f - 2.0f * fill);
+    for (int y = 0; y < kSide; ++y) {
+      for (int x = 0; x < kSide; ++x) {
+        const float proj = c * (static_cast<float>(x) - 4.5f) +
+                           s * (static_cast<float>(y) - 4.5f);
+        bool on;
+        if (grating) {
+          on = std::sin(proj * kTwoPi / period + phase) >
+               (1.0f - 2.0f * fill);
+        } else {
+          on = proj > offset;
+        }
+        img.at(x, y) = on ? 1.0f : 0.0f;
+      }
+    }
+  }
+  // Salt-and-pepper corruption.
+  if (params_.noiseFlipProbability > 0.0f) {
+    for (float& v : img.data()) {
+      if (rng.bernoulli(params_.noiseFlipProbability)) v = 1.0f - v;
+    }
+  }
+  if (params_.grayLevels) {
+    // Map the binary pattern onto random gray levels with noise so the
+    // training distribution matches deployed cell content.
+    const float contrast =
+        params_.minContrast +
+        (params_.maxContrast - params_.minContrast) *
+            static_cast<float>(rng.uniform());
+    const float lo = params_.minLevel +
+                     (params_.maxLevel - params_.minLevel - contrast) *
+                         static_cast<float>(rng.uniform());
+    for (float& v : img.data()) {
+      v = lo + contrast * v +
+          params_.noiseSigma * static_cast<float>(rng.normal());
+    }
+    img.clampValues(0.0f, 1.0f);
+  }
+  return img;
+}
+
+ParrotSample OrientedSampleGenerator::sample(Rng& rng) const {
+  ParrotSample out;
+  const vision::Image img = patch(rng);
+  out.pixels = img.data();
+
+  // Reference histogram of the central 8x8 cell, in raw vote counts
+  // (0..64). Count scale keeps the regression targets on the integer
+  // granularity the trinary network's outputs naturally have.
+  out.target = reference_.cellHistogram(img, 1, 1);
+  float best = 0.0f;
+  for (std::size_t k = 0; k < out.target.size(); ++k) {
+    if (out.target[k] > best) {
+      best = out.target[k];
+      out.dominantBin = static_cast<int>(k);
+    }
+  }
+  return out;
+}
+
+std::vector<ParrotSample> OrientedSampleGenerator::batch(int count,
+                                                         Rng& rng) const {
+  std::vector<ParrotSample> samples;
+  samples.reserve(static_cast<std::size_t>(std::max(0, count)));
+  for (int i = 0; i < count; ++i) samples.push_back(sample(rng));
+  return samples;
+}
+
+}  // namespace pcnn::parrot

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "napprox/napprox.hpp"
+#include "vision/image.hpp"
+
+namespace pcnn::parrot {
+
+/// One labelled parrot-training sample: a 10x10 pixel patch (the input
+/// neighbourhood of an 8x8 cell) and the reference HoG histogram the parrot
+/// must learn to emit (normalized to [0, 1]).
+struct ParrotSample {
+  std::vector<float> pixels;  ///< 100 values in [0, 1]
+  std::vector<float> target;  ///< `bins` reference vote counts in [0, 64]
+  int dominantBin = -1;       ///< argmax of target, -1 if empty histogram
+};
+
+/// Parameters of the random sample generator (paper Figure 3).
+struct GeneratorParams {
+  int bins = 18;
+  float noiseFlipProbability = 0.03f;  ///< salt-and-pepper corruption
+  float minFill = 0.15f;  ///< min fraction of 1s ("different ratio of 1's
+                          ///< and 0's so that the extractor learns to deal
+                          ///< with samples with offsets")
+  float maxFill = 0.85f;
+  float gratingProbability = 0.3f;  ///< use a periodic grating vs step edge
+  float randomProbability = 0.05f;  ///< unstructured random patch
+  /// Smooth value-noise texture patches: cells in deployment are often
+  /// texture rather than clean edges, and the parrot must mimic the
+  /// reference histogram there too.
+  float textureProbability = 0.25f;
+  /// Gray-level rendering: the binary pattern is mapped to random
+  /// foreground/background intensities with additive Gaussian noise, so
+  /// the parrot sees the distribution the deployed extractor sees --
+  /// including low-contrast patches whose reference histogram is (nearly)
+  /// empty. Set grayLevels=false for the paper-figure binary patterns.
+  bool grayLevels = true;
+  float minLevel = 0.05f;
+  float maxLevel = 0.9f;
+  float minContrast = 0.02f;  ///< deliberately spans below the vote
+                              ///< threshold so "no vote" cells are learned
+  float maxContrast = 0.5f;
+  float noiseSigma = 0.02f;
+};
+
+/// Generates randomly oriented, automatically labelled training data for
+/// the Parrot HoG. "Automatic generation of labeled data is possible
+/// because HoG is a well-defined function of the input pixels" (Sec. 3.2):
+/// the label is the reference NApprox(fp) histogram of the generated patch.
+class OrientedSampleGenerator {
+ public:
+  explicit OrientedSampleGenerator(const GeneratorParams& params = {});
+
+  /// One random sample (the full 8x8-cell input field -- the paper found
+  /// the first layer must see all inputs of the cell).
+  ParrotSample sample(Rng& rng) const;
+
+  /// A batch of samples.
+  std::vector<ParrotSample> batch(int count, Rng& rng) const;
+
+  /// Renders the 10x10 patch only (exposed for tests).
+  vision::Image patch(Rng& rng) const;
+
+  const GeneratorParams& params() const { return params_; }
+
+ private:
+  GeneratorParams params_;
+  napprox::NApproxHog reference_;
+};
+
+}  // namespace pcnn::parrot

@@ -1,0 +1,195 @@
+#include "parrot/parrot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "eedn/partitioned.hpp"
+#include "eedn/trinary.hpp"
+#include "nn/loss.hpp"
+
+namespace pcnn::parrot {
+namespace {
+constexpr int kPatchSize = 100;  // 10x10 input field
+}
+
+ParrotHog::ParrotHog(const ParrotConfig& config)
+    : config_(config), rng_(config.seed), codingRng_(config.seed ^ 0xABCDu) {
+  if (config.hiddenWidth <= 0 || config.mergeGroupInput <= 0 ||
+      config.mergeGroupInput > 127 || config.mergeOutputsPerGroup <= 0) {
+    throw std::invalid_argument("ParrotHog: invalid layer sizes");
+  }
+  const int mergeGroups =
+      (config.hiddenWidth + config.mergeGroupInput - 1) /
+      config.mergeGroupInput;
+  const int mergeWidth = mergeGroups * config.mergeOutputsPerGroup;
+  if (mergeWidth > 127) {
+    throw std::invalid_argument(
+        "ParrotHog: merged width exceeds the 127-input TrueNorth mapping "
+        "limit of the output stage (reduce hiddenWidth or "
+        "mergeOutputsPerGroup)");
+  }
+  net_.add(std::make_unique<eedn::TrinaryDense>(kPatchSize,
+                                                config.hiddenWidth, rng_,
+                                                config.tau));
+  net_.add(std::make_unique<eedn::SpikingThreshold>(
+      config.hiddenWidth, std::sqrt(static_cast<float>(kPatchSize))));
+  net_.add(std::make_unique<eedn::PartitionedDense>(
+      config.hiddenWidth, config.mergeGroupInput,
+      config.mergeOutputsPerGroup, rng_, config.tau));
+  net_.add(std::make_unique<eedn::SpikingThreshold>(
+      mergeWidth, std::sqrt(static_cast<float>(config.mergeGroupInput))));
+  net_.add(std::make_unique<eedn::TrinaryDense>(mergeWidth, config.bins,
+                                                rng_, config.tau));
+}
+
+int ParrotHog::mappedCoresPerCell() const {
+  const int hiddenCores = (config_.hiddenWidth + 127) / 128;
+  const int mergeCores =
+      (config_.hiddenWidth + config_.mergeGroupInput - 1) /
+      config_.mergeGroupInput;
+  return hiddenCores + mergeCores + 1;
+}
+
+std::vector<float> ParrotHog::encodeInput(const std::vector<float>& patch) {
+  if (config_.inputSpikes <= 0) return patch;
+  std::vector<float> coded(patch.size());
+  const int k = config_.inputSpikes;
+  for (std::size_t i = 0; i < patch.size(); ++i) {
+    const float v = std::clamp(patch[i], 0.0f, 1.0f);
+    int spikes = 0;
+    for (int s = 0; s < k; ++s) {
+      if (codingRng_.bernoulli(v)) ++spikes;
+    }
+    coded[i] = static_cast<float>(spikes) / static_cast<float>(k);
+  }
+  return coded;
+}
+
+std::vector<float> ParrotHog::infer(const std::vector<float>& patch) {
+  if (static_cast<int>(patch.size()) != kPatchSize) {
+    throw std::invalid_argument("ParrotHog::infer: patch must be 10x10");
+  }
+  return net_.forward(encodeInput(patch), false);
+}
+
+float ParrotHog::train(const OrientedSampleGenerator& generator,
+                       int numSamples, int epochs, float learningRate,
+                       float momentum) {
+  const std::vector<ParrotSample> samples = generator.batch(numSamples, rng_);
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  float lastEpochLoss = 0.0f;
+  constexpr int kBatch = 16;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(
+                    rng_.uniformInt(0, static_cast<int>(i) - 1))]);
+    }
+    double lossSum = 0.0;
+    int inBatch = 0;
+    for (std::size_t idx : order) {
+      const ParrotSample& sample = samples[idx];
+      // Training uses exact inputs; spike coding is a deployment-time
+      // representation choice (the Fig. 6 sweep).
+      const std::vector<float> out = net_.forward(sample.pixels, true);
+      const nn::LossResult loss = nn::mseLoss(out, sample.target);
+      lossSum += loss.value;
+      net_.backward(loss.grad);
+      if (++inBatch == kBatch) {
+        net_.applyGradients(learningRate, momentum, inBatch);
+        inBatch = 0;
+      }
+    }
+    if (inBatch > 0) net_.applyGradients(learningRate, momentum, inBatch);
+    lastEpochLoss =
+        static_cast<float>(lossSum / static_cast<double>(samples.size()));
+  }
+  return lastEpochLoss;
+}
+
+float ParrotHog::validate(const OrientedSampleGenerator& generator,
+                          int numSamples) {
+  const std::vector<ParrotSample> samples = generator.batch(numSamples, rng_);
+  double lossSum = 0.0;
+  for (const ParrotSample& sample : samples) {
+    const std::vector<float> out = infer(sample.pixels);
+    lossSum += nn::mseLoss(out, sample.target).value;
+  }
+  return samples.empty() ? 0.0f
+                         : static_cast<float>(
+                               lossSum / static_cast<double>(samples.size()));
+}
+
+double ParrotHog::dominantBinAccuracy(const OrientedSampleGenerator& generator,
+                                      int numSamples) {
+  const std::vector<ParrotSample> samples = generator.batch(numSamples, rng_);
+  int evaluated = 0;
+  int correct = 0;
+  for (const ParrotSample& sample : samples) {
+    if (sample.dominantBin < 0) continue;
+    const std::vector<float> out = infer(sample.pixels);
+    const int predicted = static_cast<int>(
+        std::max_element(out.begin(), out.end()) - out.begin());
+    ++evaluated;
+    if (predicted == sample.dominantBin) ++correct;
+  }
+  return evaluated > 0
+             ? static_cast<double>(correct) / static_cast<double>(evaluated)
+             : 0.0;
+}
+
+std::vector<float> ParrotHog::cellHistogram(const vision::Image& img, int x0,
+                                            int y0) {
+  std::vector<float> patch(static_cast<std::size_t>(kPatchSize));
+  int i = 0;
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      patch[i++] = img.atClamped(x0 - 1 + x, y0 - 1 + y);
+    }
+  }
+  std::vector<float> out = infer(patch);
+  // The parrot regresses vote counts directly; clamp to the physical range
+  // (a cell casts at most 64 votes) so features match NApprox's scale.
+  for (float& v : out) v = std::clamp(v, 0.0f, 64.0f);
+  return out;
+}
+
+hog::CellGrid ParrotHog::computeCells(const vision::Image& img) {
+  hog::CellGrid grid;
+  grid.cellsX = img.width() / 8;
+  grid.cellsY = img.height() / 8;
+  grid.bins = config_.bins;
+  grid.data.reserve(static_cast<std::size_t>(grid.cellsX) * grid.cellsY *
+                    grid.bins);
+  for (int cy = 0; cy < grid.cellsY; ++cy) {
+    for (int cx = 0; cx < grid.cellsX; ++cx) {
+      const std::vector<float> hist = cellHistogram(img, cx * 8, cy * 8);
+      grid.data.insert(grid.data.end(), hist.begin(), hist.end());
+    }
+  }
+  return grid;
+}
+
+std::vector<float> ParrotHog::cellDescriptor(const vision::Image& window) {
+  hog::CellGrid grid = computeCells(window);
+  return std::move(grid.data);
+}
+
+std::vector<float> ParrotHog::windowDescriptor(const vision::Image& window,
+                                               bool l2Normalize) {
+  hog::HogParams hp;
+  hp.cellSize = 8;
+  hp.numBins = config_.bins;
+  hp.signedOrientation = true;
+  hp.blockCells = 2;
+  hp.blockStrideCells = 1;
+  hp.l2Normalize = l2Normalize;
+  const hog::HogExtractor assembler(hp);
+  return assembler.blocksFromGrid(computeCells(window));
+}
+
+}  // namespace pcnn::parrot

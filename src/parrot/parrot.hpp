@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hog/hog.hpp"
+#include "nn/sequential.hpp"
+#include "parrot/generator.hpp"
+#include "vision/image.hpp"
+
+namespace pcnn::parrot {
+
+/// Configuration of the Parrot HoG cell network.
+///
+/// Three trinary stages sized to deploy on ~9 TrueNorth cores (the paper's
+/// parrot module uses 8 cores per cell):
+///   TrinaryDense(100 -> hiddenWidth)            4 cores (128-neuron chunks)
+///   PartitionedDense(hiddenWidth/mergeGroupInput groups -> merge width)
+///                                               4 cores
+///   TrinaryDense(merge width -> bins)           1 core
+struct ParrotConfig {
+  int bins = 18;
+  int hiddenWidth = 504;       ///< <= 504 so the merged width stays <= 127
+  int mergeGroupInput = 126;   ///< crossbar fan-in of the merge stage
+  int mergeOutputsPerGroup = 26;
+  float tau = 0.5f;            ///< trinarization dead zone
+  std::uint64_t seed = 21;
+  /// Stochastic input coding window in spikes: 0 = exact (float) inputs;
+  /// k > 0 replaces each pixel v by Binomial(k, v)/k, the rate the
+  /// hardware's k-spike stochastic code delivers (paper Fig. 6 sweeps
+  /// 32-spike down to 1-spike).
+  int inputSpikes = 0;
+  /// Cores per 8x8 cell for the resource/power accounting. The paper's
+  /// parrot design uses 8 cores per cell; our smaller mapped net uses 2 --
+  /// both are reported, and the power model defaults to the paper's value.
+  int paperCoresPerCell = 8;
+};
+
+/// The Parrot HoG: a small Eedn network trained to mimic NApprox HoG cell
+/// histograms ("parrot transformation", Sec. 3.2). The first layer sees
+/// the cell's entire 10x10 input field -- the paper found training fails
+/// when the first layer receives only local subsets. The paper uses a
+/// 2-layer, 8-core module; our deployment-mappable equivalent needs a
+/// grouped merge stage between the wide hidden bank and the output stage
+/// (fan-in limits of the two-axon sign encoding), landing at 9 cores.
+class ParrotHog {
+ public:
+  explicit ParrotHog(const ParrotConfig& config = {});
+
+  const ParrotConfig& config() const { return config_; }
+
+  /// Trains against randomly generated labelled samples. Returns the final
+  /// epoch's mean MSE loss.
+  float train(const OrientedSampleGenerator& generator, int numSamples,
+              int epochs, float learningRate, float momentum = 0.9f);
+
+  /// Mean per-bin MSE on freshly generated validation samples.
+  float validate(const OrientedSampleGenerator& generator, int numSamples);
+
+  /// Fraction of validation samples whose predicted dominant bin matches
+  /// the reference dominant bin ("classifier accuracy" in Fig. 6).
+  double dominantBinAccuracy(const OrientedSampleGenerator& generator,
+                             int numSamples);
+
+  /// Histogram (confidences scaled back to vote counts, i.e. x64) of the
+  /// cell whose top-left pixel is (x0, y0).
+  std::vector<float> cellHistogram(const vision::Image& img, int x0, int y0);
+
+  /// Per-cell feature grid over a whole image (layout matches
+  /// hog::CellGrid so downstream classifiers are extractor-agnostic).
+  hog::CellGrid computeCells(const vision::Image& img);
+
+  /// Flat cell features of a window (Eedn classifier path, no block norm).
+  std::vector<float> cellDescriptor(const vision::Image& window);
+
+  /// Block-normalized window descriptor (SVM path).
+  std::vector<float> windowDescriptor(const vision::Image& window,
+                                      bool l2Normalize = true);
+
+  /// Raw network output for a 100-pixel patch: per-bin vote-count
+  /// estimates on the reference histogram's 0..64 scale.
+  std::vector<float> infer(const std::vector<float>& patch);
+
+  /// Changes the input spike coding without retraining.
+  void setInputSpikes(int spikes) { config_.inputSpikes = spikes; }
+
+  nn::Sequential& net() { return net_; }
+
+  /// TrueNorth cores per cell for this network when mapped.
+  int mappedCoresPerCell() const;
+
+ private:
+  std::vector<float> encodeInput(const std::vector<float>& patch);
+  ParrotConfig config_;
+  pcnn::Rng rng_;
+  pcnn::Rng codingRng_;
+  nn::Sequential net_;
+};
+
+}  // namespace pcnn::parrot

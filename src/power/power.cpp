@@ -1,0 +1,81 @@
+#include "power/power.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcnn::power {
+
+PowerEstimate TrueNorthPowerModel::napprox(const FullHdWorkload& workload,
+                                           int spikeWindow,
+                                           int coresPerModule,
+                                           double overheadTicks) const {
+  if (spikeWindow <= 0 || coresPerModule <= 0) {
+    throw std::invalid_argument("napprox: bad parameters");
+  }
+  PowerEstimate estimate;
+  estimate.approach = "NApprox HoG on TrueNorth";
+  estimate.signalResolution =
+      std::to_string(spikeWindow) + "-spike (" +
+      std::to_string(static_cast<int>(std::log2(spikeWindow))) + "-bit)";
+  estimate.cellsPerSecondPerModule =
+      1000.0 / (static_cast<double>(spikeWindow) + overheadTicks);
+  estimate.modules =
+      std::ceil(workload.cellsPerSecond() / estimate.cellsPerSecondPerModule);
+  estimate.cores =
+      static_cast<long>(estimate.modules) * static_cast<long>(coresPerModule);
+  estimate.chips = static_cast<double>(estimate.cores) / kCoresPerChip;
+  estimate.watts = static_cast<double>(estimate.cores) * corePowerWatts();
+  return estimate;
+}
+
+PowerEstimate TrueNorthPowerModel::parrot(const FullHdWorkload& workload,
+                                          int spikes,
+                                          int coresPerModule) const {
+  if (spikes <= 0 || coresPerModule <= 0) {
+    throw std::invalid_argument("parrot: bad parameters");
+  }
+  PowerEstimate estimate;
+  estimate.approach = "Parrot HoG on TrueNorth";
+  const int bits = std::max(1, static_cast<int>(std::round(std::log2(spikes)) )) ;
+  estimate.signalResolution = std::to_string(spikes) + "-spike (" +
+                              std::to_string(spikes == 1 ? 1 : bits) +
+                              "-bit)";
+  // Stochastic coding emits output every tick; a window of `spikes` ticks
+  // bounds one cell's latency, so each module streams 1000/spikes cells/s.
+  estimate.cellsPerSecondPerModule = 1000.0 / static_cast<double>(spikes);
+  estimate.modules =
+      std::ceil(workload.cellsPerSecond() / estimate.cellsPerSecondPerModule);
+  estimate.cores =
+      static_cast<long>(estimate.modules) * static_cast<long>(coresPerModule);
+  estimate.chips = static_cast<double>(estimate.cores) / kCoresPerChip;
+  estimate.watts = static_cast<double>(estimate.cores) * corePowerWatts();
+  return estimate;
+}
+
+std::vector<PowerEstimate> table2(const FullHdWorkload& workload) {
+  const TrueNorthPowerModel model;
+  const FpgaPowerModel fpga;
+  std::vector<PowerEstimate> rows;
+
+  PowerEstimate fpgaRow;
+  fpgaRow.approach = "High-precision HoG on FPGA";
+  fpgaRow.signalResolution = std::to_string(fpga.bits) + "-bit";
+  fpgaRow.watts = fpga.systemWatts;  // system; logic-only is 1.12 W
+  rows.push_back(fpgaRow);
+
+  rows.push_back(model.napprox(workload));
+  rows.push_back(model.parrot(workload, 32));
+  rows.push_back(model.parrot(workload, 4));
+  rows.push_back(model.parrot(workload, 1));
+  return rows;
+}
+
+std::pair<double, double> napproxOverParrotRatio(
+    const FullHdWorkload& workload) {
+  const TrueNorthPowerModel model;
+  const double napproxWatts = model.napprox(workload).watts;
+  return {napproxWatts / model.parrot(workload, 32).watts,
+          napproxWatts / model.parrot(workload, 1).watts};
+}
+
+}  // namespace pcnn::power

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcnn::power {
+
+/// The paper's full-HD workload (Sec. 5.2): sliding windows at six scales
+/// (1.1x apart), processed in 8x8-pixel cells, 26 fps for parity with the
+/// reconfigurable-hardware baseline [1].
+struct FullHdWorkload {
+  int fps = 26;
+  /// Cells per scale layer: {240x135, 160x90, 106x60, 71x40, 47x26, 31x17}.
+  std::vector<std::pair<int, int>> cellGrid = {
+      {240, 135}, {160, 90}, {106, 60}, {71, 40}, {47, 26}, {31, 17}};
+
+  /// 57,749 cells per image in the paper.
+  long cellsPerFrame() const {
+    long cells = 0;
+    for (const auto& [w, h] : cellGrid) cells += static_cast<long>(w) * h;
+    return cells;
+  }
+  /// ~1.5 million cells/second at 26 fps.
+  double cellsPerSecond() const {
+    return static_cast<double>(cellsPerFrame()) * fps;
+  }
+};
+
+/// A deployment estimate for one feature-extraction approach.
+struct PowerEstimate {
+  std::string approach;
+  std::string signalResolution;
+  double modules = 0.0;        ///< parallel extractor module instances
+  double cellsPerSecondPerModule = 0.0;
+  long cores = 0;
+  double chips = 0.0;
+  double watts = 0.0;
+};
+
+/// TrueNorth power model: 4096 cores at 65 mW per chip (Akopyan et al.),
+/// i.e. ~15.9 uW per core. Power scales with provisioned cores.
+class TrueNorthPowerModel {
+ public:
+  static constexpr double kChipWatts = 65e-3;
+  static constexpr int kCoresPerChip = 4096;
+  static constexpr double kTickMilliseconds = 1.0;  ///< 1 ms per tick
+
+  static double corePowerWatts() { return kChipWatts / kCoresPerChip; }
+
+  /// NApprox deployment: rate-coded inputs accumulate for `spikeWindow`
+  /// ticks (64 = 6-bit precision), so one module finishes a cell every
+  /// spikeWindow + overhead ticks (~15 cells/s at 64 spikes, matching the
+  /// paper). The paper's module uses 26 cores.
+  PowerEstimate napprox(const FullHdWorkload& workload, int spikeWindow = 64,
+                        int coresPerModule = 26,
+                        double overheadTicks = 8.0 / 3.0) const;
+
+  /// Parrot deployment: stochastic coding over `spikes` ticks, output every
+  /// tick once the pipeline fills, so throughput is ~1000/spikes cells/s
+  /// (31 cells/s at 32 spikes, 1000 cells/s at 1 spike). 8 cores per cell
+  /// module in the paper's design.
+  PowerEstimate parrot(const FullHdWorkload& workload, int spikes,
+                       int coresPerModule = 8) const;
+};
+
+/// FPGA baseline constants measured in the paper (Virtex-7 690T with a
+/// CAPI interface, synthesized with Vivado): HoG logic alone 1.12 W, full
+/// system 8.6 W at 16-bit precision.
+struct FpgaPowerModel {
+  double logicWatts = 1.12;
+  double systemWatts = 8.6;
+  int bits = 16;
+};
+
+/// All rows of the paper's Table 2 for the given workload.
+std::vector<PowerEstimate> table2(const FullHdWorkload& workload = {});
+
+/// Power ratio range quoted in the abstract: NApprox watts divided by
+/// Parrot watts at 32- and 1-spike coding (6.5x .. 208x).
+std::pair<double, double> napproxOverParrotRatio(
+    const FullHdWorkload& workload = {});
+
+}  // namespace pcnn::power

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "svm/linear_svm.hpp"
+#include "vision/image.hpp"
+#include "vision/sliding_window.hpp"
+
+namespace pcnn::svm {
+
+/// Extracts a feature descriptor from a detection window.
+using WindowExtractor =
+    std::function<std::vector<float>(const vision::Image&)>;
+
+/// Parameters of the hard-negative mining loop.
+struct MiningParams {
+  int rounds = 1;              ///< re-training rounds after the initial fit
+  float mineThreshold = 0.0f;  ///< negatives scoring above this are mined
+  int maxMinedPerScene = 40;   ///< cap per negative scene
+  vision::SlidingWindowParams scan;  ///< how negative scenes are scanned
+};
+
+/// Result of training with mining.
+struct MiningResult {
+  int minedNegatives = 0;
+  double finalTrainAccuracy = 0.0;
+};
+
+/// Trains `svm` on the given positive/negative windows, then augments the
+/// negative set with false positives mined from person-free scenes and
+/// retrains -- the paper's protocol: "after the training of an SVM model is
+/// completed, we go through negative training images to filter false
+/// positives, to augment the SVM model as negatives" (Sec. 4).
+MiningResult trainWithHardNegatives(
+    LinearSvm& svm, const WindowExtractor& extractor,
+    const std::vector<vision::Image>& positiveWindows,
+    const std::vector<vision::Image>& negativeWindows,
+    const std::vector<vision::Image>& negativeScenes,
+    const MiningParams& params = {});
+
+}  // namespace pcnn::svm

@@ -1,0 +1,56 @@
+#include "svm/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pcnn::svm {
+
+void saveModel(const LinearSvm& model, std::ostream& out) {
+  if (!model.trained()) {
+    throw std::invalid_argument("saveModel: model is untrained");
+  }
+  out << "pcnn-svm-v1 " << model.weights().size() << '\n';
+  out << model.params().C << ' ' << model.params().biasScale << '\n';
+  out.precision(17);
+  out << model.bias() << '\n';
+  for (double w : model.weights()) out << w << ' ';
+  out << '\n';
+  if (!out) throw std::runtime_error("saveModel: write failure");
+}
+
+LinearSvm loadModel(std::istream& in) {
+  std::string magic;
+  std::size_t dim = 0;
+  if (!(in >> magic >> dim) || magic != "pcnn-svm-v1") {
+    throw std::runtime_error("loadModel: bad header");
+  }
+  SvmParams params;
+  if (!(in >> params.C >> params.biasScale)) {
+    throw std::runtime_error("loadModel: bad params");
+  }
+  double bias = 0.0;
+  if (!(in >> bias)) throw std::runtime_error("loadModel: bad bias");
+  std::vector<double> weights(dim);
+  for (double& w : weights) {
+    if (!(in >> w)) throw std::runtime_error("loadModel: truncated weights");
+  }
+  LinearSvm model(params);
+  model.setModel(std::move(weights), bias);
+  return model;
+}
+
+void saveModelFile(const LinearSvm& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveModelFile: cannot open " + path);
+  saveModel(model, out);
+}
+
+LinearSvm loadModelFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadModelFile: cannot open " + path);
+  return loadModel(in);
+}
+
+}  // namespace pcnn::svm

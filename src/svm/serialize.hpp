@@ -1,0 +1,20 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "svm/linear_svm.hpp"
+
+namespace pcnn::svm {
+
+/// Text serialization of a trained linear SVM (weights + bias). The
+/// training parameters are stored for provenance but a loaded model is
+/// inference-only until retrained.
+void saveModel(const LinearSvm& model, std::ostream& out);
+LinearSvm loadModel(std::istream& in);
+
+/// File wrappers; throw std::runtime_error on I/O failure.
+void saveModelFile(const LinearSvm& model, const std::string& path);
+LinearSvm loadModelFile(const std::string& path);
+
+}  // namespace pcnn::svm

@@ -1,0 +1,119 @@
+#include "tn/core.hpp"
+
+#include <stdexcept>
+
+namespace pcnn::tn {
+
+Core::Core() { pendingAxons_.reserve(kAxonsPerCore); }
+
+int Core::checkAxon(int axon) {
+  if (axon < 0 || axon >= kAxonsPerCore) {
+    throw std::out_of_range("Core: axon index out of range");
+  }
+  return axon;
+}
+
+int Core::checkNeuron(int neuron) {
+  if (neuron < 0 || neuron >= kNeuronsPerCore) {
+    throw std::out_of_range("Core: neuron index out of range");
+  }
+  return neuron;
+}
+
+void Core::setAxonType(int axon, int type) {
+  if (type < 0 || type >= kAxonTypes) {
+    throw std::invalid_argument("Core: axon type must be 0..3");
+  }
+  axonTypes_[checkAxon(axon)] = static_cast<std::uint8_t>(type);
+}
+
+void Core::setConnection(int axon, int neuron, bool connected) {
+  conn_[checkAxon(axon)][checkNeuron(neuron)] = connected;
+}
+
+bool Core::connection(int axon, int neuron) const {
+  return conn_[checkAxon(axon)][checkNeuron(neuron)];
+}
+
+NeuronConfig& Core::neuron(int index) {
+  quiescent_ = false;  // caller may mutate the configuration
+  return neurons_[checkNeuron(index)];
+}
+
+const NeuronConfig& Core::neuron(int index) const {
+  return neurons_[checkNeuron(index)];
+}
+
+void Core::deliverSpike(int axon) {
+  checkAxon(axon);
+  quiescent_ = false;
+  if (!pendingMask_[axon]) {
+    pendingMask_[axon] = true;
+    pendingAxons_.push_back(axon);
+  }
+}
+
+int Core::potential(int neuron) const { return potentials_[checkNeuron(neuron)]; }
+
+void Core::setPotential(int neuron, int value) {
+  quiescent_ = false;
+  potentials_[checkNeuron(neuron)] = value;
+}
+
+long Core::synapseCount() const {
+  long count = 0;
+  for (const auto& row : conn_) count += static_cast<long>(row.count());
+  return count;
+}
+
+void Core::tick(Rng& rng, std::vector<int>& fired) {
+  if (quiescent_ && pendingAxons_.empty()) return;
+  const bool integrated = !pendingAxons_.empty();
+
+  // 1. Synaptic integration: for every spiking axon, add the LUT weight to
+  //    each connected neuron.
+  for (int axon : pendingAxons_) {
+    const int type = axonTypes_[axon];
+    const auto& row = conn_[axon];
+    if (row.none()) continue;
+    for (int n = 0; n < kNeuronsPerCore; ++n) {
+      if (row[n]) potentials_[n] += neurons_[n].synapticWeights[type];
+    }
+  }
+  pendingAxons_.clear();
+  pendingMask_.reset();
+
+  // 2. Leak, floor clamp, threshold, fire, reset.
+  bool anyDynamics = false;  // leak or stochastic threshold present
+  bool anyFired = false;
+  for (int n = 0; n < kNeuronsPerCore; ++n) {
+    NeuronConfig& cfg = neurons_[n];
+    if (cfg.leak != 0 || cfg.stochasticThreshold) anyDynamics = true;
+    int& v = potentials_[n];
+    v += cfg.leak;
+    if (v < cfg.floorPotential) v = cfg.floorPotential;
+
+    int effectiveThreshold = cfg.threshold;
+    if (cfg.stochasticThreshold && cfg.stochasticMask > 0) {
+      effectiveThreshold += rng.uniformInt(0, cfg.stochasticMask);
+    }
+    if (v >= effectiveThreshold) {
+      fired.push_back(n);
+      anyFired = true;
+      ++firedCount_;
+      switch (cfg.resetMode) {
+        case ResetMode::kAbsolute:
+          v = cfg.resetValue;
+          break;
+        case ResetMode::kLinear:
+          v -= cfg.threshold;
+          break;
+        case ResetMode::kNone:
+          break;
+      }
+    }
+  }
+  quiescent_ = !integrated && !anyDynamics && !anyFired;
+}
+
+}  // namespace pcnn::tn

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <bitset>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tn/types.hpp"
+
+namespace pcnn::tn {
+
+/// One neurosynaptic core: a 256x256 binary crossbar between axons (input
+/// lines) and neurons (output lines). Each axon carries one of four types;
+/// each neuron holds a 4-entry signed weight LUT, so the effective synaptic
+/// weight at crossbar point (axon i, neuron j) is
+/// conn(i,j) * weights_j[type_i], exactly the TrueNorth abstraction.
+class Core {
+ public:
+  Core();
+
+  /// --- configuration ---------------------------------------------------
+  void setAxonType(int axon, int type);
+  int axonType(int axon) const { return axonTypes_[checkAxon(axon)]; }
+  void setConnection(int axon, int neuron, bool connected);
+  bool connection(int axon, int neuron) const;
+  NeuronConfig& neuron(int index);
+  const NeuronConfig& neuron(int index) const;
+
+  /// --- runtime ----------------------------------------------------------
+  /// Marks an axon as carrying a spike for the next tick() call.
+  void deliverSpike(int axon);
+
+  /// Advances one tick: integrates pending axon spikes into membrane
+  /// potentials, applies leak, fires neurons at or above threshold, and
+  /// appends fired neuron indices to `fired`. Clears the axon buffer.
+  void tick(Rng& rng, std::vector<int>& fired);
+
+  int potential(int neuron) const;
+  void setPotential(int neuron, int value);
+
+  /// Total number of spikes this core's neurons have fired since the last
+  /// clearActivity() (activity proxy for the dynamic-power model).
+  long firedCount() const { return firedCount_; }
+  void clearActivity() { firedCount_ = 0; }
+
+  /// Number of configured (non-empty) crossbar connections.
+  long synapseCount() const;
+
+ private:
+  static int checkAxon(int axon);
+  static int checkNeuron(int neuron);
+
+  std::array<std::uint8_t, kAxonsPerCore> axonTypes_{};
+  /// conn_[axon] = bitset over neurons connected to that axon.
+  std::array<std::bitset<kNeuronsPerCore>, kAxonsPerCore> conn_{};
+  std::array<NeuronConfig, kNeuronsPerCore> neurons_{};
+  std::array<int, kNeuronsPerCore> potentials_{};
+  std::vector<int> pendingAxons_;
+  std::bitset<kAxonsPerCore> pendingMask_;
+  long firedCount_ = 0;
+  /// True when the previous tick integrated nothing, fired nothing, and no
+  /// neuron carries leak or a stochastic threshold: the core's state can
+  /// only change when a new spike arrives, so tick() can return
+  /// immediately. Cleared by any configuration or potential mutation.
+  bool quiescent_ = false;
+};
+
+}  // namespace pcnn::tn

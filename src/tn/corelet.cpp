@@ -1,0 +1,58 @@
+#include "tn/corelet.hpp"
+
+#include <stdexcept>
+
+namespace pcnn::tn {
+
+void CoreletBuilder::wire(int srcCore, int srcNeuron, int dstCore,
+                          int dstAxon, int delay) {
+  NeuronConfig& cfg = net_.core(srcCore).neuron(srcNeuron);
+  if (cfg.dest.core >= 0) {
+    throw std::logic_error(
+        "CoreletBuilder: neuron already wired (one destination per neuron); "
+        "use a splitter core for fan-out");
+  }
+  if (delay < 1 || delay > kMaxDelayTicks) {
+    throw std::invalid_argument("CoreletBuilder: delay must be 1..15");
+  }
+  net_.core(dstCore);  // range check
+  cfg.dest = Destination{dstCore, dstAxon, delay};
+}
+
+int CoreletBuilder::addInput(std::string name) {
+  inputs_.push_back(InputLine{std::move(name), {}});
+  return static_cast<int>(inputs_.size()) - 1;
+}
+
+void CoreletBuilder::bindInput(int inputIndex, int core, int axon) {
+  if (inputIndex < 0 || inputIndex >= static_cast<int>(inputs_.size())) {
+    throw std::out_of_range("CoreletBuilder: bad input index");
+  }
+  net_.core(core);  // range check
+  inputs_[inputIndex].targets.emplace_back(core, axon);
+}
+
+int CoreletBuilder::addOutput(std::string name, int core, int neuron) {
+  net_.core(core).neuron(neuron).recordOutput = true;
+  outputs_.push_back(OutputLine{std::move(name), core, neuron});
+  return static_cast<int>(outputs_.size()) - 1;
+}
+
+void CoreletBuilder::injectSpike(int inputIndex, long tick) {
+  if (inputIndex < 0 || inputIndex >= static_cast<int>(inputs_.size())) {
+    throw std::out_of_range("CoreletBuilder: bad input index");
+  }
+  for (const auto& [core, axon] : inputs_[inputIndex].targets) {
+    net_.scheduleInput(tick, core, axon);
+  }
+}
+
+int CoreletBuilder::checkWeight(int weight) {
+  if (weight < -256 || weight > 255) {
+    throw std::invalid_argument(
+        "CoreletBuilder: synaptic weight exceeds 9-bit signed range");
+  }
+  return weight;
+}
+
+}  // namespace pcnn::tn

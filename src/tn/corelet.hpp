@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tn/network.hpp"
+
+namespace pcnn::tn {
+
+/// Named handle to an external input line of a corelet: one logical input
+/// channel may fan out to several (core, axon) targets, mirroring how the
+/// corelet environment duplicates off-chip input streams.
+struct InputLine {
+  std::string name;
+  std::vector<std::pair<int, int>> targets;  ///< (core, axon)
+};
+
+/// Named handle to an output neuron of a corelet.
+struct OutputLine {
+  std::string name;
+  int core = -1;
+  int neuron = -1;
+};
+
+/// Helper for building corelets: hierarchical, named sub-networks of cores
+/// (Amir et al., "corelet language"). Tracks allocation within cores and
+/// enforces the single-destination-per-neuron rule.
+class CoreletBuilder {
+ public:
+  explicit CoreletBuilder(Network& net) : net_(net) {}
+
+  Network& network() { return net_; }
+
+  /// Allocates a fresh core and returns its index.
+  int newCore() { return net_.addCore(); }
+
+  /// Routes neuron (srcCore, srcNeuron) to axon (dstCore, dstAxon).
+  /// Throws std::logic_error if the neuron already has a destination
+  /// (TrueNorth neurons have exactly one output target).
+  void wire(int srcCore, int srcNeuron, int dstCore, int dstAxon,
+            int delay = 1);
+
+  /// Declares a named external input that will be duplicated to the given
+  /// targets; returns its index in inputs().
+  int addInput(std::string name);
+  void bindInput(int inputIndex, int core, int axon);
+
+  /// Flags a neuron as a recorded output line and names it.
+  int addOutput(std::string name, int core, int neuron);
+
+  const std::vector<InputLine>& inputs() const { return inputs_; }
+  const std::vector<OutputLine>& outputs() const { return outputs_; }
+
+  /// Schedules a spike on logical input line `inputIndex` at `tick`,
+  /// duplicating to every bound (core, axon) target.
+  void injectSpike(int inputIndex, long tick);
+
+  /// Range-checks a synaptic weight against the chip's 9-bit signed field.
+  static int checkWeight(int weight);
+
+ private:
+  Network& net_;
+  std::vector<InputLine> inputs_;
+  std::vector<OutputLine> outputs_;
+};
+
+}  // namespace pcnn::tn

@@ -1,0 +1,31 @@
+#include "tn/energy.hpp"
+
+namespace pcnn::tn {
+
+EnergyReport estimateEnergy(const Network& network, const RunResult& run,
+                            const EnergyParams& params) {
+  EnergyReport report;
+  report.seconds = static_cast<double>(run.ticksRun) * params.tickSeconds;
+  report.spikes = run.totalSpikes;
+  report.staticJoules = params.staticWattsPerCore *
+                        static_cast<double>(network.coreCount()) *
+                        report.seconds;
+
+  // Charge each core's fired spikes at that core's mean crossbar fan-out.
+  double synapticEvents = 0.0;
+  for (int c = 0; c < network.coreCount(); ++c) {
+    const Core& core = network.core(c);
+    const long fired = core.firedCount();
+    if (fired == 0) continue;
+    const double meanFanOut =
+        static_cast<double>(core.synapseCount()) / kAxonsPerCore;
+    synapticEvents += static_cast<double>(fired) * meanFanOut;
+  }
+  report.synapticEvents = static_cast<long>(synapticEvents);
+  report.dynamicJoules = synapticEvents * params.joulesPerSpike;
+  report.watts =
+      report.seconds > 0.0 ? report.totalJoules() / report.seconds : 0.0;
+  return report;
+}
+
+}  // namespace pcnn::tn

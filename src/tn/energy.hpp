@@ -1,0 +1,41 @@
+#pragma once
+
+#include "tn/network.hpp"
+
+namespace pcnn::tn {
+
+/// Event-driven energy model for a simulated run.
+///
+/// TrueNorth's power splits into a near-constant leakage/clock baseline
+/// and an activity component proportional to spike traffic. Merolla et
+/// al. (Science 2014) report ~26 pJ per synaptic event and 65 mW for a
+/// fully loaded chip; at typical workloads the baseline dominates, which
+/// is why the paper's Table 2 scales power with provisioned cores. This
+/// model exposes both components so benches can report how far a given
+/// corelet's activity sits from the provisioned-power ceiling.
+struct EnergyParams {
+  double staticWattsPerCore = 65e-3 / 4096;  ///< leakage + clock baseline
+  double joulesPerSpike = 26e-12;  ///< per synaptic event (Merolla 2014)
+  double tickSeconds = 1e-3;       ///< 1 ms tick
+};
+
+struct EnergyReport {
+  double staticJoules = 0.0;
+  double dynamicJoules = 0.0;
+  double totalJoules() const { return staticJoules + dynamicJoules; }
+  /// Average power over the run.
+  double watts = 0.0;
+  double seconds = 0.0;
+  long spikes = 0;
+  long synapticEvents = 0;
+};
+
+/// Estimates the energy of a completed run on `network`.
+///
+/// Synaptic events are approximated as spikes x mean fan-out; we use the
+/// configured synapse count per core to bound fan-out, which is an upper
+/// estimate (every spike is charged for its core's densest row).
+EnergyReport estimateEnergy(const Network& network, const RunResult& run,
+                            const EnergyParams& params = {});
+
+}  // namespace pcnn::tn

@@ -1,0 +1,172 @@
+#include "tn/model_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pcnn::tn {
+namespace {
+
+int resetModeToInt(ResetMode mode) {
+  switch (mode) {
+    case ResetMode::kAbsolute:
+      return 0;
+    case ResetMode::kLinear:
+      return 1;
+    case ResetMode::kNone:
+      return 2;
+  }
+  return 0;
+}
+
+ResetMode intToResetMode(int value) {
+  switch (value) {
+    case 0:
+      return ResetMode::kAbsolute;
+    case 1:
+      return ResetMode::kLinear;
+    case 2:
+      return ResetMode::kNone;
+    default:
+      throw std::runtime_error("loadModel: bad reset mode");
+  }
+}
+
+/// A neuron is worth storing when any field differs from the default.
+bool isDefault(const NeuronConfig& cfg) {
+  const NeuronConfig def;
+  return cfg.synapticWeights == def.synapticWeights &&
+         cfg.leak == def.leak && cfg.threshold == def.threshold &&
+         cfg.resetValue == def.resetValue &&
+         cfg.resetMode == def.resetMode &&
+         cfg.floorPotential == def.floorPotential &&
+         cfg.stochasticThreshold == def.stochasticThreshold &&
+         cfg.stochasticMask == def.stochasticMask &&
+         cfg.dest.core == def.dest.core && cfg.dest.axon == def.dest.axon &&
+         cfg.dest.delay == def.dest.delay &&
+         cfg.recordOutput == def.recordOutput;
+}
+
+}  // namespace
+
+void saveModel(const Network& network, std::ostream& out) {
+  out << "pcnn-tn-v1 " << network.coreCount() << '\n';
+  for (int c = 0; c < network.coreCount(); ++c) {
+    const Core& core = network.core(c);
+    out << "core " << c << '\n';
+
+    out << "axontypes";
+    for (int a = 0; a < kAxonsPerCore; ++a) out << ' ' << core.axonType(a);
+    out << '\n';
+
+    // Sparse crossbar rows: "conn <axon> <n connections> <neurons...>".
+    for (int a = 0; a < kAxonsPerCore; ++a) {
+      int count = 0;
+      for (int n = 0; n < kNeuronsPerCore; ++n) {
+        if (core.connection(a, n)) ++count;
+      }
+      if (count == 0) continue;
+      out << "conn " << a << ' ' << count;
+      for (int n = 0; n < kNeuronsPerCore; ++n) {
+        if (core.connection(a, n)) out << ' ' << n;
+      }
+      out << '\n';
+    }
+
+    for (int n = 0; n < kNeuronsPerCore; ++n) {
+      const NeuronConfig& cfg = core.neuron(n);
+      if (isDefault(cfg)) continue;
+      out << "neuron " << n;
+      for (int w : cfg.synapticWeights) out << ' ' << w;
+      out << ' ' << cfg.leak << ' ' << cfg.threshold << ' '
+          << cfg.resetValue << ' ' << resetModeToInt(cfg.resetMode) << ' '
+          << cfg.floorPotential << ' '
+          << (cfg.stochasticThreshold ? 1 : 0) << ' ' << cfg.stochasticMask
+          << ' ' << cfg.dest.core << ' ' << cfg.dest.axon << ' '
+          << cfg.dest.delay << ' ' << (cfg.recordOutput ? 1 : 0) << '\n';
+    }
+    out << "endcore\n";
+  }
+  if (!out) throw std::runtime_error("saveModel: write failure");
+}
+
+std::unique_ptr<Network> loadModel(std::istream& in, std::uint64_t seed) {
+  std::string magic;
+  int coreCount = 0;
+  if (!(in >> magic >> coreCount) || magic != "pcnn-tn-v1" ||
+      coreCount < 0) {
+    throw std::runtime_error("loadModel: bad header");
+  }
+  auto network = std::make_unique<Network>(seed);
+  for (int c = 0; c < coreCount; ++c) network->addCore();
+
+  std::string tag;
+  int currentCore = -1;
+  while (in >> tag) {
+    if (tag == "core") {
+      if (!(in >> currentCore) || currentCore < 0 ||
+          currentCore >= coreCount) {
+        throw std::runtime_error("loadModel: bad core index");
+      }
+    } else if (tag == "axontypes") {
+      if (currentCore < 0) throw std::runtime_error("loadModel: stray tag");
+      Core& core = network->core(currentCore);
+      for (int a = 0; a < kAxonsPerCore; ++a) {
+        int type = 0;
+        if (!(in >> type)) throw std::runtime_error("loadModel: truncated");
+        core.setAxonType(a, type);
+      }
+    } else if (tag == "conn") {
+      if (currentCore < 0) throw std::runtime_error("loadModel: stray tag");
+      Core& core = network->core(currentCore);
+      int axon = 0, count = 0;
+      if (!(in >> axon >> count)) {
+        throw std::runtime_error("loadModel: bad conn row");
+      }
+      for (int i = 0; i < count; ++i) {
+        int neuron = 0;
+        if (!(in >> neuron)) throw std::runtime_error("loadModel: truncated");
+        core.setConnection(axon, neuron, true);
+      }
+    } else if (tag == "neuron") {
+      if (currentCore < 0) throw std::runtime_error("loadModel: stray tag");
+      Core& core = network->core(currentCore);
+      int index = 0;
+      if (!(in >> index)) throw std::runtime_error("loadModel: bad neuron");
+      NeuronConfig cfg;
+      int resetMode = 0, stochastic = 0, record = 0;
+      if (!(in >> cfg.synapticWeights[0] >> cfg.synapticWeights[1] >>
+            cfg.synapticWeights[2] >> cfg.synapticWeights[3] >> cfg.leak >>
+            cfg.threshold >> cfg.resetValue >> resetMode >>
+            cfg.floorPotential >> stochastic >> cfg.stochasticMask >>
+            cfg.dest.core >> cfg.dest.axon >> cfg.dest.delay >> record)) {
+        throw std::runtime_error("loadModel: truncated neuron");
+      }
+      cfg.resetMode = intToResetMode(resetMode);
+      cfg.stochasticThreshold = stochastic != 0;
+      cfg.recordOutput = record != 0;
+      core.neuron(index) = cfg;
+    } else if (tag == "endcore") {
+      currentCore = -1;
+    } else {
+      throw std::runtime_error("loadModel: unknown tag " + tag);
+    }
+  }
+  return network;
+}
+
+void saveModelFile(const Network& network, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveModelFile: cannot open " + path);
+  saveModel(network, out);
+}
+
+std::unique_ptr<Network> loadModelFile(const std::string& path,
+                                       std::uint64_t seed) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadModelFile: cannot open " + path);
+  return loadModel(in, seed);
+}
+
+}  // namespace pcnn::tn

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "tn/network.hpp"
+
+namespace pcnn::tn {
+
+/// Text "model file" serialization of a configured network -- the analogue
+/// of the corelet environment's model files, which are "runnable on both
+/// the TrueNorth hardware and a validated simulator (1:1 mapping)"
+/// (Sec. 2.2). Everything static is stored: axon types, crossbar
+/// connections (sparse row encoding), and full neuron configurations
+/// including destinations. Runtime state (potentials, pending spikes,
+/// tick) is not part of a model file.
+void saveModel(const Network& network, std::ostream& out);
+
+/// Reconstructs a network from a model file; the RNG seed controls the
+/// stochastic-threshold draws of the new instance.
+std::unique_ptr<Network> loadModel(std::istream& in,
+                                   std::uint64_t seed = 1);
+
+/// File wrappers; throw std::runtime_error on I/O failure.
+void saveModelFile(const Network& network, const std::string& path);
+std::unique_ptr<Network> loadModelFile(const std::string& path,
+                                       std::uint64_t seed = 1);
+
+}  // namespace pcnn::tn

@@ -1,0 +1,109 @@
+#include "tn/network.hpp"
+
+#include <stdexcept>
+
+namespace pcnn::tn {
+
+Network::Network(std::uint64_t seed) : rng_(seed) {
+  queues_.resize(kMaxDelayTicks + 1);
+}
+
+int Network::addCore() {
+  cores_.push_back(std::make_unique<Core>());
+  return static_cast<int>(cores_.size()) - 1;
+}
+
+Core& Network::core(int index) {
+  if (index < 0 || index >= coreCount()) {
+    throw std::out_of_range("Network: core index out of range");
+  }
+  return *cores_[index];
+}
+
+const Core& Network::core(int index) const {
+  if (index < 0 || index >= coreCount()) {
+    throw std::out_of_range("Network: core index out of range");
+  }
+  return *cores_[index];
+}
+
+void Network::scheduleInput(long tick, int coreIndex, int axon) {
+  if (tick < now_) {
+    throw std::invalid_argument("Network: input scheduled in the past");
+  }
+  if (tick - now_ > kMaxDelayTicks) {
+    // Far-future inputs are legal for the host environment; the hardware
+    // buffers them off-chip. We keep a single ring, so clamp usage: callers
+    // schedule at most kMaxDelayTicks ahead per run() step. To stay simple
+    // and correct, store far events in an overflow list.
+    overflow_.push_back({tick, coreIndex, axon});
+    return;
+  }
+  queues_[tick % (kMaxDelayTicks + 1)].push_back({tick, coreIndex, axon});
+}
+
+RunResult Network::run(long ticks) {
+  RunResult result;
+  for (long step = 0; step < ticks; ++step) {
+    // Move due overflow events into the ring.
+    for (std::size_t i = 0; i < overflow_.size();) {
+      if (overflow_[i].tick - now_ <= kMaxDelayTicks) {
+        queues_[overflow_[i].tick % (kMaxDelayTicks + 1)].push_back(
+            overflow_[i]);
+        overflow_[i] = overflow_.back();
+        overflow_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    // 1. Deliver spikes due this tick.
+    auto& due = queues_[now_ % (kMaxDelayTicks + 1)];
+    for (const PendingSpike& spike : due) {
+      if (spike.tick != now_) continue;  // stale slot from a different lap
+      if (spike.core >= 0 && spike.core < coreCount()) {
+        cores_[spike.core]->deliverSpike(spike.axon);
+      }
+    }
+    due.clear();
+
+    // 2/3. Tick every core; route fired spikes.
+    for (int c = 0; c < coreCount(); ++c) {
+      firedScratch_.clear();
+      cores_[c]->tick(rng_, firedScratch_);
+      result.totalSpikes += static_cast<long>(firedScratch_.size());
+      for (int n : firedScratch_) {
+        const NeuronConfig& cfg = cores_[c]->neuron(n);
+        if (cfg.recordOutput) {
+          result.outputSpikes.push_back({now_, c, n});
+        }
+        if (cfg.dest.core >= 0) {
+          const int delay = cfg.dest.delay;
+          if (delay < 1 || delay > kMaxDelayTicks) {
+            throw std::logic_error("Network: destination delay out of range");
+          }
+          const long arrive = now_ + delay;
+          queues_[arrive % (kMaxDelayTicks + 1)].push_back(
+              {arrive, cfg.dest.core, cfg.dest.axon});
+        }
+      }
+    }
+    ++now_;
+  }
+  result.ticksRun = ticks;
+  return result;
+}
+
+void Network::reset(bool resetTime) {
+  for (auto& queue : queues_) queue.clear();
+  overflow_.clear();
+  for (auto& corePtr : cores_) {
+    for (int n = 0; n < kNeuronsPerCore; ++n) {
+      corePtr->setPotential(n, 0);
+    }
+    corePtr->clearActivity();
+  }
+  if (resetTime) now_ = 0;
+}
+
+}  // namespace pcnn::tn

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tn/core.hpp"
+
+namespace pcnn::tn {
+
+/// Result of a simulation run.
+struct RunResult {
+  std::vector<OutputSpike> outputSpikes;  ///< spikes of record-flagged neurons
+  long totalSpikes = 0;                   ///< all spikes fired by all cores
+  long ticksRun = 0;
+};
+
+/// A network of neurosynaptic cores with inter-core spike routing.
+///
+/// Semantics per tick (matching the chip's synchronous 1 ms tick):
+///  1. spikes scheduled to arrive this tick are delivered to their target
+///     axon buffers (external inputs and routed neuron outputs alike);
+///  2. every core integrates, leaks, and fires;
+///  3. fired spikes are enqueued for delivery at tick + delay.
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1);
+
+  /// Adds a core and returns its index.
+  int addCore();
+  int coreCount() const { return static_cast<int>(cores_.size()); }
+  Core& core(int index);
+  const Core& core(int index) const;
+
+  /// Schedules an external input spike to arrive at `tick` (>= current
+  /// tick) on (core, axon). Off-chip input may target any number of axons,
+  /// which is how corelets duplicate an input stream across cores.
+  void scheduleInput(long tick, int coreIndex, int axon);
+
+  /// Runs `ticks` ticks from the current time, returning recorded output.
+  RunResult run(long ticks);
+
+  /// Resets membrane potentials and pending events; configuration and the
+  /// current tick counter are kept unless resetTime is true.
+  void reset(bool resetTime = true);
+
+  long currentTick() const { return now_; }
+
+  /// Number of chips needed to host this network.
+  int chipCount() const {
+    return (coreCount() + kCoresPerChip - 1) / kCoresPerChip;
+  }
+
+ private:
+  struct PendingSpike {
+    long tick;
+    int core;
+    int axon;
+  };
+
+  Rng rng_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  /// Ring buffer of delivery queues indexed by tick % (kMaxDelayTicks + 1).
+  std::vector<std::vector<PendingSpike>> queues_;
+  /// External inputs scheduled further ahead than the ring can hold.
+  std::vector<PendingSpike> overflow_;
+  long now_ = 0;
+  std::vector<int> firedScratch_;
+};
+
+}  // namespace pcnn::tn

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace pcnn::tn {
+
+/// Architectural constants of the IBM TrueNorth neurosynaptic chip
+/// (Akopyan et al. 2015, Merolla et al. 2014): 256 axons x 256 neurons per
+/// core, 4 axon types, 4096 cores per chip, ~66 mW for a full chip at
+/// 0.8 V (~16 uW per core).
+constexpr int kAxonsPerCore = 256;
+constexpr int kNeuronsPerCore = 256;
+constexpr int kAxonTypes = 4;
+constexpr int kCoresPerChip = 4096;
+constexpr int kMaxDelayTicks = 15;  ///< routed spike delay range is 1..15
+constexpr double kChipPowerWatts = 66e-3;
+constexpr double kCorePowerWatts = kChipPowerWatts / kCoresPerChip;
+
+/// Membrane-potential reset behaviour after a neuron fires.
+enum class ResetMode {
+  kAbsolute,  ///< V <- resetValue
+  kLinear,    ///< V <- V - threshold (spike counts are conserved)
+  kNone,      ///< V unchanged (free-running)
+};
+
+/// Where a neuron's output spike is routed. Exactly one destination per
+/// neuron, as on the real chip (fan-out is achieved with splitter cores or
+/// within the destination core's crossbar column). A negative core index
+/// means the spike leaves the network (external output).
+struct Destination {
+  int core = -1;
+  int axon = -1;
+  int delay = 1;  ///< ticks of routing latency, 1..kMaxDelayTicks
+};
+
+/// Static configuration of one neuron.
+struct NeuronConfig {
+  /// Synaptic weight lookup table indexed by the axon type of the incoming
+  /// spike (signed 9-bit on the real chip; int here, range-checked by the
+  /// corelet builder).
+  std::array<int, kAxonTypes> synapticWeights{0, 0, 0, 0};
+  int leak = 0;        ///< added to V every tick
+  int threshold = 1;   ///< alpha; fire when V >= alpha (+ stochastic draw)
+  int resetValue = 0;  ///< target of ResetMode::kAbsolute
+  ResetMode resetMode = ResetMode::kAbsolute;
+  /// Floor clamp applied to V after integration; a deep floor emulates
+  /// saturation, a floor equal to resetValue gives non-negative dynamics.
+  int floorPotential = std::numeric_limits<int>::min() / 4;
+  /// When true, a uniformly random value in [0, stochasticMask] is added to
+  /// the threshold each tick (TrueNorth stochastic mode).
+  bool stochasticThreshold = false;
+  int stochasticMask = 0;
+  Destination dest;
+  bool recordOutput = false;  ///< capture this neuron's spikes in RunResult
+};
+
+/// A recorded output spike.
+struct OutputSpike {
+  long tick = 0;
+  int core = 0;
+  int neuron = 0;
+};
+
+}  // namespace pcnn::tn

@@ -1,0 +1,81 @@
+#include "tn/util_corelets.hpp"
+
+#include <stdexcept>
+
+namespace pcnn::tn {
+
+std::vector<int> buildSplitter(CoreletBuilder& builder, int core, int axon,
+                               int ways, int firstNeuron) {
+  if (ways <= 0 || firstNeuron + ways > kNeuronsPerCore) {
+    throw std::invalid_argument("buildSplitter: bad fan-out geometry");
+  }
+  Core& c = builder.network().core(core);
+  c.setAxonType(axon, 0);
+  std::vector<int> neurons;
+  neurons.reserve(static_cast<std::size_t>(ways));
+  for (int i = 0; i < ways; ++i) {
+    const int n = firstNeuron + i;
+    NeuronConfig& cfg = c.neuron(n);
+    cfg.synapticWeights = {1, 0, 0, 0};
+    cfg.threshold = 1;
+    cfg.resetMode = ResetMode::kAbsolute;
+    cfg.resetValue = 0;
+    cfg.floorPotential = 0;
+    c.setConnection(axon, n, true);
+    neurons.push_back(n);
+  }
+  return neurons;
+}
+
+int buildDelayLine(CoreletBuilder& builder, int core, int inputAxon,
+                   int stages, int first) {
+  if (stages <= 0 || first + stages > kNeuronsPerCore) {
+    throw std::invalid_argument("buildDelayLine: bad geometry");
+  }
+  Core& c = builder.network().core(core);
+  c.setAxonType(inputAxon, 0);
+  int previousAxon = inputAxon;
+  int lastNeuron = -1;
+  for (int s = 0; s < stages; ++s) {
+    const int n = first + s;
+    NeuronConfig& cfg = c.neuron(n);
+    cfg.synapticWeights = {1, 0, 0, 0};
+    cfg.threshold = 1;
+    cfg.resetMode = ResetMode::kAbsolute;
+    cfg.resetValue = 0;
+    cfg.floorPotential = 0;
+    c.setConnection(previousAxon, n, true);
+    if (s + 1 < stages) {
+      // Feed the next relay through a dedicated intra-core axon.
+      const int nextAxon = first + s + 1;
+      if (nextAxon == inputAxon) {
+        throw std::invalid_argument(
+            "buildDelayLine: axon range collides with the input axon");
+      }
+      c.setAxonType(nextAxon, 0);
+      builder.wire(core, n, core, nextAxon, 1);
+      previousAxon = nextAxon;
+    }
+    lastNeuron = n;
+  }
+  return lastNeuron;
+}
+
+int buildBurstCounter(CoreletBuilder& builder, int core, int axon, int count,
+                      int neuron) {
+  if (count <= 0) {
+    throw std::invalid_argument("buildBurstCounter: count must be positive");
+  }
+  Core& c = builder.network().core(core);
+  c.setAxonType(axon, 0);
+  NeuronConfig& cfg = c.neuron(neuron);
+  cfg.synapticWeights = {1, 0, 0, 0};
+  cfg.threshold = count;
+  cfg.resetMode = ResetMode::kAbsolute;
+  cfg.resetValue = 0;
+  cfg.floorPotential = 0;
+  c.setConnection(axon, neuron, true);
+  return neuron;
+}
+
+}  // namespace pcnn::tn

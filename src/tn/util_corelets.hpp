@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "tn/corelet.hpp"
+
+namespace pcnn::tn {
+
+/// Utility corelets: the small building blocks the corelet language
+/// composes larger designs from. Each helper programs neurons on a core
+/// allocated inside the given builder's network.
+
+/// Splitter: TrueNorth neurons have fan-out 1, so duplicating a spike
+/// stream requires a relay core -- one input axon driving `ways` identical
+/// threshold-1 neurons, each with its own destination. Returns the neuron
+/// indices allocated (callers wire their destinations). `axon` is the
+/// splitter's input line on `core`.
+std::vector<int> buildSplitter(CoreletBuilder& builder, int core, int axon,
+                               int ways, int firstNeuron = 0);
+
+/// Delay line: a chain of `stages` threshold-1 relay neurons on one core,
+/// each feeding the next through an axon, adding `stages` ticks of latency
+/// beyond routing (used to align pipeline phases). Returns the index of
+/// the final neuron; its destination is left unset for the caller. Uses
+/// axons/neurons [first, first + stages).
+int buildDelayLine(CoreletBuilder& builder, int core, int inputAxon,
+                   int stages, int first = 0);
+
+/// Burst counter: a threshold-`count` neuron that fires once after
+/// receiving `count` spikes on `axon` (an AND-over-time / token counter).
+/// Returns the neuron index; destination left to the caller.
+int buildBurstCounter(CoreletBuilder& builder, int core, int axon, int count,
+                      int neuron = 0);
+
+}  // namespace pcnn::tn

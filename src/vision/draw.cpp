@@ -1,0 +1,96 @@
+#include "vision/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace pcnn::vision {
+
+RgbImage::RgbImage(int width, int height, float r, float g, float b)
+    : width_(width), height_(height) {
+  if (width < 0 || height < 0) {
+    throw std::invalid_argument("RgbImage: negative dimensions");
+  }
+  data_.resize(static_cast<std::size_t>(width) * height * 3);
+  for (std::size_t i = 0; i < data_.size(); i += 3) {
+    data_[i] = r;
+    data_[i + 1] = g;
+    data_[i + 2] = b;
+  }
+}
+
+RgbImage::RgbImage(const Image& gray)
+    : width_(gray.width()), height_(gray.height()) {
+  data_.resize(static_cast<std::size_t>(width_) * height_ * 3);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const float v = gray.at(x, y);
+      const std::size_t base =
+          (static_cast<std::size_t>(y) * width_ + x) * 3;
+      data_[base] = v;
+      data_[base + 1] = v;
+      data_[base + 2] = v;
+    }
+  }
+}
+
+float& RgbImage::at(int x, int y, int channel) {
+  return data_[(static_cast<std::size_t>(y) * width_ + x) * 3 + channel];
+}
+
+float RgbImage::at(int x, int y, int channel) const {
+  return data_[(static_cast<std::size_t>(y) * width_ + x) * 3 + channel];
+}
+
+namespace {
+
+void setPixel(RgbImage& img, int x, int y, const Color& color) {
+  if (x < 0 || x >= img.width() || y < 0 || y >= img.height()) return;
+  img.at(x, y, 0) = color.r;
+  img.at(x, y, 1) = color.g;
+  img.at(x, y, 2) = color.b;
+}
+
+}  // namespace
+
+void drawRect(RgbImage& img, const Rect& rect, const Color& color) {
+  const int x0 = static_cast<int>(std::lround(rect.x));
+  const int y0 = static_cast<int>(std::lround(rect.y));
+  const int x1 = static_cast<int>(std::lround(rect.right())) - 1;
+  const int y1 = static_cast<int>(std::lround(rect.bottom())) - 1;
+  for (int x = x0; x <= x1; ++x) {
+    setPixel(img, x, y0, color);
+    setPixel(img, x, y1, color);
+  }
+  for (int y = y0; y <= y1; ++y) {
+    setPixel(img, x0, y, color);
+    setPixel(img, x1, y, color);
+  }
+}
+
+void drawLine(RgbImage& img, float x0, float y0, float x1, float y1,
+              const Color& color) {
+  const float dx = x1 - x0;
+  const float dy = y1 - y0;
+  const int steps = std::max(
+      1, static_cast<int>(std::ceil(std::max(std::abs(dx), std::abs(dy)))));
+  for (int i = 0; i <= steps; ++i) {
+    const float t = static_cast<float>(i) / static_cast<float>(steps);
+    setPixel(img, static_cast<int>(std::lround(x0 + t * dx)),
+             static_cast<int>(std::lround(y0 + t * dy)), color);
+  }
+}
+
+void writePpm(const RgbImage& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("writePpm: cannot open " + path);
+  out << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+  for (float v : img.data()) {
+    out.put(static_cast<char>(
+        std::lround(std::clamp(v, 0.0f, 1.0f) * 255.0f)));
+  }
+  if (!out) throw std::runtime_error("writePpm: write failure on " + path);
+}
+
+}  // namespace pcnn::vision

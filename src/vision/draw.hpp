@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vision/geometry.hpp"
+#include "vision/image.hpp"
+
+namespace pcnn::vision {
+
+/// Minimal interleaved-RGB image for visualization output (detections,
+/// ground truth, HoG glyphs). Values in [0, 1] per channel.
+class RgbImage {
+ public:
+  RgbImage() = default;
+  RgbImage(int width, int height, float r = 0, float g = 0, float b = 0);
+
+  /// Converts a grayscale image (replicating the value to all channels).
+  explicit RgbImage(const Image& gray);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  float& at(int x, int y, int channel);
+  float at(int x, int y, int channel) const;
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+/// Simple RGB color triple.
+struct Color {
+  float r = 1, g = 1, b = 1;
+};
+
+/// Draws a 1-pixel rectangle outline (clipped to the image).
+void drawRect(RgbImage& img, const Rect& rect, const Color& color);
+
+/// Draws a line segment with integer rasterization (clipped).
+void drawLine(RgbImage& img, float x0, float y0, float x1, float y1,
+              const Color& color);
+
+/// Writes a binary PPM (P6, 8-bit). Throws std::runtime_error on failure.
+void writePpm(const RgbImage& img, const std::string& path);
+
+}  // namespace pcnn::vision

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <algorithm>
+
+namespace pcnn::vision {
+
+/// Axis-aligned box in pixel coordinates: [x, x+w) x [y, y+h).
+struct Rect {
+  float x = 0;
+  float y = 0;
+  float w = 0;
+  float h = 0;
+
+  float area() const { return (w > 0 && h > 0) ? w * h : 0.0f; }
+  float right() const { return x + w; }
+  float bottom() const { return y + h; }
+};
+
+/// Area of intersection of two boxes.
+inline float intersectionArea(const Rect& a, const Rect& b) {
+  const float ix = std::max(0.0f, std::min(a.right(), b.right()) -
+                                      std::max(a.x, b.x));
+  const float iy = std::max(0.0f, std::min(a.bottom(), b.bottom()) -
+                                      std::max(a.y, b.y));
+  return ix * iy;
+}
+
+/// Intersection-over-union (PASCAL overlap criterion). The paper follows
+/// Dollar et al.: a detection is a true positive when its overlap with the
+/// ground truth is >= 0.5.
+inline float iou(const Rect& a, const Rect& b) {
+  const float inter = intersectionArea(a, b);
+  const float uni = a.area() + b.area() - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+/// Intersection over the smaller box's area; used by the greedy
+/// non-maximum-suppression grouping with epsilon = 0.2.
+inline float overlapOverMin(const Rect& a, const Rect& b) {
+  const float inter = intersectionArea(a, b);
+  const float m = std::min(a.area(), b.area());
+  return m > 0.0f ? inter / m : 0.0f;
+}
+
+}  // namespace pcnn::vision

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace pcnn::vision {
+
+/// Single-channel (grayscale) floating-point image with values nominally in
+/// [0, 1]. Row-major storage. All pipeline stages in this library operate on
+/// grayscale images, matching the paper's reduction from RGB to grayscale to
+/// fit TrueNorth resource constraints (Section 4).
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a width x height image filled with `fill`.
+  Image(int width, int height, float fill = 0.0f)
+      : width_(width), height_(height) {
+    if (width < 0 || height < 0) {
+      throw std::invalid_argument("Image: negative dimensions");
+    }
+    data_.assign(static_cast<std::size_t>(width) * height, fill);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked pixel access (debug builds may still catch via vector).
+  float& at(int x, int y) { return data_[idx(x, y)]; }
+  float at(int x, int y) const { return data_[idx(x, y)]; }
+
+  /// Pixel access with coordinates clamped to the image border. This is the
+  /// border policy used by the gradient operators (replicate-edge).
+  float atClamped(int x, int y) const {
+    x = x < 0 ? 0 : (x >= width_ ? width_ - 1 : x);
+    y = y < 0 ? 0 : (y >= height_ ? height_ - 1 : y);
+    return data_[idx(x, y)];
+  }
+
+  /// Bilinearly interpolated sample at a real-valued coordinate, clamped.
+  float sampleBilinear(float x, float y) const;
+
+  /// Raw pixel buffer (row-major).
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  /// Returns the sub-image [x, x+w) x [y, y+h); clamps reads at borders.
+  Image crop(int x, int y, int w, int h) const;
+
+  /// Clamp every pixel into [lo, hi].
+  void clampValues(float lo, float hi);
+
+ private:
+  std::size_t idx(int x, int y) const {
+    return static_cast<std::size_t>(y) * width_ + x;
+  }
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+/// Resizes `src` to the exact target size with bilinear interpolation.
+Image resizeBilinear(const Image& src, int newWidth, int newHeight);
+
+/// Converts interleaved 8-bit RGB data to a grayscale Image using the
+/// Rec.601 luma weights. `rgb` must hold width*height*3 bytes.
+Image rgbToGray(const unsigned char* rgb, int width, int height);
+
+/// Mean pixel value of the image (0 for an empty image).
+float meanValue(const Image& img);
+
+}  // namespace pcnn::vision

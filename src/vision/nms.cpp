@@ -1,0 +1,29 @@
+#include "vision/nms.hpp"
+
+#include <algorithm>
+
+namespace pcnn::vision {
+
+std::vector<Detection> nonMaximumSuppression(std::vector<Detection> dets,
+                                             float epsilon) {
+  std::sort(dets.begin(), dets.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.score > b.score;
+            });
+  const float threshold = 1.0f - epsilon;
+  std::vector<Detection> kept;
+  kept.reserve(dets.size());
+  for (const Detection& d : dets) {
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      if (overlapOverMin(d.box, k.box) > threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+}  // namespace pcnn::vision

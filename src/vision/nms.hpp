@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "vision/geometry.hpp"
+
+namespace pcnn::vision {
+
+/// A scored detection window in original-image coordinates.
+struct Detection {
+  Rect box;
+  float score = 0.0f;
+};
+
+/// Greedy non-maximum suppression. Detections are processed in descending
+/// score order; a detection is suppressed when its overlap (intersection
+/// over the smaller box) with an already-kept detection exceeds
+/// 1 - epsilon. The paper performs NMS with epsilon = 0.2, i.e. boxes that
+/// overlap a stronger detection by more than 80 % of the smaller area are
+/// merged into it.
+std::vector<Detection> nonMaximumSuppression(std::vector<Detection> dets,
+                                             float epsilon = 0.2f);
+
+}  // namespace pcnn::vision

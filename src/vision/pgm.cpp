@@ -1,0 +1,102 @@
+#include "vision/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcnn::vision {
+namespace {
+
+// Skips whitespace and '#' comment lines between PGM header tokens.
+void skipSeparators(std::istream& in) {
+  while (true) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+int readHeaderInt(std::istream& in) {
+  skipSeparators(in);
+  int value = 0;
+  if (!(in >> value)) {
+    throw std::runtime_error("readPgm: malformed header");
+  }
+  return value;
+}
+
+}  // namespace
+
+void writePgm(const Image& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("writePgm: cannot open " + path);
+  }
+  out << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+  for (float v : img.data()) {
+    const float clamped = std::clamp(v, 0.0f, 1.0f);
+    out.put(static_cast<char>(std::lround(clamped * 255.0f)));
+  }
+  if (!out) {
+    throw std::runtime_error("writePgm: write failure on " + path);
+  }
+}
+
+Image readPgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("readPgm: cannot open " + path);
+  }
+  std::string magic;
+  in >> magic;
+  if (magic != "P5" && magic != "P2") {
+    throw std::runtime_error("readPgm: unsupported magic " + magic);
+  }
+  const int width = readHeaderInt(in);
+  const int height = readHeaderInt(in);
+  const int maxval = readHeaderInt(in);
+  if (width <= 0 || height <= 0 || maxval <= 0 || maxval > 65535) {
+    throw std::runtime_error("readPgm: invalid header values");
+  }
+  Image img(width, height);
+  const float scale = 1.0f / static_cast<float>(maxval);
+  if (magic == "P5") {
+    in.get();  // single whitespace after maxval
+    if (maxval < 256) {
+      std::vector<unsigned char> row(static_cast<std::size_t>(width));
+      for (int y = 0; y < height; ++y) {
+        in.read(reinterpret_cast<char*>(row.data()), width);
+        if (!in) throw std::runtime_error("readPgm: truncated data");
+        for (int x = 0; x < width; ++x) img.at(x, y) = row[x] * scale;
+      }
+    } else {
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          const int hi = in.get();
+          const int lo = in.get();
+          if (hi < 0 || lo < 0) throw std::runtime_error("readPgm: truncated");
+          img.at(x, y) = static_cast<float>((hi << 8) | lo) * scale;
+        }
+      }
+    }
+  } else {  // P2 ASCII
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        int value = 0;
+        if (!(in >> value)) throw std::runtime_error("readPgm: truncated");
+        img.at(x, y) = static_cast<float>(value) * scale;
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace pcnn::vision

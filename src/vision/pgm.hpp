@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "vision/image.hpp"
+
+namespace pcnn::vision {
+
+/// Writes `img` as a binary PGM (P5, maxval 255). Pixel values are clamped
+/// to [0, 1] and scaled to 8 bits. Throws std::runtime_error on I/O failure.
+void writePgm(const Image& img, const std::string& path);
+
+/// Reads a binary (P5) or ASCII (P2) PGM file into an Image scaled to
+/// [0, 1]. Throws std::runtime_error on malformed input or I/O failure.
+Image readPgm(const std::string& path);
+
+}  // namespace pcnn::vision

@@ -1,0 +1,28 @@
+#include "vision/pyramid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcnn::vision {
+
+std::vector<PyramidLevel> buildPyramid(const Image& src,
+                                       const PyramidParams& params) {
+  if (params.scaleFactor <= 1.0f) {
+    throw std::invalid_argument("buildPyramid: scaleFactor must be > 1");
+  }
+  std::vector<PyramidLevel> levels;
+  float scale = 1.0f;
+  for (int level = 0; level < params.maxLevels; ++level) {
+    const int w = static_cast<int>(std::lround(src.width() / scale));
+    const int h = static_cast<int>(std::lround(src.height() / scale));
+    if (w < params.minWidth || h < params.minHeight) break;
+    PyramidLevel pl;
+    pl.scale = scale;
+    pl.image = (level == 0) ? src : resizeBilinear(src, w, h);
+    levels.push_back(std::move(pl));
+    scale *= params.scaleFactor;
+  }
+  return levels;
+}
+
+}  // namespace pcnn::vision

@@ -1,0 +1,36 @@
+#include "vision/sliding_window.hpp"
+
+namespace pcnn::vision {
+
+void forEachWindow(
+    const Image& src, const SlidingWindowParams& params,
+    const std::function<void(const Image&, const Rect&, const Rect&)>& fn) {
+  PyramidParams pp = params.pyramid;
+  pp.minWidth = params.windowWidth;
+  pp.minHeight = params.windowHeight;
+  const auto levels = buildPyramid(src, pp);
+  for (const PyramidLevel& level : levels) {
+    const Image& img = level.image;
+    for (int y = 0; y + params.windowHeight <= img.height();
+         y += params.strideY) {
+      for (int x = 0; x + params.windowWidth <= img.width();
+           x += params.strideX) {
+        Rect inLevel{static_cast<float>(x), static_cast<float>(y),
+                     static_cast<float>(params.windowWidth),
+                     static_cast<float>(params.windowHeight)};
+        Rect inOriginal{inLevel.x * level.scale, inLevel.y * level.scale,
+                        inLevel.w * level.scale, inLevel.h * level.scale};
+        fn(img, inLevel, inOriginal);
+      }
+    }
+  }
+}
+
+long countWindows(const Image& src, const SlidingWindowParams& params) {
+  long count = 0;
+  forEachWindow(src, params,
+                [&count](const Image&, const Rect&, const Rect&) { ++count; });
+  return count;
+}
+
+}  // namespace pcnn::vision

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <functional>
+
+#include "vision/geometry.hpp"
+#include "vision/image.hpp"
+#include "vision/pyramid.hpp"
+
+namespace pcnn::vision {
+
+/// Parameters for dense multi-scale window scanning.
+struct SlidingWindowParams {
+  int windowWidth = 64;
+  int windowHeight = 128;
+  int strideX = 8;  ///< the paper strides by one HoG cell (8 px)
+  int strideY = 8;
+  PyramidParams pyramid;
+};
+
+/// Calls `fn(levelImage, windowRectInLevel, windowRectInOriginal)` for every
+/// window position across all pyramid levels. The original-coordinates rect
+/// is the level rect scaled back by the level's scale factor.
+void forEachWindow(
+    const Image& src, const SlidingWindowParams& params,
+    const std::function<void(const Image&, const Rect&, const Rect&)>& fn);
+
+/// Total number of windows the scan will visit (for budgeting and tests).
+long countWindows(const Image& src, const SlidingWindowParams& params);
+
+}  // namespace pcnn::vision

@@ -1,0 +1,312 @@
+#include "vision/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcnn::vision {
+namespace {
+
+// Fills the axis-aligned ellipse centred at (cx, cy) with radii (rx, ry).
+void fillEllipse(Image& img, float cx, float cy, float rx, float ry,
+                 float value) {
+  const int x0 = std::max(0, static_cast<int>(std::floor(cx - rx)));
+  const int x1 = std::min(img.width() - 1, static_cast<int>(std::ceil(cx + rx)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - ry)));
+  const int y1 = std::min(img.height() - 1, static_cast<int>(std::ceil(cy + ry)));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const float dx = (static_cast<float>(x) - cx) / rx;
+      const float dy = (static_cast<float>(y) - cy) / ry;
+      if (dx * dx + dy * dy <= 1.0f) img.at(x, y) = value;
+    }
+  }
+}
+
+// Fills a rotated thick line segment (capsule) from (x0,y0) to (x1,y1).
+void fillCapsule(Image& img, float x0, float y0, float x1, float y1,
+                 float radius, float value) {
+  const float minX = std::min(x0, x1) - radius;
+  const float maxX = std::max(x0, x1) + radius;
+  const float minY = std::min(y0, y1) - radius;
+  const float maxY = std::max(y0, y1) + radius;
+  const int ix0 = std::max(0, static_cast<int>(std::floor(minX)));
+  const int ix1 = std::min(img.width() - 1, static_cast<int>(std::ceil(maxX)));
+  const int iy0 = std::max(0, static_cast<int>(std::floor(minY)));
+  const int iy1 = std::min(img.height() - 1, static_cast<int>(std::ceil(maxY)));
+  const float vx = x1 - x0;
+  const float vy = y1 - y0;
+  const float len2 = std::max(1e-6f, vx * vx + vy * vy);
+  for (int y = iy0; y <= iy1; ++y) {
+    for (int x = ix0; x <= ix1; ++x) {
+      const float px = static_cast<float>(x) - x0;
+      const float py = static_cast<float>(y) - y0;
+      const float t = std::clamp((px * vx + py * vy) / len2, 0.0f, 1.0f);
+      const float dx = px - t * vx;
+      const float dy = py - t * vy;
+      if (dx * dx + dy * dy <= radius * radius) img.at(x, y) = value;
+    }
+  }
+}
+
+void fillRect(Image& img, int x, int y, int w, int h, float value) {
+  const int x0 = std::max(0, x);
+  const int y0 = std::max(0, y);
+  const int x1 = std::min(img.width(), x + w);
+  const int y1 = std::min(img.height(), y + h);
+  for (int yy = y0; yy < y1; ++yy) {
+    for (int xx = x0; xx < x1; ++xx) img.at(xx, yy) = value;
+  }
+}
+
+}  // namespace
+
+Image valueNoise(int width, int height, int cellSize, float base,
+                 float amplitude, Rng& rng) {
+  const int gw = width / std::max(1, cellSize) + 2;
+  const int gh = height / std::max(1, cellSize) + 2;
+  Image lattice(gw, gh);
+  for (float& v : lattice.data()) {
+    v = base + amplitude * static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  Image out(width, height);
+  const float inv = 1.0f / static_cast<float>(std::max(1, cellSize));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      out.at(x, y) = lattice.sampleBilinear(static_cast<float>(x) * inv,
+                                            static_cast<float>(y) * inv);
+    }
+  }
+  out.clampValues(0.0f, 1.0f);
+  return out;
+}
+
+void addGaussianNoise(Image& img, float sigma, Rng& rng) {
+  if (sigma <= 0.0f) return;
+  for (float& v : img.data()) {
+    v += sigma * static_cast<float>(rng.normal());
+  }
+  img.clampValues(0.0f, 1.0f);
+}
+
+void SyntheticPersonDataset::renderPerson(Image& img, float footX, float footY,
+                                          float h, float intensity,
+                                          Rng& rng) const {
+  const float j = params_.poseJitter;
+  auto jitter = [&](float nominal) {
+    return nominal * (1.0f + j * static_cast<float>(rng.uniform(-1.0, 1.0)));
+  };
+
+  // Proportions relative to total height h (classic 7.5-head figure).
+  const float headR = jitter(h * 0.065f);
+  const float headCy = footY - h + headR * 1.2f;
+  const float neckY = headCy + headR * 1.3f;
+  const float shoulderW = jitter(h * 0.14f);
+  const float hipY = footY - h * 0.48f;
+  const float hipW = jitter(h * 0.10f);
+  const float torsoR = shoulderW * 0.5f;
+  const float legR = jitter(h * 0.035f);
+  const float armR = jitter(h * 0.028f);
+
+  // Stance: legs splayed by a random amount; arms hang with a random swing.
+  const float stance = h * (0.03f + 0.07f * static_cast<float>(rng.uniform()));
+  const float armSwing =
+      h * 0.06f * static_cast<float>(rng.uniform(-1.0, 1.0));
+  const float lean = h * 0.02f * static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  // Head.
+  fillEllipse(img, footX + lean, headCy, headR, headR * 1.15f, intensity);
+  // Torso: capsule from neck to hip, slightly tapering represented by two
+  // overlapping capsules.
+  fillCapsule(img, footX + lean, neckY, footX, hipY, torsoR, intensity);
+  fillCapsule(img, footX + lean, neckY + h * 0.08f, footX, hipY, hipW,
+              intensity);
+  // Arms.
+  const float shoulderY = neckY + h * 0.03f;
+  fillCapsule(img, footX + lean - torsoR, shoulderY,
+              footX - torsoR - armSwing, hipY + h * 0.02f, armR, intensity);
+  fillCapsule(img, footX + lean + torsoR, shoulderY,
+              footX + torsoR + armSwing, hipY + h * 0.02f, armR, intensity);
+  // Legs.
+  fillCapsule(img, footX - hipW * 0.5f, hipY, footX - stance, footY, legR,
+              intensity);
+  fillCapsule(img, footX + hipW * 0.5f, hipY, footX + stance, footY, legR,
+              intensity);
+}
+
+Image SyntheticPersonDataset::positiveWindow(Rng& rng) const {
+  const int w = params_.windowWidth;
+  const int h = params_.windowHeight;
+  const float bg = 0.25f + 0.5f * static_cast<float>(rng.uniform());
+  // Layered texture (coarse + fine) so cells carry INRIA-like gradient
+  // density rather than being flat between object edges.
+  Image img = valueNoise(w, h, 8 + rng.uniformInt(0, 8), bg, 0.12f, rng);
+  {
+    Image fine = valueNoise(w, h, 4, 0.5f, 0.12f, rng);
+    for (std::size_t i = 0; i < img.data().size(); ++i) {
+      img.data()[i] += fine.data()[i] - 0.5f;
+    }
+    img.clampValues(0.0f, 1.0f);
+  }
+
+  // Person intensity: randomly brighter or darker than the background, with
+  // contrast drawn from [minContrast, maxContrast].
+  const float contrast =
+      params_.minContrast +
+      (params_.maxContrast - params_.minContrast) *
+          static_cast<float>(rng.uniform());
+  const float sign = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  const float intensity = std::clamp(bg + sign * contrast, 0.02f, 0.98f);
+
+  const float personH =
+      static_cast<float>(params_.personHeight) *
+      (0.92f + 0.16f * static_cast<float>(rng.uniform()));
+  const float footX =
+      static_cast<float>(w) * 0.5f +
+      static_cast<float>(rng.uniform(-3.0, 3.0));
+  const float footY = (static_cast<float>(h) + personH) * 0.5f +
+                      static_cast<float>(rng.uniform(-3.0, 3.0));
+  renderPerson(img, footX, footY, personH, intensity, rng);
+  addGaussianNoise(img, params_.noiseSigma, rng);
+  return img;
+}
+
+Image SyntheticPersonDataset::negativeWindow(Rng& rng) const {
+  const int w = params_.windowWidth;
+  const int h = params_.windowHeight;
+  const float bg = 0.2f + 0.6f * static_cast<float>(rng.uniform());
+  Image img = valueNoise(w, h, 6 + rng.uniformInt(0, 10), bg, 0.12f, rng);
+  {
+    Image fine = valueNoise(w, h, 4, 0.5f, 0.12f, rng);
+    for (std::size_t i = 0; i < img.data().size(); ++i) {
+      img.data()[i] += fine.data()[i] - 0.5f;
+    }
+    img.clampValues(0.0f, 1.0f);
+  }
+
+  const float contrast =
+      params_.minContrast +
+      (params_.maxContrast - params_.minContrast) *
+          static_cast<float>(rng.uniform());
+  const float sign = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  const float fg = std::clamp(bg + sign * contrast, 0.02f, 0.98f);
+
+  switch (rng.uniformInt(0, 4)) {
+    case 0: {  // vertical pole(s): a classic HoG hard negative
+      const int poles = rng.uniformInt(1, 2);
+      for (int p = 0; p < poles; ++p) {
+        const int px = rng.uniformInt(4, w - 8);
+        const int pw = rng.uniformInt(3, 9);
+        fillRect(img, px, 0, pw, h, fg);
+      }
+      break;
+    }
+    case 1: {  // box / building-like structure
+      const int bw = rng.uniformInt(w / 4, w - 8);
+      const int bh = rng.uniformInt(h / 6, h / 2);
+      fillRect(img, rng.uniformInt(0, w - bw), rng.uniformInt(0, h - bh), bw,
+               bh, fg);
+      break;
+    }
+    case 2: {  // blob
+      fillEllipse(img, static_cast<float>(rng.uniformInt(8, w - 8)),
+                  static_cast<float>(rng.uniformInt(12, h - 12)),
+                  static_cast<float>(rng.uniformInt(5, w / 3)),
+                  static_cast<float>(rng.uniformInt(5, h / 4)), fg);
+      break;
+    }
+    case 3: {  // diagonal grating
+      const float angle = static_cast<float>(rng.uniform(0.0, 3.14159));
+      const float freq = 0.15f + 0.3f * static_cast<float>(rng.uniform());
+      const float c = std::cos(angle), s = std::sin(angle);
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          const float phase = (c * x + s * y) * freq;
+          if (std::sin(phase * 6.28318f) > 0.3f) img.at(x, y) = fg;
+        }
+      }
+      break;
+    }
+    default:
+      break;  // plain texture
+  }
+  addGaussianNoise(img, params_.noiseSigma, rng);
+  return img;
+}
+
+void SyntheticPersonDataset::renderClutter(Image& img, Rng& rng,
+                                           int count) const {
+  for (int i = 0; i < count; ++i) {
+    const float fg = 0.1f + 0.8f * static_cast<float>(rng.uniform());
+    switch (rng.uniformInt(0, 2)) {
+      case 0:
+        fillRect(img, rng.uniformInt(0, img.width() - 10),
+                 rng.uniformInt(0, img.height() - 10),
+                 rng.uniformInt(8, img.width() / 4),
+                 rng.uniformInt(8, img.height() / 4), fg);
+        break;
+      case 1:
+        fillRect(img, rng.uniformInt(0, img.width() - 6), 0,
+                 rng.uniformInt(3, 10), img.height(), fg);
+        break;
+      default:
+        fillEllipse(img, static_cast<float>(rng.uniformInt(0, img.width())),
+                    static_cast<float>(rng.uniformInt(0, img.height())),
+                    static_cast<float>(rng.uniformInt(6, 40)),
+                    static_cast<float>(rng.uniformInt(6, 40)), fg);
+        break;
+    }
+  }
+}
+
+Scene SyntheticPersonDataset::scene(Rng& rng, int width, int height,
+                                    int numPersons, int minPersonHeight,
+                                    int maxPersonHeight) const {
+  Scene out;
+  const float bg = 0.3f + 0.4f * static_cast<float>(rng.uniform());
+  out.image = valueNoise(width, height, 24, bg, 0.10f, rng);
+  {
+    Image fine = valueNoise(width, height, 4, 0.5f, 0.12f, rng);
+    for (std::size_t i = 0; i < out.image.data().size(); ++i) {
+      out.image.data()[i] += fine.data()[i] - 0.5f;
+    }
+    out.image.clampValues(0.0f, 1.0f);
+  }
+  renderClutter(out.image, rng, std::max(2, width * height / 250000));
+
+  for (int i = 0; i < numPersons; ++i) {
+    const int ph = rng.uniformInt(minPersonHeight,
+                                  std::min(maxPersonHeight, height - 16));
+    const float contrast =
+        params_.minContrast +
+        (params_.maxContrast - params_.minContrast) *
+            static_cast<float>(rng.uniform());
+    const float sign = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    const float intensity = std::clamp(bg + sign * contrast, 0.02f, 0.98f);
+
+    // Window-aligned ground truth: the detection window scaled so that the
+    // person occupies personHeight/windowHeight of it, as in the positive
+    // training windows.
+    const float winH = static_cast<float>(ph) *
+                       static_cast<float>(params_.windowHeight) /
+                       static_cast<float>(params_.personHeight);
+    const float winW = winH * static_cast<float>(params_.windowWidth) /
+                       static_cast<float>(params_.windowHeight);
+    const float margin = winW * 0.6f;
+    const float footX = static_cast<float>(
+        rng.uniform(margin, std::max(margin + 1.0f, width - margin)));
+    const float footY = static_cast<float>(rng.uniform(
+        winH * 0.9f, std::max(winH * 0.9f + 1.0f, height - 4.0f)));
+    renderPerson(out.image, footX, footY, static_cast<float>(ph), intensity,
+                 rng);
+    Rect gt;
+    gt.w = winW;
+    gt.h = winH;
+    gt.x = footX - winW * 0.5f;
+    gt.y = footY - (winH + static_cast<float>(ph)) * 0.5f;
+    out.groundTruth.push_back(gt);
+  }
+  addGaussianNoise(out.image, params_.noiseSigma, rng);
+  return out;
+}
+
+}  // namespace pcnn::vision

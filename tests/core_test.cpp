@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "napprox/napprox.hpp"
+#include "vision/synth.hpp"
+
+namespace pcnn::core {
+namespace {
+
+TEST(ResourceBudget, PaperNumbers) {
+  const ResourceBudget budget;
+  EXPECT_EQ(budget.cellsPerWindow(), 128);
+  EXPECT_EQ(budget.parrotExtractorCores(), 1024);  // 8 cores x 128 cells
+  EXPECT_EQ(budget.combinedCores(), 3888);         // 1024 + 2864
+}
+
+TEST(Assemblers, CellFeatureAssemblerFlattens) {
+  hog::CellGrid grid;
+  grid.cellsX = 4;
+  grid.cellsY = 4;
+  grid.bins = 2;
+  grid.data.resize(32);
+  for (std::size_t i = 0; i < grid.data.size(); ++i) {
+    grid.data[i] = static_cast<float>(i);
+  }
+  const auto assemble = cellFeatureAssembler(2, 2);
+  const auto f = assemble(grid, 1, 1);
+  ASSERT_EQ(f.size(), 8u);
+  // First cell of the window is grid cell (1,1) = index (1*4+1)*2 = 10.
+  EXPECT_FLOAT_EQ(f[0], 10.0f);
+  EXPECT_FLOAT_EQ(f[1], 11.0f);
+}
+
+TEST(Assemblers, BlockFeatureAssemblerShape) {
+  hog::CellGrid grid;
+  grid.cellsX = 8;
+  grid.cellsY = 16;
+  grid.bins = 18;
+  grid.data.assign(8 * 16 * 18, 1.0f);
+  hog::HogParams params;
+  params.numBins = 18;
+  const auto assemble = blockFeatureAssembler(params, 8, 16);
+  EXPECT_EQ(assemble(grid, 0, 0).size(), static_cast<std::size_t>(7560));
+}
+
+TEST(GridDetector, NullCallablesRejected) {
+  GridDetectorParams params;
+  EXPECT_THROW(GridDetector(params, nullptr, cellFeatureAssembler(8, 16),
+                            [](const std::vector<float>&) { return 0.0f; }),
+               std::invalid_argument);
+}
+
+TEST(GridDetector, FindsBrightWindowWithToyScorer) {
+  // Toy setting: features are cell means; the scorer fires on bright cells.
+  GridDetectorParams params;
+  params.windowCellsX = 2;
+  params.windowCellsY = 4;
+  params.scoreThreshold = 0.5f;
+  params.pyramid.maxLevels = 1;
+
+  auto extractor = [](const vision::Image& img) {
+    hog::CellGrid grid;
+    grid.cellsX = img.width() / 8;
+    grid.cellsY = img.height() / 8;
+    grid.bins = 1;
+    grid.data.reserve(static_cast<std::size_t>(grid.cellsX) * grid.cellsY);
+    for (int cy = 0; cy < grid.cellsY; ++cy) {
+      for (int cx = 0; cx < grid.cellsX; ++cx) {
+        float sum = 0.0f;
+        for (int y = 0; y < 8; ++y) {
+          for (int x = 0; x < 8; ++x) {
+            sum += img.at(cx * 8 + x, cy * 8 + y);
+          }
+        }
+        grid.data.push_back(sum / 64.0f);
+      }
+    }
+    return grid;
+  };
+  auto scorer = [](const std::vector<float>& f) {
+    float sum = 0.0f;
+    for (float v : f) sum += v;
+    return sum / static_cast<float>(f.size());
+  };
+
+  vision::Image scene(64, 64, 0.1f);
+  for (int y = 16; y < 48; ++y) {
+    for (int x = 24; x < 40; ++x) scene.at(x, y) = 0.95f;
+  }
+  GridDetector detector(params, extractor, cellFeatureAssembler(2, 4),
+                        scorer);
+  const auto detections = detector.detect(scene);
+  ASSERT_FALSE(detections.empty());
+  // The best detection must sit over the bright rectangle.
+  const auto& best = detections.front();
+  EXPECT_GE(best.box.x + best.box.w / 2, 24.0f);
+  EXPECT_LE(best.box.x + best.box.w / 2, 40.0f);
+}
+
+TEST(GridDetector, RawDetectionsExceedNmsDetections) {
+  GridDetectorParams params;
+  params.windowCellsX = 2;
+  params.windowCellsY = 2;
+  params.scoreThreshold = -1e9f;
+  params.nmsEpsilon = 0.6f;  // adjacent windows overlap by exactly 50%
+  params.pyramid.maxLevels = 1;
+  auto extractor = [](const vision::Image& img) {
+    hog::CellGrid grid;
+    grid.cellsX = img.width() / 8;
+    grid.cellsY = img.height() / 8;
+    grid.bins = 1;
+    grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY,
+                     1.0f);
+    return grid;
+  };
+  auto scorer = [](const std::vector<float>&) { return 1.0f; };
+  GridDetector detector(params, extractor, cellFeatureAssembler(2, 2),
+                        scorer);
+  vision::Image scene(48, 48, 0.5f);
+  EXPECT_GT(detector.detectRaw(scene).size(), detector.detect(scene).size());
+}
+
+TEST(PartitionedPipeline, TrainsOnExtractedFeatures) {
+  // NApprox features + small Eedn head learn to separate synthetic person
+  // windows from negatives (a miniature of the Fig. 5 pipeline).
+  napprox::NApproxHog extractor;
+  eedn::EednClassifierConfig config;
+  config.inputSize = 8 * 16 * 18;
+  config.groupInputSize = 126;
+  config.outputsPerGroup = 8;
+  config.hiddenWidths = {};
+  config.outputPopulation = 4;
+  config.seed = 5;
+  PartitionedPipeline pipeline(
+      [&extractor](const vision::Image& w) {
+        return extractor.cellDescriptor(w);
+      },
+      config);
+
+  vision::SyntheticPersonDataset dataset;
+  pcnn::Rng rng(7);
+  std::vector<vision::Image> windows;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    windows.push_back(dataset.positiveWindow(rng));
+    labels.push_back(1);
+    windows.push_back(dataset.negativeWindow(rng));
+    labels.push_back(-1);
+  }
+  pipeline.trainClassifier(windows, labels, 25, 0.05f);
+  EXPECT_GT(pipeline.evalAccuracy(windows, labels), 0.8);
+}
+
+TEST(PartitionedPipeline, RejectsNulls) {
+  eedn::EednClassifierConfig config;
+  config.inputSize = 8;
+  EXPECT_THROW(PartitionedPipeline(nullptr, config), std::invalid_argument);
+}
+
+TEST(Absorbed, ClassifierMeetsResourceBudget) {
+  const ResourceBudget budget;
+  auto absorbed = makeAbsorbedClassifier(budget);
+  EXPECT_EQ(absorbed->config().inputSize, 64 * 128);
+  // Iso-resource in our accounting: the absorbed network must be at least
+  // as large as the partitioned pipeline's feature-stage estimate.
+  EXPECT_GT(absorbed->coreCountEstimate(), 60);
+}
+
+TEST(Absorbed, RawPixelFeatures) {
+  vision::Image window(64, 128, 0.25f);
+  const auto f = rawPixelFeatures(window);
+  EXPECT_EQ(f.size(), static_cast<std::size_t>(64 * 128));
+  EXPECT_FLOAT_EQ(f[0], 0.25f);
+}
+
+}  // namespace
+}  // namespace pcnn::core

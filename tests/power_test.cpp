@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/power.hpp"
+
+namespace pcnn::power {
+namespace {
+
+TEST(Workload, CellCountsMatchPaper) {
+  const FullHdWorkload workload;
+  // Sec. 5.2: "a total of 57749 cells per image".
+  EXPECT_EQ(workload.cellsPerFrame(), 57749);
+  // "the system should have an overall throughput of 1.5 million cells/s".
+  EXPECT_NEAR(workload.cellsPerSecond(), 1.5e6, 0.01e6);
+}
+
+TEST(PowerModel, CorePowerMatchesChipSpec) {
+  EXPECT_NEAR(TrueNorthPowerModel::corePowerWatts(), 65e-3 / 4096, 1e-9);
+}
+
+TEST(PowerModel, NApproxMatchesPaperScale) {
+  const TrueNorthPowerModel model;
+  const auto estimate = model.napprox(FullHdWorkload{});
+  // "a single NApprox HoG module ... can provide a throughput of 15
+  // cells/sec" and the deployment needs "nearly 650 TrueNorth chips" at
+  // ~40 W.
+  EXPECT_NEAR(estimate.cellsPerSecondPerModule, 15.0, 0.1);
+  EXPECT_NEAR(estimate.chips, 650.0, 30.0);
+  EXPECT_NEAR(estimate.watts, 40.0, 3.0);
+}
+
+TEST(PowerModel, Parrot32SpikeMatchesPaper) {
+  const TrueNorthPowerModel model;
+  const auto estimate = model.parrot(FullHdWorkload{}, 32);
+  // "each parrot HoG module provides a throughput of 31 cells/sec" ->
+  // 6.15 W total.
+  EXPECT_NEAR(estimate.cellsPerSecondPerModule, 31.25, 0.3);
+  EXPECT_NEAR(estimate.watts, 6.15, 0.25);
+}
+
+TEST(PowerModel, Parrot4SpikeMatchesPaper) {
+  const TrueNorthPowerModel model;
+  const auto estimate = model.parrot(FullHdWorkload{}, 4);
+  EXPECT_NEAR(estimate.watts, 0.768, 0.03);  // 768 mW
+}
+
+TEST(PowerModel, Parrot1SpikeMatchesPaper) {
+  const TrueNorthPowerModel model;
+  const auto estimate = model.parrot(FullHdWorkload{}, 1);
+  EXPECT_NEAR(estimate.cellsPerSecondPerModule, 1000.0, 1.0);
+  EXPECT_NEAR(estimate.watts, 0.192, 0.01);  // 192 mW
+}
+
+TEST(PowerModel, RatioRangeMatchesAbstract) {
+  // "more power efficient ... by a factor of 6.5x-208x".
+  const auto [low, high] = napproxOverParrotRatio();
+  EXPECT_NEAR(low, 6.5, 0.4);
+  EXPECT_NEAR(high, 208.0, 12.0);
+}
+
+TEST(PowerModel, Table2RowsComplete) {
+  const auto rows = table2();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_NEAR(rows[0].watts, 8.6, 1e-9);   // FPGA system
+  EXPECT_GT(rows[1].watts, rows[2].watts); // NApprox > Parrot 32
+  EXPECT_GT(rows[2].watts, rows[3].watts); // Parrot 32 > 4
+  EXPECT_GT(rows[3].watts, rows[4].watts); // Parrot 4 > 1
+}
+
+TEST(PowerModel, InvalidParameters) {
+  const TrueNorthPowerModel model;
+  EXPECT_THROW(model.napprox(FullHdWorkload{}, 0), std::invalid_argument);
+  EXPECT_THROW(model.parrot(FullHdWorkload{}, 0), std::invalid_argument);
+  EXPECT_THROW(model.parrot(FullHdWorkload{}, 32, 0), std::invalid_argument);
+}
+
+TEST(PowerModel, PowerScalesWithWorkload) {
+  const TrueNorthPowerModel model;
+  FullHdWorkload half;
+  half.fps = 13;
+  EXPECT_NEAR(model.parrot(half, 32).watts,
+              model.parrot(FullHdWorkload{}, 32).watts / 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace pcnn::power

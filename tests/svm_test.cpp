@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "svm/linear_svm.hpp"
+#include "svm/mining.hpp"
+#include "svm/serialize.hpp"
+#include "vision/synth.hpp"
+
+namespace pcnn::svm {
+namespace {
+
+TEST(LinearSvm, RejectsBadInput) {
+  LinearSvm svm;
+  EXPECT_THROW(svm.train({}, {}), std::invalid_argument);
+  EXPECT_THROW(svm.train({{1.0f}}, {2}), std::invalid_argument);
+  EXPECT_THROW(svm.train({{1.0f}, {1.0f, 2.0f}}, {1, -1}),
+               std::invalid_argument);
+  SvmParams params;
+  params.C = 0.0;
+  EXPECT_THROW(LinearSvm{params}, std::invalid_argument);
+}
+
+TEST(LinearSvm, SeparatesTrivialData) {
+  LinearSvm svm;
+  std::vector<std::vector<float>> x = {{2.0f}, {1.5f}, {-1.0f}, {-2.5f}};
+  std::vector<int> y = {1, 1, -1, -1};
+  svm.train(x, y);
+  EXPECT_TRUE(svm.trained());
+  EXPECT_DOUBLE_EQ(svm.accuracy(x, y), 1.0);
+  EXPECT_GT(svm.decision({3.0f}), 0.0);
+  EXPECT_LT(svm.decision({-3.0f}), 0.0);
+}
+
+TEST(LinearSvm, LearnsBiasedHyperplane) {
+  // Separable at x > 5, so a bias is required.
+  LinearSvm svm;
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 40; ++i) {
+    const float v = static_cast<float>(i) * 0.25f;
+    x.push_back({v});
+    y.push_back(v > 5.0f ? 1 : -1);
+  }
+  svm.train(x, y);
+  // The boundary sample at v = 5.0 may fall on the margin; everything
+  // else must classify correctly.
+  EXPECT_GE(svm.accuracy(x, y), 0.95);
+}
+
+TEST(LinearSvm, MarginMaximisation2D) {
+  // Canonical 2-point problem: w = (1,0), margin at x=0.
+  LinearSvm svm;
+  SvmParams params;
+  params.C = 100.0;
+  params.maxIterations = 2000;
+  LinearSvm strict(params);
+  strict.train({{1.0f, 0.0f}, {-1.0f, 0.0f}}, {1, -1});
+  EXPECT_NEAR(strict.weights()[0], 1.0, 0.05);
+  EXPECT_NEAR(strict.weights()[1], 0.0, 0.05);
+  EXPECT_NEAR(strict.bias(), 0.0, 0.05);
+}
+
+TEST(LinearSvm, NoisyDataStillMostlyCorrect) {
+  pcnn::Rng rng(3);
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    const bool positive = i % 2 == 0;
+    std::vector<float> f(10);
+    for (auto& v : f) {
+      v = static_cast<float>(rng.normal()) +
+          (positive ? 0.8f : -0.8f);
+    }
+    x.push_back(std::move(f));
+    y.push_back(positive ? 1 : -1);
+  }
+  LinearSvm svm;
+  svm.train(x, y);
+  EXPECT_GT(svm.accuracy(x, y), 0.9);
+}
+
+TEST(LinearSvm, DecisionDimensionCheck) {
+  LinearSvm svm;
+  svm.train({{1.0f, 0.0f}, {-1.0f, 0.0f}}, {1, -1});
+  EXPECT_THROW(svm.decision({1.0f}), std::invalid_argument);
+}
+
+TEST(Serialize, RoundTripPreservesDecisions) {
+  LinearSvm model;
+  model.train({{1.0f, 0.2f}, {0.5f, -1.0f}, {-1.0f, 0.1f}, {-0.4f, 1.0f}},
+              {1, 1, -1, -1});
+  std::stringstream buffer;
+  saveModel(model, buffer);
+  const LinearSvm restored = loadModel(buffer);
+  for (float a : {-1.0f, 0.0f, 0.7f}) {
+    for (float b : {-0.5f, 0.3f}) {
+      EXPECT_DOUBLE_EQ(model.decision({a, b}), restored.decision({a, b}));
+    }
+  }
+  EXPECT_DOUBLE_EQ(restored.params().C, model.params().C);
+}
+
+TEST(Serialize, UntrainedModelRejected) {
+  LinearSvm model;
+  std::stringstream buffer;
+  EXPECT_THROW(saveModel(model, buffer), std::invalid_argument);
+}
+
+TEST(Serialize, BadHeaderThrows) {
+  std::stringstream buffer("not-a-model 3");
+  EXPECT_THROW(loadModel(buffer), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  LinearSvm model;
+  model.train({{2.0f}, {-2.0f}}, {1, -1});
+  const std::string path = "/tmp/pcnn_test_svm_model.txt";
+  saveModelFile(model, path);
+  const LinearSvm restored = loadModelFile(path);
+  EXPECT_DOUBLE_EQ(model.decision({1.5f}), restored.decision({1.5f}));
+  std::remove(path.c_str());
+}
+
+TEST(Mining, RequiresBothClasses) {
+  LinearSvm svm;
+  auto extractor = [](const vision::Image& img) { return img.data(); };
+  EXPECT_THROW(
+      trainWithHardNegatives(svm, extractor, {}, {vision::Image(2, 2)}, {}),
+      std::invalid_argument);
+}
+
+TEST(Mining, MinesFalsePositivesAndImproves) {
+  // Tiny synthetic setup: features are 8x16 windows flattened; positives
+  // are bright-centre windows.
+  pcnn::Rng rng(5);
+  auto makeWindow = [&](bool positive) {
+    vision::Image img(8, 16, 0.2f);
+    for (int y = 4; y < 12; ++y) {
+      for (int x = 2; x < 6; ++x) {
+        img.at(x, y) = positive ? 0.9f : 0.25f;
+      }
+    }
+    for (float& v : img.data()) {
+      v += 0.05f * static_cast<float>(rng.normal());
+    }
+    return img;
+  };
+  std::vector<vision::Image> pos, neg, scenes;
+  for (int i = 0; i < 30; ++i) pos.push_back(makeWindow(true));
+  for (int i = 0; i < 30; ++i) neg.push_back(makeWindow(false));
+  // Negative scenes containing decoys that replicate the positive pattern:
+  // by construction the initial SVM scores them high, so mining must find
+  // and absorb them.
+  for (int i = 0; i < 2; ++i) {
+    vision::Image scene(32, 48, 0.2f);
+    const vision::Image decoy = makeWindow(true);
+    // On the scan grid so the initial model is guaranteed to fire on it.
+    for (int y = 0; y < 16; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        scene.at(8 + x, 16 + y) = decoy.at(x, y);
+      }
+    }
+    scenes.push_back(scene);
+  }
+
+  MiningParams params;
+  params.mineThreshold = -0.5f;  // mine near-boundary windows too
+  params.scan.windowWidth = 8;
+  params.scan.windowHeight = 16;
+  params.scan.strideX = 4;
+  params.scan.strideY = 4;
+  params.scan.pyramid.minWidth = 8;
+  params.scan.pyramid.minHeight = 16;
+  params.scan.pyramid.maxLevels = 1;
+  auto extractor = [](const vision::Image& img) { return img.data(); };
+
+  // Baseline without mining for comparison.
+  LinearSvm baseline;
+  MiningParams noMining = params;
+  noMining.rounds = 0;
+  trainWithHardNegatives(baseline, extractor, pos, neg, scenes, noMining);
+
+  LinearSvm svm;
+  const MiningResult result =
+      trainWithHardNegatives(svm, extractor, pos, neg, scenes, params);
+  EXPECT_GT(result.minedNegatives, 0);
+  EXPECT_GT(result.finalTrainAccuracy, 0.8);
+
+  // Mining must lower the scene windows' decision values overall.
+  auto maxSceneScore = [&](const LinearSvm& model) {
+    double best = -1e9;
+    vision::forEachWindow(
+        scenes[0], params.scan,
+        [&](const vision::Image& level, const vision::Rect& r,
+            const vision::Rect&) {
+          const vision::Image w =
+              level.crop(static_cast<int>(r.x), static_cast<int>(r.y),
+                         static_cast<int>(r.w), static_cast<int>(r.h));
+          best = std::max(best, model.decision(extractor(w)));
+        });
+    return best;
+  };
+  EXPECT_LT(maxSceneScore(svm), maxSceneScore(baseline));
+}
+
+}  // namespace
+}  // namespace pcnn::svm

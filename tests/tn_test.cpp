@@ -1,0 +1,480 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "tn/core.hpp"
+#include "tn/corelet.hpp"
+#include "tn/energy.hpp"
+#include "tn/model_io.hpp"
+#include "tn/network.hpp"
+#include "tn/spike_coding.hpp"
+#include "tn/util_corelets.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pcnn::tn {
+namespace {
+
+TEST(Core, IntegratesWeightedSpikes) {
+  Core core;
+  Rng rng(1);
+  core.setAxonType(0, 0);
+  core.setAxonType(1, 1);
+  core.setConnection(0, 0, true);
+  core.setConnection(1, 0, true);
+  core.neuron(0).synapticWeights = {3, -2, 0, 0};
+  core.neuron(0).threshold = 100;  // never fires in this test
+  core.deliverSpike(0);
+  core.deliverSpike(1);
+  std::vector<int> fired;
+  core.tick(rng, fired);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(core.potential(0), 1);  // 3 - 2
+}
+
+TEST(Core, DisconnectedAxonHasNoEffect) {
+  Core core;
+  Rng rng(1);
+  core.setAxonType(0, 0);
+  core.neuron(0).synapticWeights = {5, 0, 0, 0};
+  core.neuron(0).threshold = 100;
+  core.deliverSpike(0);  // not connected
+  std::vector<int> fired;
+  core.tick(rng, fired);
+  EXPECT_EQ(core.potential(0), 0);
+}
+
+TEST(Core, FiresAtThresholdAndResetsAbsolute) {
+  Core core;
+  Rng rng(1);
+  core.setConnection(0, 0, true);
+  core.neuron(0).synapticWeights = {2, 0, 0, 0};
+  core.neuron(0).threshold = 2;
+  core.neuron(0).resetMode = ResetMode::kAbsolute;
+  core.neuron(0).resetValue = 0;
+  core.deliverSpike(0);
+  std::vector<int> fired;
+  core.tick(rng, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 0);
+  EXPECT_EQ(core.potential(0), 0);
+  EXPECT_EQ(core.firedCount(), 1);
+}
+
+TEST(Core, LinearResetConservesSpikeCount) {
+  // Deliver 3 same-tick spikes to a threshold-1 counter with linear reset:
+  // it must emit exactly 3 spikes over 3 ticks.
+  Core core;
+  Rng rng(1);
+  for (int a = 0; a < 3; ++a) {
+    core.setConnection(a, 0, true);
+  }
+  core.neuron(0).synapticWeights = {1, 0, 0, 0};
+  core.neuron(0).threshold = 1;
+  core.neuron(0).resetMode = ResetMode::kLinear;
+  core.neuron(0).floorPotential = 0;
+  for (int a = 0; a < 3; ++a) core.deliverSpike(a);
+  std::vector<int> fired;
+  int total = 0;
+  for (int t = 0; t < 5; ++t) {
+    fired.clear();
+    core.tick(rng, fired);
+    total += static_cast<int>(fired.size());
+  }
+  EXPECT_EQ(total, 3);
+}
+
+TEST(Core, LeakAccumulates) {
+  Core core;
+  Rng rng(1);
+  core.neuron(0).leak = -1;
+  core.neuron(0).threshold = 100;
+  core.neuron(0).floorPotential = -3;
+  std::vector<int> fired;
+  for (int t = 0; t < 10; ++t) core.tick(rng, fired);
+  EXPECT_EQ(core.potential(0), -3);  // clamped at floor
+}
+
+TEST(Core, StochasticThresholdFiresProbabilistically) {
+  Core core;
+  Rng rng(123);
+  core.setConnection(0, 0, true);
+  core.neuron(0).synapticWeights = {1, 0, 0, 0};
+  core.neuron(0).threshold = 1;
+  core.neuron(0).stochasticThreshold = true;
+  core.neuron(0).stochasticMask = 3;  // effective threshold 1..4
+  int firedTotal = 0;
+  std::vector<int> fired;
+  for (int t = 0; t < 400; ++t) {
+    core.deliverSpike(0);
+    fired.clear();
+    core.tick(rng, fired);
+    core.setPotential(0, 0);
+    firedTotal += static_cast<int>(fired.size());
+  }
+  // V=1 fires only when the random addend is 0: expect ~25%.
+  EXPECT_GT(firedTotal, 50);
+  EXPECT_LT(firedTotal, 160);
+}
+
+TEST(Core, RangeChecks) {
+  Core core;
+  EXPECT_THROW(core.setAxonType(256, 0), std::out_of_range);
+  EXPECT_THROW(core.setAxonType(0, 4), std::invalid_argument);
+  EXPECT_THROW(core.setConnection(-1, 0, true), std::out_of_range);
+  EXPECT_THROW(core.neuron(256), std::out_of_range);
+}
+
+TEST(Core, SynapseCount) {
+  Core core;
+  core.setConnection(0, 0, true);
+  core.setConnection(0, 1, true);
+  core.setConnection(5, 7, true);
+  EXPECT_EQ(core.synapseCount(), 3);
+  core.setConnection(0, 0, false);
+  EXPECT_EQ(core.synapseCount(), 2);
+}
+
+TEST(Network, RoutesSpikesBetweenCores) {
+  Network net(1);
+  const int c0 = net.addCore();
+  const int c1 = net.addCore();
+  // Core 0 neuron 0: fires on any input, routes to core 1 axon 3.
+  net.core(c0).setConnection(0, 0, true);
+  net.core(c0).neuron(0).synapticWeights = {1, 0, 0, 0};
+  net.core(c0).neuron(0).threshold = 1;
+  net.core(c0).neuron(0).dest = Destination{c1, 3, 2};
+  // Core 1 neuron 5 fires when axon 3 spikes.
+  net.core(c1).setConnection(3, 5, true);
+  net.core(c1).neuron(5).synapticWeights = {1, 0, 0, 0};
+  net.core(c1).neuron(5).threshold = 1;
+  net.core(c1).neuron(5).recordOutput = true;
+
+  net.scheduleInput(0, c0, 0);
+  const RunResult result = net.run(5);
+  ASSERT_EQ(result.outputSpikes.size(), 1u);
+  // Input at t=0 -> c0 fires at t=0 -> delay 2 -> c1 integrates at t=2.
+  EXPECT_EQ(result.outputSpikes[0].tick, 2);
+  EXPECT_EQ(result.outputSpikes[0].core, c1);
+  EXPECT_EQ(result.outputSpikes[0].neuron, 5);
+  EXPECT_EQ(result.totalSpikes, 2);
+}
+
+TEST(Network, FarFutureInputsDelivered) {
+  Network net(1);
+  const int c0 = net.addCore();
+  net.core(c0).setConnection(0, 0, true);
+  net.core(c0).neuron(0).synapticWeights = {1, 0, 0, 0};
+  net.core(c0).neuron(0).threshold = 1;
+  net.core(c0).neuron(0).recordOutput = true;
+  net.scheduleInput(40, c0, 0);  // far beyond the delay ring
+  const RunResult result = net.run(45);
+  ASSERT_EQ(result.outputSpikes.size(), 1u);
+  EXPECT_EQ(result.outputSpikes[0].tick, 40);
+}
+
+TEST(Network, PastInputRejected) {
+  Network net(1);
+  net.addCore();
+  net.run(3);
+  EXPECT_THROW(net.scheduleInput(1, 0, 0), std::invalid_argument);
+}
+
+TEST(Network, ResetClearsStateAndTime) {
+  Network net(1);
+  const int c0 = net.addCore();
+  net.core(c0).setConnection(0, 0, true);
+  net.core(c0).neuron(0).synapticWeights = {1, 0, 0, 0};
+  net.core(c0).neuron(0).threshold = 5;
+  net.scheduleInput(0, c0, 0);
+  net.run(1);
+  EXPECT_EQ(net.core(c0).potential(0), 1);
+  net.reset(true);
+  EXPECT_EQ(net.core(c0).potential(0), 0);
+  EXPECT_EQ(net.currentTick(), 0);
+}
+
+TEST(Network, ChipCount) {
+  Network net(1);
+  for (int i = 0; i < 3; ++i) net.addCore();
+  EXPECT_EQ(net.chipCount(), 1);
+  EXPECT_EQ(net.coreCount(), 3);
+}
+
+TEST(Corelet, WireEnforcesSingleDestination) {
+  Network net(1);
+  CoreletBuilder builder(net);
+  const int c0 = builder.newCore();
+  const int c1 = builder.newCore();
+  builder.wire(c0, 0, c1, 0);
+  EXPECT_THROW(builder.wire(c0, 0, c1, 1), std::logic_error);
+}
+
+TEST(Corelet, WireRejectsBadDelay) {
+  Network net(1);
+  CoreletBuilder builder(net);
+  const int c0 = builder.newCore();
+  EXPECT_THROW(builder.wire(c0, 1, c0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(builder.wire(c0, 1, c0, 0, 16), std::invalid_argument);
+}
+
+TEST(Corelet, InputFanOutDuplicates) {
+  Network net(1);
+  CoreletBuilder builder(net);
+  const int c0 = builder.newCore();
+  const int input = builder.addInput("pixel");
+  builder.bindInput(input, c0, 0);
+  builder.bindInput(input, c0, 7);
+  net.core(c0).setConnection(0, 0, true);
+  net.core(c0).setConnection(7, 0, true);
+  net.core(c0).neuron(0).synapticWeights = {1, 0, 0, 0};
+  net.core(c0).neuron(0).threshold = 2;  // needs both axons
+  net.core(c0).neuron(0).recordOutput = true;
+  builder.injectSpike(input, 0);
+  const RunResult result = net.run(1);
+  EXPECT_EQ(result.outputSpikes.size(), 1u);
+}
+
+TEST(Corelet, WeightRangeCheck) {
+  EXPECT_EQ(CoreletBuilder::checkWeight(255), 255);
+  EXPECT_EQ(CoreletBuilder::checkWeight(-256), -256);
+  EXPECT_THROW(CoreletBuilder::checkWeight(256), std::invalid_argument);
+  EXPECT_THROW(CoreletBuilder::checkWeight(-257), std::invalid_argument);
+}
+
+TEST(ModelIo, RoundTripPreservesBehaviour) {
+  // Build a small two-core network, save it, load it, and check the loaded
+  // instance produces identical output spikes for the same input.
+  Network net(1);
+  const int c0 = net.addCore();
+  const int c1 = net.addCore();
+  net.core(c0).setAxonType(0, 2);
+  net.core(c0).setConnection(0, 3, true);
+  net.core(c0).neuron(3).synapticWeights = {0, 0, 5, 0};
+  net.core(c0).neuron(3).threshold = 5;
+  net.core(c0).neuron(3).leak = -1;
+  net.core(c0).neuron(3).resetMode = ResetMode::kLinear;
+  net.core(c0).neuron(3).floorPotential = -10;
+  net.core(c0).neuron(3).dest = Destination{c1, 7, 3};
+  net.core(c1).setConnection(7, 1, true);
+  net.core(c1).neuron(1).synapticWeights = {1, 0, 0, 0};
+  net.core(c1).neuron(1).threshold = 1;
+  net.core(c1).neuron(1).recordOutput = true;
+
+  std::stringstream buffer;
+  saveModel(net, buffer);
+  auto loaded = loadModel(buffer, 1);
+  ASSERT_EQ(loaded->coreCount(), 2);
+
+  auto runBoth = [&](Network& a, Network& b) {
+    a.reset(true);
+    b.reset(true);
+    for (long t : {0L, 1L, 2L}) {
+      a.scheduleInput(t, c0, 0);
+      b.scheduleInput(t, c0, 0);
+    }
+    const RunResult ra = a.run(10);
+    const RunResult rb = b.run(10);
+    ASSERT_EQ(ra.outputSpikes.size(), rb.outputSpikes.size());
+    for (std::size_t i = 0; i < ra.outputSpikes.size(); ++i) {
+      EXPECT_EQ(ra.outputSpikes[i].tick, rb.outputSpikes[i].tick);
+      EXPECT_EQ(ra.outputSpikes[i].core, rb.outputSpikes[i].core);
+      EXPECT_EQ(ra.outputSpikes[i].neuron, rb.outputSpikes[i].neuron);
+    }
+    EXPECT_EQ(ra.totalSpikes, rb.totalSpikes);
+  };
+  runBoth(net, *loaded);
+}
+
+TEST(ModelIo, PreservesConfigurationFields) {
+  Network net(1);
+  const int c0 = net.addCore();
+  net.core(c0).neuron(9).stochasticThreshold = true;
+  net.core(c0).neuron(9).stochasticMask = 7;
+  net.core(c0).neuron(9).resetMode = ResetMode::kNone;
+  std::stringstream buffer;
+  saveModel(net, buffer);
+  auto loaded = loadModel(buffer);
+  const NeuronConfig& cfg =
+      static_cast<const Network&>(*loaded).core(c0).neuron(9);
+  EXPECT_TRUE(cfg.stochasticThreshold);
+  EXPECT_EQ(cfg.stochasticMask, 7);
+  EXPECT_EQ(cfg.resetMode, ResetMode::kNone);
+}
+
+TEST(ModelIo, BadInputRejected) {
+  std::stringstream bad("wrong-magic 1");
+  EXPECT_THROW(loadModel(bad), std::runtime_error);
+  std::stringstream truncated("pcnn-tn-v1 1\ncore 0\nconn 0 3 1 2");
+  EXPECT_THROW(loadModel(truncated), std::runtime_error);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  Network net(1);
+  net.addCore();
+  net.core(0).setConnection(4, 4, true);
+  const std::string path = "/tmp/pcnn_test_tn_model.txt";
+  saveModelFile(net, path);
+  auto loaded = loadModelFile(path);
+  EXPECT_TRUE(static_cast<const Network&>(*loaded).core(0).connection(4, 4));
+  std::remove(path.c_str());
+}
+
+TEST(UtilCorelets, SplitterDuplicatesStream) {
+  Network net(1);
+  CoreletBuilder builder(net);
+  const int relay = builder.newCore();
+  const int sink = builder.newCore();
+  const auto outs = buildSplitter(builder, relay, 0, 3);
+  ASSERT_EQ(outs.size(), 3u);
+  // Route the three copies to three sink axons; count arrivals.
+  for (int i = 0; i < 3; ++i) {
+    builder.wire(relay, outs[i], sink, i, 1);
+    net.core(sink).setConnection(i, i, true);
+    net.core(sink).neuron(i).synapticWeights = {1, 0, 0, 0};
+    net.core(sink).neuron(i).threshold = 1;
+    net.core(sink).neuron(i).recordOutput = true;
+  }
+  net.scheduleInput(0, relay, 0);
+  const RunResult result = net.run(4);
+  EXPECT_EQ(result.outputSpikes.size(), 3u);
+}
+
+TEST(UtilCorelets, DelayLineAddsStageLatency) {
+  Network net(1);
+  CoreletBuilder builder(net);
+  const int core = builder.newCore();
+  const int last = buildDelayLine(builder, core, 100, 4, 0);
+  net.core(core).neuron(last).recordOutput = true;
+  net.scheduleInput(0, core, 100);
+  const RunResult result = net.run(10);
+  ASSERT_EQ(result.outputSpikes.size(), 1u);
+  // 4 relays, each adding one routed tick after the first integration:
+  // fires at tick 3 relative to injection at tick 0.
+  EXPECT_EQ(result.outputSpikes[0].tick, 3);
+}
+
+TEST(UtilCorelets, BurstCounterFiresAtCount) {
+  Network net(1);
+  CoreletBuilder builder(net);
+  const int core = builder.newCore();
+  const int n = buildBurstCounter(builder, core, 0, 3);
+  net.core(core).neuron(n).recordOutput = true;
+  for (long t : {0L, 2L, 5L}) net.scheduleInput(t, core, 0);
+  const RunResult result = net.run(8);
+  ASSERT_EQ(result.outputSpikes.size(), 1u);
+  EXPECT_EQ(result.outputSpikes[0].tick, 5);  // third spike crosses
+}
+
+TEST(UtilCorelets, GeometryValidation) {
+  Network net(1);
+  CoreletBuilder builder(net);
+  const int core = builder.newCore();
+  EXPECT_THROW(buildSplitter(builder, core, 0, 0), std::invalid_argument);
+  EXPECT_THROW(buildSplitter(builder, core, 0, 300), std::invalid_argument);
+  EXPECT_THROW(buildDelayLine(builder, core, 2, 5, 0),
+               std::invalid_argument);  // axon range collides with input
+  EXPECT_THROW(buildBurstCounter(builder, core, 0, 0),
+               std::invalid_argument);
+}
+
+TEST(Energy, StaticTermScalesWithCoresAndTime) {
+  Network net(1);
+  net.addCore();
+  net.addCore();
+  RunResult run;
+  run.ticksRun = 100;  // 0.1 s at 1 ms ticks
+  const EnergyReport report = estimateEnergy(net, run);
+  EXPECT_NEAR(report.staticJoules, 2 * (65e-3 / 4096) * 0.1, 1e-9);
+  EXPECT_EQ(report.dynamicJoules, 0.0);
+  EXPECT_NEAR(report.watts, 2 * (65e-3 / 4096), 1e-9);
+}
+
+TEST(Energy, DynamicTermTracksSpikes) {
+  Network net(1);
+  const int c0 = net.addCore();
+  // One synapse per axon row on average: fan-out 1 for the fired neuron.
+  for (int a = 0; a < 256; ++a) net.core(c0).setConnection(a, 0, true);
+  net.core(c0).neuron(0).synapticWeights = {1, 0, 0, 0};
+  net.core(c0).neuron(0).threshold = 1;
+  net.scheduleInput(0, c0, 0);
+  const RunResult run = net.run(3);
+  EXPECT_EQ(run.totalSpikes, 1);
+  const EnergyReport report = estimateEnergy(net, run);
+  EXPECT_EQ(report.synapticEvents, 1);  // 1 spike x mean fan-out 1
+  EXPECT_NEAR(report.dynamicJoules, 26e-12, 1e-15);
+}
+
+TEST(Energy, ActivityClearsOnReset) {
+  Network net(1);
+  const int c0 = net.addCore();
+  net.core(c0).setConnection(0, 0, true);
+  net.core(c0).neuron(0).synapticWeights = {1, 0, 0, 0};
+  net.core(c0).neuron(0).threshold = 1;
+  net.scheduleInput(0, c0, 0);
+  net.run(1);
+  EXPECT_EQ(net.core(c0).firedCount(), 1);
+  net.reset(true);
+  EXPECT_EQ(net.core(c0).firedCount(), 0);
+}
+
+TEST(SpikeCoding, RateCodeCountRounds) {
+  EXPECT_EQ(rateCodeCount(0.0f, 64), 0);
+  EXPECT_EQ(rateCodeCount(1.0f, 64), 64);
+  EXPECT_EQ(rateCodeCount(0.5f, 64), 32);
+  EXPECT_EQ(rateCodeCount(1.5f, 64), 64);   // clamped
+  EXPECT_EQ(rateCodeCount(-0.5f, 64), 0);   // clamped
+}
+
+TEST(SpikeCoding, RateCodeTicksEvenlySpread) {
+  const auto ticks = rateCodeTicks(0.5f, 64);
+  ASSERT_EQ(ticks.size(), 32u);
+  // Even spread: consecutive spikes exactly 2 ticks apart.
+  for (std::size_t i = 1; i < ticks.size(); ++i) {
+    EXPECT_EQ(ticks[i] - ticks[i - 1], 2);
+  }
+  EXPECT_LT(ticks.back(), 64);
+}
+
+TEST(SpikeCoding, RateCodeTicksCountMatches) {
+  for (float v : {0.0f, 0.1f, 0.33f, 0.77f, 1.0f}) {
+    EXPECT_EQ(static_cast<int>(rateCodeTicks(v, 64).size()),
+              rateCodeCount(v, 64));
+  }
+}
+
+TEST(SpikeCoding, StochasticCodeMeanApproximatesValue) {
+  Rng rng(77);
+  int total = 0;
+  const int windows = 200;
+  for (int i = 0; i < windows; ++i) {
+    total += static_cast<int>(stochasticCodeTicks(0.3f, 32, rng).size());
+  }
+  const double meanRate = static_cast<double>(total) / (windows * 32.0);
+  EXPECT_NEAR(meanRate, 0.3, 0.03);
+}
+
+TEST(SpikeCoding, DecodeRate) {
+  EXPECT_FLOAT_EQ(decodeRate(32, 64), 0.5f);
+  EXPECT_FLOAT_EQ(decodeRate(0, 0), 0.0f);
+}
+
+class RatePrecisionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RatePrecisionTest, QuantizationErrorBoundedByHalfStep) {
+  const int window = GetParam();
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    const float decoded = decodeRate(rateCodeCount(v, window), window);
+    EXPECT_LE(std::abs(decoded - v), 0.5f / static_cast<float>(window) + 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, RatePrecisionTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace pcnn::tn
