@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_blocknorm.cpp" "bench/CMakeFiles/bench_ablation_blocknorm.dir/ablation_blocknorm.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_blocknorm.dir/ablation_blocknorm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/pcnn_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/pcnn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/pcnn_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tn/CMakeFiles/pcnn_tn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eedn/CMakeFiles/pcnn_eedn.dir/DependInfo.cmake"
+  "/root/repo/build/src/napprox/CMakeFiles/pcnn_napprox.dir/DependInfo.cmake"
+  "/root/repo/build/src/parrot/CMakeFiles/pcnn_parrot.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/pcnn_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcnn_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blocknorm.dir/ablation_blocknorm.cpp.o"
+  "CMakeFiles/bench_ablation_blocknorm.dir/ablation_blocknorm.cpp.o.d"
+  "bench_ablation_blocknorm"
+  "bench_ablation_blocknorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blocknorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parrot_field.dir/ablation_parrot_field.cpp.o"
+  "CMakeFiles/bench_ablation_parrot_field.dir/ablation_parrot_field.cpp.o.d"
+  "bench_ablation_parrot_field"
+  "bench_ablation_parrot_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parrot_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_absorbed.dir/ext_absorbed.cpp.o"
+  "CMakeFiles/bench_ext_absorbed.dir/ext_absorbed.cpp.o.d"
+  "bench_ext_absorbed"
+  "bench_ext_absorbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_absorbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_svm_curves.dir/fig4_svm_curves.cpp.o"
+  "CMakeFiles/bench_fig4_svm_curves.dir/fig4_svm_curves.cpp.o.d"
+  "bench_fig4_svm_curves"
+  "bench_fig4_svm_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_svm_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

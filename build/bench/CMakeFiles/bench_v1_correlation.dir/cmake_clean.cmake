@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_v1_correlation.dir/v1_correlation.cpp.o"
+  "CMakeFiles/bench_v1_correlation.dir/v1_correlation.cpp.o.d"
+  "bench_v1_correlation"
+  "bench_v1_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_v1_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corelet_inspector.dir/corelet_inspector.cpp.o"
+  "CMakeFiles/corelet_inspector.dir/corelet_inspector.cpp.o.d"
+  "corelet_inspector"
+  "corelet_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corelet_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parrot_training.dir/parrot_training.cpp.o"
+  "CMakeFiles/parrot_training.dir/parrot_training.cpp.o.d"
+  "parrot_training"
+  "parrot_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parrot_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("vision")
+subdirs("eval")
+subdirs("hog")
+subdirs("tn")
+subdirs("nn")
+subdirs("eedn")
+subdirs("napprox")
+subdirs("parrot")
+subdirs("svm")
+subdirs("power")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_core.dir/detector.cpp.o"
+  "CMakeFiles/pcnn_core.dir/detector.cpp.o.d"
+  "CMakeFiles/pcnn_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pcnn_core.dir/pipeline.cpp.o.d"
+  "libpcnn_core.a"
+  "libpcnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eedn/classifier.cpp" "src/eedn/CMakeFiles/pcnn_eedn.dir/classifier.cpp.o" "gcc" "src/eedn/CMakeFiles/pcnn_eedn.dir/classifier.cpp.o.d"
+  "/root/repo/src/eedn/mapper.cpp" "src/eedn/CMakeFiles/pcnn_eedn.dir/mapper.cpp.o" "gcc" "src/eedn/CMakeFiles/pcnn_eedn.dir/mapper.cpp.o.d"
+  "/root/repo/src/eedn/partitioned.cpp" "src/eedn/CMakeFiles/pcnn_eedn.dir/partitioned.cpp.o" "gcc" "src/eedn/CMakeFiles/pcnn_eedn.dir/partitioned.cpp.o.d"
+  "/root/repo/src/eedn/serialize.cpp" "src/eedn/CMakeFiles/pcnn_eedn.dir/serialize.cpp.o" "gcc" "src/eedn/CMakeFiles/pcnn_eedn.dir/serialize.cpp.o.d"
+  "/root/repo/src/eedn/trinary.cpp" "src/eedn/CMakeFiles/pcnn_eedn.dir/trinary.cpp.o" "gcc" "src/eedn/CMakeFiles/pcnn_eedn.dir/trinary.cpp.o.d"
+  "/root/repo/src/eedn/trinary_conv.cpp" "src/eedn/CMakeFiles/pcnn_eedn.dir/trinary_conv.cpp.o" "gcc" "src/eedn/CMakeFiles/pcnn_eedn.dir/trinary_conv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tn/CMakeFiles/pcnn_tn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

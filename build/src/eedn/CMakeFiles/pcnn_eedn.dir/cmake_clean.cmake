@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_eedn.dir/classifier.cpp.o"
+  "CMakeFiles/pcnn_eedn.dir/classifier.cpp.o.d"
+  "CMakeFiles/pcnn_eedn.dir/mapper.cpp.o"
+  "CMakeFiles/pcnn_eedn.dir/mapper.cpp.o.d"
+  "CMakeFiles/pcnn_eedn.dir/partitioned.cpp.o"
+  "CMakeFiles/pcnn_eedn.dir/partitioned.cpp.o.d"
+  "CMakeFiles/pcnn_eedn.dir/serialize.cpp.o"
+  "CMakeFiles/pcnn_eedn.dir/serialize.cpp.o.d"
+  "CMakeFiles/pcnn_eedn.dir/trinary.cpp.o"
+  "CMakeFiles/pcnn_eedn.dir/trinary.cpp.o.d"
+  "CMakeFiles/pcnn_eedn.dir/trinary_conv.cpp.o"
+  "CMakeFiles/pcnn_eedn.dir/trinary_conv.cpp.o.d"
+  "libpcnn_eedn.a"
+  "libpcnn_eedn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_eedn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

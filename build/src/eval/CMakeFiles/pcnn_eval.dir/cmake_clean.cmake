@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_eval.dir/detection_eval.cpp.o"
+  "CMakeFiles/pcnn_eval.dir/detection_eval.cpp.o.d"
+  "CMakeFiles/pcnn_eval.dir/pr_curve.cpp.o"
+  "CMakeFiles/pcnn_eval.dir/pr_curve.cpp.o.d"
+  "CMakeFiles/pcnn_eval.dir/stats.cpp.o"
+  "CMakeFiles/pcnn_eval.dir/stats.cpp.o.d"
+  "libpcnn_eval.a"
+  "libpcnn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hog/fixed_point.cpp" "src/hog/CMakeFiles/pcnn_hog.dir/fixed_point.cpp.o" "gcc" "src/hog/CMakeFiles/pcnn_hog.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/hog/gradient.cpp" "src/hog/CMakeFiles/pcnn_hog.dir/gradient.cpp.o" "gcc" "src/hog/CMakeFiles/pcnn_hog.dir/gradient.cpp.o.d"
+  "/root/repo/src/hog/hog.cpp" "src/hog/CMakeFiles/pcnn_hog.dir/hog.cpp.o" "gcc" "src/hog/CMakeFiles/pcnn_hog.dir/hog.cpp.o.d"
+  "/root/repo/src/hog/visualize.cpp" "src/hog/CMakeFiles/pcnn_hog.dir/visualize.cpp.o" "gcc" "src/hog/CMakeFiles/pcnn_hog.dir/visualize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/pcnn_vision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_hog.dir/fixed_point.cpp.o"
+  "CMakeFiles/pcnn_hog.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/pcnn_hog.dir/gradient.cpp.o"
+  "CMakeFiles/pcnn_hog.dir/gradient.cpp.o.d"
+  "CMakeFiles/pcnn_hog.dir/hog.cpp.o"
+  "CMakeFiles/pcnn_hog.dir/hog.cpp.o.d"
+  "CMakeFiles/pcnn_hog.dir/visualize.cpp.o"
+  "CMakeFiles/pcnn_hog.dir/visualize.cpp.o.d"
+  "libpcnn_hog.a"
+  "libpcnn_hog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_hog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/napprox/corelet.cpp" "src/napprox/CMakeFiles/pcnn_napprox.dir/corelet.cpp.o" "gcc" "src/napprox/CMakeFiles/pcnn_napprox.dir/corelet.cpp.o.d"
+  "/root/repo/src/napprox/napprox.cpp" "src/napprox/CMakeFiles/pcnn_napprox.dir/napprox.cpp.o" "gcc" "src/napprox/CMakeFiles/pcnn_napprox.dir/napprox.cpp.o.d"
+  "/root/repo/src/napprox/quantized.cpp" "src/napprox/CMakeFiles/pcnn_napprox.dir/quantized.cpp.o" "gcc" "src/napprox/CMakeFiles/pcnn_napprox.dir/quantized.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/pcnn_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/hog/CMakeFiles/pcnn_hog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tn/CMakeFiles/pcnn_tn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_napprox.dir/corelet.cpp.o"
+  "CMakeFiles/pcnn_napprox.dir/corelet.cpp.o.d"
+  "CMakeFiles/pcnn_napprox.dir/napprox.cpp.o"
+  "CMakeFiles/pcnn_napprox.dir/napprox.cpp.o.d"
+  "CMakeFiles/pcnn_napprox.dir/quantized.cpp.o"
+  "CMakeFiles/pcnn_napprox.dir/quantized.cpp.o.d"
+  "libpcnn_napprox.a"
+  "libpcnn_napprox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_napprox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

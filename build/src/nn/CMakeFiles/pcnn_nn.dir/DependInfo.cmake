@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/pcnn_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/pcnn_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/pcnn_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/pcnn_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/pcnn_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/pcnn_nn.dir/pooling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

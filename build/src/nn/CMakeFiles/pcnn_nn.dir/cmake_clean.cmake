@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_nn.dir/activations.cpp.o"
+  "CMakeFiles/pcnn_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/pcnn_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/pcnn_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/pcnn_nn.dir/dense.cpp.o"
+  "CMakeFiles/pcnn_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/pcnn_nn.dir/loss.cpp.o"
+  "CMakeFiles/pcnn_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/pcnn_nn.dir/pooling.cpp.o"
+  "CMakeFiles/pcnn_nn.dir/pooling.cpp.o.d"
+  "libpcnn_nn.a"
+  "libpcnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_parrot.dir/generator.cpp.o"
+  "CMakeFiles/pcnn_parrot.dir/generator.cpp.o.d"
+  "CMakeFiles/pcnn_parrot.dir/parrot.cpp.o"
+  "CMakeFiles/pcnn_parrot.dir/parrot.cpp.o.d"
+  "libpcnn_parrot.a"
+  "libpcnn_parrot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_parrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

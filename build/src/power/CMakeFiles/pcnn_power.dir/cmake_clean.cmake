@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_power.dir/power.cpp.o"
+  "CMakeFiles/pcnn_power.dir/power.cpp.o.d"
+  "libpcnn_power.a"
+  "libpcnn_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_svm.dir/linear_svm.cpp.o"
+  "CMakeFiles/pcnn_svm.dir/linear_svm.cpp.o.d"
+  "CMakeFiles/pcnn_svm.dir/mining.cpp.o"
+  "CMakeFiles/pcnn_svm.dir/mining.cpp.o.d"
+  "CMakeFiles/pcnn_svm.dir/serialize.cpp.o"
+  "CMakeFiles/pcnn_svm.dir/serialize.cpp.o.d"
+  "libpcnn_svm.a"
+  "libpcnn_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tn/core.cpp" "src/tn/CMakeFiles/pcnn_tn.dir/core.cpp.o" "gcc" "src/tn/CMakeFiles/pcnn_tn.dir/core.cpp.o.d"
+  "/root/repo/src/tn/corelet.cpp" "src/tn/CMakeFiles/pcnn_tn.dir/corelet.cpp.o" "gcc" "src/tn/CMakeFiles/pcnn_tn.dir/corelet.cpp.o.d"
+  "/root/repo/src/tn/energy.cpp" "src/tn/CMakeFiles/pcnn_tn.dir/energy.cpp.o" "gcc" "src/tn/CMakeFiles/pcnn_tn.dir/energy.cpp.o.d"
+  "/root/repo/src/tn/model_io.cpp" "src/tn/CMakeFiles/pcnn_tn.dir/model_io.cpp.o" "gcc" "src/tn/CMakeFiles/pcnn_tn.dir/model_io.cpp.o.d"
+  "/root/repo/src/tn/network.cpp" "src/tn/CMakeFiles/pcnn_tn.dir/network.cpp.o" "gcc" "src/tn/CMakeFiles/pcnn_tn.dir/network.cpp.o.d"
+  "/root/repo/src/tn/spike_coding.cpp" "src/tn/CMakeFiles/pcnn_tn.dir/spike_coding.cpp.o" "gcc" "src/tn/CMakeFiles/pcnn_tn.dir/spike_coding.cpp.o.d"
+  "/root/repo/src/tn/util_corelets.cpp" "src/tn/CMakeFiles/pcnn_tn.dir/util_corelets.cpp.o" "gcc" "src/tn/CMakeFiles/pcnn_tn.dir/util_corelets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

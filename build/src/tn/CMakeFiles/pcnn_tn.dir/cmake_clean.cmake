@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_tn.dir/core.cpp.o"
+  "CMakeFiles/pcnn_tn.dir/core.cpp.o.d"
+  "CMakeFiles/pcnn_tn.dir/corelet.cpp.o"
+  "CMakeFiles/pcnn_tn.dir/corelet.cpp.o.d"
+  "CMakeFiles/pcnn_tn.dir/energy.cpp.o"
+  "CMakeFiles/pcnn_tn.dir/energy.cpp.o.d"
+  "CMakeFiles/pcnn_tn.dir/model_io.cpp.o"
+  "CMakeFiles/pcnn_tn.dir/model_io.cpp.o.d"
+  "CMakeFiles/pcnn_tn.dir/network.cpp.o"
+  "CMakeFiles/pcnn_tn.dir/network.cpp.o.d"
+  "CMakeFiles/pcnn_tn.dir/spike_coding.cpp.o"
+  "CMakeFiles/pcnn_tn.dir/spike_coding.cpp.o.d"
+  "CMakeFiles/pcnn_tn.dir/util_corelets.cpp.o"
+  "CMakeFiles/pcnn_tn.dir/util_corelets.cpp.o.d"
+  "libpcnn_tn.a"
+  "libpcnn_tn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_tn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/draw.cpp" "src/vision/CMakeFiles/pcnn_vision.dir/draw.cpp.o" "gcc" "src/vision/CMakeFiles/pcnn_vision.dir/draw.cpp.o.d"
+  "/root/repo/src/vision/image.cpp" "src/vision/CMakeFiles/pcnn_vision.dir/image.cpp.o" "gcc" "src/vision/CMakeFiles/pcnn_vision.dir/image.cpp.o.d"
+  "/root/repo/src/vision/nms.cpp" "src/vision/CMakeFiles/pcnn_vision.dir/nms.cpp.o" "gcc" "src/vision/CMakeFiles/pcnn_vision.dir/nms.cpp.o.d"
+  "/root/repo/src/vision/pgm.cpp" "src/vision/CMakeFiles/pcnn_vision.dir/pgm.cpp.o" "gcc" "src/vision/CMakeFiles/pcnn_vision.dir/pgm.cpp.o.d"
+  "/root/repo/src/vision/pyramid.cpp" "src/vision/CMakeFiles/pcnn_vision.dir/pyramid.cpp.o" "gcc" "src/vision/CMakeFiles/pcnn_vision.dir/pyramid.cpp.o.d"
+  "/root/repo/src/vision/sliding_window.cpp" "src/vision/CMakeFiles/pcnn_vision.dir/sliding_window.cpp.o" "gcc" "src/vision/CMakeFiles/pcnn_vision.dir/sliding_window.cpp.o.d"
+  "/root/repo/src/vision/synth.cpp" "src/vision/CMakeFiles/pcnn_vision.dir/synth.cpp.o" "gcc" "src/vision/CMakeFiles/pcnn_vision.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcnn_vision.dir/draw.cpp.o"
+  "CMakeFiles/pcnn_vision.dir/draw.cpp.o.d"
+  "CMakeFiles/pcnn_vision.dir/image.cpp.o"
+  "CMakeFiles/pcnn_vision.dir/image.cpp.o.d"
+  "CMakeFiles/pcnn_vision.dir/nms.cpp.o"
+  "CMakeFiles/pcnn_vision.dir/nms.cpp.o.d"
+  "CMakeFiles/pcnn_vision.dir/pgm.cpp.o"
+  "CMakeFiles/pcnn_vision.dir/pgm.cpp.o.d"
+  "CMakeFiles/pcnn_vision.dir/pyramid.cpp.o"
+  "CMakeFiles/pcnn_vision.dir/pyramid.cpp.o.d"
+  "CMakeFiles/pcnn_vision.dir/sliding_window.cpp.o"
+  "CMakeFiles/pcnn_vision.dir/sliding_window.cpp.o.d"
+  "CMakeFiles/pcnn_vision.dir/synth.cpp.o"
+  "CMakeFiles/pcnn_vision.dir/synth.cpp.o.d"
+  "libpcnn_vision.a"
+  "libpcnn_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcnn_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

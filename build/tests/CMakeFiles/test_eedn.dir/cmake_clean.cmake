@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eedn.dir/eedn_test.cpp.o"
+  "CMakeFiles/test_eedn.dir/eedn_test.cpp.o.d"
+  "test_eedn"
+  "test_eedn.pdb"
+  "test_eedn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eedn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

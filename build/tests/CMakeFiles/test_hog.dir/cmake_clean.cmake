@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hog.dir/hog_test.cpp.o"
+  "CMakeFiles/test_hog.dir/hog_test.cpp.o.d"
+  "test_hog"
+  "test_hog.pdb"
+  "test_hog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

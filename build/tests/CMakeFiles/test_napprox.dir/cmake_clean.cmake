@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_napprox.dir/napprox_test.cpp.o"
+  "CMakeFiles/test_napprox.dir/napprox_test.cpp.o.d"
+  "test_napprox"
+  "test_napprox.pdb"
+  "test_napprox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_napprox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

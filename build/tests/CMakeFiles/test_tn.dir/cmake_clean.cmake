@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tn.dir/tn_test.cpp.o"
+  "CMakeFiles/test_tn.dir/tn_test.cpp.o.d"
+  "test_tn"
+  "test_tn.pdb"
+  "test_tn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
