@@ -26,22 +26,24 @@ struct ExtractorConfig {
   std::string name;
   pcnn::core::GridExtractor grid;
   pcnn::core::WindowFeatureAssembler assembler;
-  pcnn::svm::WindowExtractor window;  ///< descriptor of a full 64x128 window
 };
 
 void runConfig(const ExtractorConfig& config,
                const pcnn::bench::BenchDataset& data) {
   using namespace pcnn;
 
-  // Train the SVM on block descriptors with one hard-negative round.
+  // Train the SVM on block descriptors with one hard-negative round. The
+  // grid/assembler pair is shared with the detector below, so mining scans
+  // negative scenes over cached per-level cell grids too.
   svm::LinearSvm model;
   svm::MiningParams mining;
   mining.mineThreshold = -0.25f;  // near-boundary windows count as hard
   mining.scan.strideX = 16;
   mining.scan.strideY = 16;
   mining.scan.pyramid.maxLevels = 3;
+  svm::GridExtractorPair gridExtractor{config.grid, config.assembler, 8};
   const auto miningResult = svm::trainWithHardNegatives(
-      model, config.window, data.trainPositives, data.trainNegatives,
+      model, gridExtractor, data.trainPositives, data.trainNegatives,
       data.negativeScenes, mining);
 
   core::GridDetectorParams params;
@@ -85,8 +87,7 @@ int main() {
           grid.data.assign(intGrid.data.begin(), intGrid.data.end());
           return grid;
         },
-        core::blockFeatureAssembler(blockParams, 8, 16),
-        [fpga](const Image& w) { return fpga->windowDescriptor(w); }};
+        core::blockFeatureAssembler(blockParams, 8, 16)};
     runConfig(config, data);
   }
 
@@ -99,8 +100,7 @@ int main() {
     ExtractorConfig config{
         "NApprox(fp) l2norm, 18 bins, count",
         [napproxFp](const Image& img) { return napproxFp->computeCells(img); },
-        core::blockFeatureAssembler(blockParams, 8, 16),
-        [napproxFp](const Image& w) { return napproxFp->windowDescriptor(w); }};
+        core::blockFeatureAssembler(blockParams, 8, 16)};
     runConfig(config, data);
   }
 
@@ -113,10 +113,7 @@ int main() {
     ExtractorConfig config{
         "NApprox l2norm (64-spike quantized)",
         [quantized](const Image& img) { return quantized->computeCells(img); },
-        core::blockFeatureAssembler(blockParams, 8, 16),
-        [quantized](const Image& w) {
-          return quantized->windowDescriptor(w);
-        }};
+        core::blockFeatureAssembler(blockParams, 8, 16)};
     runConfig(config, data);
   }
 

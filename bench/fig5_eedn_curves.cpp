@@ -31,11 +31,13 @@ pcnn::eedn::EednClassifierConfig classifierConfig(std::uint64_t seed) {
 
 void runPipeline(const std::string& name,
                  const pcnn::core::WindowExtractorFn& extract,
+                 const pcnn::core::BatchExtractorFn& extractBatch,
                  const pcnn::core::GridExtractor& grid,
                  const pcnn::bench::BenchDataset& data, long extractorCores,
                  int paperExtractorCores, int featureResamples = 1) {
   using namespace pcnn;
-  core::PartitionedPipeline pipeline(extract, classifierConfig(5));
+  core::PartitionedPipeline pipeline(extract, extractBatch,
+                                     classifierConfig(5));
 
   // Stochastic extractors (the spike-coded parrot) produce a fresh noise
   // realization per extraction; training on several realizations per
@@ -87,6 +89,9 @@ int main() {
   runPipeline(
       "NApprox HoG",
       [napproxHog](const Image& w) { return napproxHog->cellDescriptor(w); },
+      [napproxHog](const std::vector<Image>& ws) {
+        return napproxHog->cellDescriptorBatch(ws);
+      },
       [napproxHog](const Image& img) { return napproxHog->computeCells(img); },
       data, 20 * 128, 26 * 128);
 
@@ -108,6 +113,9 @@ int main() {
   runPipeline(
       "Parrot HoG (32-spike)",
       [parrotHog](const Image& w) { return parrotHog->cellDescriptor(w); },
+      [parrotHog](const std::vector<Image>& ws) {
+        return parrotHog->cellDescriptorBatch(ws);
+      },
       [parrotHog](const Image& img) { return parrotHog->computeCells(img); },
       data, static_cast<long>(parrotHog->mappedCoresPerCell()) * 128,
       8 * 128, /*featureResamples=*/3);

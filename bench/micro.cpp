@@ -4,7 +4,10 @@
 // inferences/s).
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/detector.hpp"
+#include "vision/sliding_window.hpp"
 #include "hog/fixed_point.hpp"
 #include "hog/hog.hpp"
 #include "napprox/corelet.hpp"
@@ -124,6 +127,73 @@ void BM_TnNetworkTick(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8);  // core-ticks
 }
 BENCHMARK(BM_TnNetworkTick);
+
+// --- Full-frame detection: legacy per-window recomputation vs cached -----
+// per-level cell grids (GridDetector), across thread counts. Same 640x480
+// synthetic scene, classic HoG block descriptors, 8-px stride.
+
+const vision::Image& benchScene() {
+  static const vision::Image scene = [] {
+    vision::SyntheticPersonDataset synth;
+    Rng rng(42);
+    return synth.scene(rng, 640, 480, 2).image;
+  }();
+  return scene;
+}
+
+float benchScore(const std::vector<float>& f) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    acc += (i % 2 == 0 ? 1.0f : -1.0f) * f[i];
+  }
+  return acc;
+}
+
+void BM_DetectFullFrame_LegacyPerWindow(benchmark::State& state) {
+  setThreadCount(static_cast<int>(state.range(0)));
+  const hog::HogExtractor extractor;
+  vision::SlidingWindowParams scan;
+  long kept = 0;
+  for (auto _ : state) {
+    vision::forEachWindow(
+        benchScene(), scan,
+        [&](const vision::Image& level, const vision::Rect& inLevel,
+            const vision::Rect&) {
+          const vision::Image window = level.crop(
+              static_cast<int>(inLevel.x), static_cast<int>(inLevel.y),
+              static_cast<int>(inLevel.w), static_cast<int>(inLevel.h));
+          if (benchScore(extractor.windowDescriptor(window)) > 1e9f) ++kept;
+        });
+  }
+  benchmark::DoNotOptimize(kept);
+  state.SetItemsProcessed(state.iterations() *
+                          vision::countWindows(benchScene(), scan));
+}
+BENCHMARK(BM_DetectFullFrame_LegacyPerWindow)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_DetectFullFrame_CachedGrid(benchmark::State& state) {
+  setThreadCount(static_cast<int>(state.range(0)));
+  const auto extractor = std::make_shared<hog::HogExtractor>();
+  core::GridDetectorParams params;
+  params.scoreThreshold = 1e9f;
+  const core::GridDetector detector(
+      params,
+      [extractor](const vision::Image& img) {
+        return extractor->computeCells(img);
+      },
+      core::blockFeatureAssembler(hog::HogParams{}, 8, 16), benchScore);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detectRaw(benchScene()));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      vision::countWindows(benchScene(), vision::SlidingWindowParams{}));
+}
+BENCHMARK(BM_DetectFullFrame_CachedGrid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SvmDecision7560(benchmark::State& state) {
   // Decision cost at the paper's descriptor width.

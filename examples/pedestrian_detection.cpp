@@ -36,33 +36,34 @@ int main(int argc, char** argv) {
     negativeScenes.push_back(dataset.scene(rng, 256, 256, 0).image);
   }
 
-  // 2. SVM on flat NApprox cell features, with hard-negative mining.
+  // 2. SVM on flat NApprox cell features, with hard-negative mining. The
+  // grid/assembler pair is shared with the detector: mining scans each
+  // negative scene over one cached cell grid per pyramid level instead of
+  // re-extracting every window from scratch.
   napprox::NApproxHog featureHog;
-  auto extract = [&featureHog](const vision::Image& w) {
-    return featureHog.cellDescriptor(w);
+  auto grid = [&featureHog](const vision::Image& img) {
+    return featureHog.computeCells(img);
   };
+  auto assembler = core::cellFeatureAssembler(8, 16);
   svm::LinearSvm model;
   svm::MiningParams mining;
   mining.scan.strideX = 16;
   mining.scan.strideY = 16;
   mining.scan.pyramid.maxLevels = 3;
   const auto miningResult = svm::trainWithHardNegatives(
-      model, extract, positives, negatives, negativeScenes, mining);
+      model, svm::GridExtractorPair{grid, assembler, 8}, positives, negatives,
+      negativeScenes, mining);
   std::printf("trained SVM: %d hard negatives mined, train accuracy %.3f\n",
               miningResult.minedNegatives, miningResult.finalTrainAccuracy);
 
-  // 3. Multi-scale detection on fresh scenes.
+  // 3. Multi-scale detection on fresh scenes (window rows scanned on the
+  // thread pool; set PCNN_NUM_THREADS to control it).
   core::GridDetectorParams params;
   params.scoreThreshold = 0.25f;
-  core::GridDetector detector(
-      params,
-      [&featureHog](const vision::Image& img) {
-        return featureHog.computeCells(img);
-      },
-      core::cellFeatureAssembler(8, 16),
-      [&model](const std::vector<float>& f) {
-        return static_cast<float>(model.decision(f));
-      });
+  core::GridDetector detector(params, grid, assembler,
+                              [&model](const std::vector<float>& f) {
+                                return static_cast<float>(model.decision(f));
+                              });
 
   std::vector<eval::ImageResult> results;
   for (int s = 0; s < numScenes; ++s) {

@@ -1,0 +1,178 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcnn {
+namespace {
+
+int defaultThreadCount() {
+  if (const char* env = std::getenv("PCNN_NUM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1 && parsed <= 1024) return static_cast<int>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// A worker pulls chunk indices from the shared job via fetch_add; the
+/// caller participates too, so a pool of size N holds N-1 threads.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ThreadPool() { resize(defaultThreadCount()); }
+
+  ~ThreadPool() { stopWorkers(); }
+
+  int size() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  void resize(int n) {
+    if (n < 1) n = 1;
+    stopWorkers();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+    for (int i = 0; i < n - 1; ++i) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  void run(long numChunks, const std::function<void(long)>& chunk) {
+    if (numChunks <= 0) return;
+    // Nested parallelFor (a body that itself calls parallelFor) and the
+    // single-threaded configuration both run inline: correct, deterministic
+    // and deadlock-free.
+    if (insideJob_ || numChunks == 1 || workers_.empty()) {
+      for (long c = 0; c < numChunks; ++c) chunk(c);
+      return;
+    }
+    std::exception_ptr firstError;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobChunk_ = &chunk;
+      jobError_ = &firstError;
+      jobSize_.store(numChunks, std::memory_order_relaxed);
+      pending_.store(numChunks, std::memory_order_relaxed);
+      ++generation_;
+      // Release-store last: a worker that claims a chunk index below
+      // numChunks is guaranteed (acquire on the claim) to see every field
+      // written above. A straggler from the previous job reads a counter
+      // value >= the old job size and exits without touching them.
+      nextChunk_.store(0, std::memory_order_release);
+    }
+    wake_.notify_all();
+    insideJob_ = true;
+    drainChunks();
+    insideJob_ = false;
+    {
+      // Wait until every chunk has finished (not merely been claimed).
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+      jobChunk_ = nullptr;
+      jobError_ = nullptr;
+    }
+    if (firstError) std::rethrow_exception(firstError);
+  }
+
+ private:
+  static thread_local bool insideJob_;
+
+  void workerLoop() {
+    insideJob_ = true;  // workers never re-dispatch to the pool
+    std::uint64_t seenGeneration = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] {
+          return stopping_ || generation_ != seenGeneration;
+        });
+        if (stopping_) return;
+        seenGeneration = generation_;
+      }
+      drainChunks();
+    }
+  }
+
+  void drainChunks() {
+    while (true) {
+      const long c = nextChunk_.fetch_add(1, std::memory_order_acquire);
+      if (c >= jobSize_.load(std::memory_order_relaxed)) return;
+      try {
+        (*jobChunk_)(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (jobError_ && !*jobError_) *jobError_ = std::current_exception();
+      }
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last chunk: release the caller blocked in run().
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_.notify_all();
+      }
+    }
+  }
+
+  void stopWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  std::uint64_t generation_ = 0;
+
+  const std::function<void(long)>* jobChunk_ = nullptr;
+  std::exception_ptr* jobError_ = nullptr;
+  std::atomic<long> jobSize_{0};
+  std::atomic<long> nextChunk_{0};
+  std::atomic<long> pending_{0};
+};
+
+thread_local bool ThreadPool::insideJob_ = false;
+
+}  // namespace
+
+int threadCount() { return ThreadPool::instance().size(); }
+
+void setThreadCount(int n) { ThreadPool::instance().resize(n); }
+
+void parallelForChunked(long begin, long end, long grain,
+                        const std::function<void(long, long)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const long numChunks = (end - begin + grain - 1) / grain;
+  ThreadPool::instance().run(numChunks, [&](long c) {
+    const long lo = begin + c * grain;
+    const long hi = lo + grain < end ? lo + grain : end;
+    body(lo, hi);
+  });
+}
+
+void parallelFor(long begin, long end,
+                 const std::function<void(long)>& body) {
+  parallelForChunked(begin, end, 1, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace pcnn

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/parallel.hpp"
+
 namespace pcnn::core {
 
 GridDetector::GridDetector(const GridDetectorParams& params,
@@ -27,26 +29,47 @@ std::vector<vision::Detection> GridDetector::detectRaw(
   const auto levels = vision::buildPyramid(scene, pp);
 
   for (const vision::PyramidLevel& level : levels) {
+    // The grid is extracted once per level (extractors may be stateful, so
+    // this stays on the calling thread); every window over the level then
+    // shares it. Rows are scored on the pool, each collecting into its own
+    // bucket, and buckets are concatenated in row order afterwards so the
+    // output is identical to the sequential scan for any thread count.
     const hog::CellGrid grid = extractor_(level.image);
     const int maxCy = grid.cellsY - params_.windowCellsY;
     const int maxCx = grid.cellsX - params_.windowCellsX;
-    for (int cy = 0; cy <= maxCy; ++cy) {
+    if (maxCy < 0 || maxCx < 0) continue;
+    std::vector<std::vector<vision::Detection>> rows(
+        static_cast<std::size_t>(maxCy) + 1);
+    auto scanRow = [&](long cy) {
+      std::vector<vision::Detection>& row =
+          rows[static_cast<std::size_t>(cy)];
       for (int cx = 0; cx <= maxCx; ++cx) {
-        const std::vector<float> features = assembler_(grid, cx, cy);
+        const std::vector<float> features =
+            assembler_(grid, cx, static_cast<int>(cy));
         const float score = scorer_(features);
         if (score < params_.scoreThreshold) continue;
         vision::Detection det;
         det.score = score;
         det.box.x = static_cast<float>(cx * params_.cellSize) * level.scale;
-        det.box.y = static_cast<float>(cy * params_.cellSize) * level.scale;
+        det.box.y = static_cast<float>(static_cast<int>(cy) *
+                                       params_.cellSize) *
+                    level.scale;
         det.box.w = static_cast<float>(params_.windowCellsX *
                                        params_.cellSize) *
                     level.scale;
         det.box.h = static_cast<float>(params_.windowCellsY *
                                        params_.cellSize) *
                     level.scale;
-        detections.push_back(det);
+        row.push_back(det);
       }
+    };
+    if (params_.parallelScan) {
+      parallelFor(0, maxCy + 1, scanRow);
+    } else {
+      for (int cy = 0; cy <= maxCy; ++cy) scanRow(cy);
+    }
+    for (const auto& row : rows) {
+      detections.insert(detections.end(), row.begin(), row.end());
     }
   }
   return detections;
@@ -77,23 +100,13 @@ WindowFeatureAssembler cellFeatureAssembler(int windowCellsX,
 WindowFeatureAssembler blockFeatureAssembler(const hog::HogParams& params,
                                              int windowCellsX,
                                              int windowCellsY) {
-  return [params, windowCellsX, windowCellsY](const hog::CellGrid& grid,
-                                              int cx0, int cy0) {
-    // Copy the window's sub-grid, then reuse the HoG block assembly.
-    hog::CellGrid sub;
-    sub.cellsX = windowCellsX;
-    sub.cellsY = windowCellsY;
-    sub.bins = grid.bins;
-    sub.data.reserve(static_cast<std::size_t>(windowCellsX) * windowCellsY *
-                     grid.bins);
-    for (int cy = 0; cy < windowCellsY; ++cy) {
-      for (int cx = 0; cx < windowCellsX; ++cx) {
-        const float* hist = grid.cell(cx0 + cx, cy0 + cy);
-        sub.data.insert(sub.data.end(), hist, hist + grid.bins);
-      }
-    }
-    const hog::HogExtractor assembler(params);
-    return assembler.blocksFromGrid(sub);
+  // Slice blocks straight out of the shared level grid -- no sub-grid copy
+  // and no per-window extractor construction.
+  const hog::HogExtractor assembler(params);
+  return [assembler, windowCellsX, windowCellsY](const hog::CellGrid& grid,
+                                                 int cx0, int cy0) {
+    return assembler.windowDescriptorFromGrid(grid, cx0, cy0, windowCellsX,
+                                              windowCellsY);
   };
 }
 

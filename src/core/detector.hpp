@@ -32,6 +32,13 @@ struct GridDetectorParams {
   float scoreThreshold = 0.0f;  ///< keep windows scoring at least this
   float nmsEpsilon = 0.2f;      ///< the paper's NMS epsilon
   vision::PyramidParams pyramid;  ///< 1.1x scale steps by default
+  /// Scan window rows on the global thread pool (PCNN_NUM_THREADS). The
+  /// assembler and scorer are then called concurrently and must be
+  /// re-entrant for concurrent reads -- true of the built-in assemblers,
+  /// LinearSvm::decision and EednClassifier::score (inference is
+  /// read-only). Detections are emitted in the same row-major order as the
+  /// sequential scan, so results are identical for any thread count.
+  bool parallelScan = true;
 };
 
 class GridDetector {

@@ -8,11 +8,36 @@ namespace pcnn::core {
 PartitionedPipeline::PartitionedPipeline(
     WindowExtractorFn extractor,
     const eedn::EednClassifierConfig& classifierConfig)
+    : PartitionedPipeline(std::move(extractor), BatchExtractorFn{},
+                          classifierConfig) {}
+
+PartitionedPipeline::PartitionedPipeline(
+    WindowExtractorFn extractor, BatchExtractorFn batchExtractor,
+    const eedn::EednClassifierConfig& classifierConfig)
     : extractor_(std::move(extractor)),
+      batchExtractor_(std::move(batchExtractor)),
       classifier_(std::make_unique<eedn::EednClassifier>(classifierConfig)) {
   if (!extractor_) {
     throw std::invalid_argument("PartitionedPipeline: null extractor");
   }
+}
+
+std::vector<std::vector<float>> PartitionedPipeline::extractAll(
+    const std::vector<vision::Image>& windows) const {
+  if (batchExtractor_) {
+    auto features = batchExtractor_(windows);
+    if (features.size() != windows.size()) {
+      throw std::logic_error(
+          "PartitionedPipeline: batch extractor returned wrong count");
+    }
+    return features;
+  }
+  std::vector<std::vector<float>> features;
+  features.reserve(windows.size());
+  for (const vision::Image& window : windows) {
+    features.push_back(extractor_(window));
+  }
+  return features;
 }
 
 float PartitionedPipeline::trainClassifier(
@@ -22,11 +47,8 @@ float PartitionedPipeline::trainClassifier(
     throw std::invalid_argument("trainClassifier: bad dataset shape");
   }
   eedn::BinaryDataset data;
-  data.features.reserve(windows.size());
   data.labels = labels;
-  for (const vision::Image& window : windows) {
-    data.features.push_back(extractor_(window));
-  }
+  data.features = extractAll(windows);
   float loss = 0.0f;
   for (int epoch = 0; epoch < epochs; ++epoch) {
     loss = classifier_->trainEpoch(data, learningRate, momentum, batchSize);
@@ -42,9 +64,11 @@ double PartitionedPipeline::evalAccuracy(
     const std::vector<vision::Image>& windows,
     const std::vector<int>& labels) {
   if (windows.empty() || windows.size() != labels.size()) return 0.0;
+  const auto features = extractAll(windows);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < windows.size(); ++i) {
-    if (predict(windows[i]) == (labels[i] > 0 ? 1 : -1)) ++correct;
+    const int predicted = classifier_->score(features[i]) >= 0.0f ? 1 : -1;
+    if (predicted == (labels[i] > 0 ? 1 : -1)) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(windows.size());
 }

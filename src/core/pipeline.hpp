@@ -15,6 +15,12 @@ namespace pcnn::core {
 using WindowExtractorFn =
     std::function<std::vector<float>(const vision::Image&)>;
 
+/// Batch form: features for many windows at once. Extractors expose this
+/// so whole training/evaluation sets run on the thread pool (see
+/// NApproxHog::cellDescriptorBatch and ParrotHog::cellDescriptorBatch).
+using BatchExtractorFn = std::function<std::vector<std::vector<float>>(
+    const std::vector<vision::Image>&)>;
+
 /// Resource accounting for the three paradigms. Paper numbers (Sec. 5.1):
 /// the Parrot extractor uses 8 cores per 8x8 cell -> 1024 cores for a
 /// 64x128 window; the Eedn classifier uses 2864 cores; the Absorbed
@@ -43,6 +49,13 @@ class PartitionedPipeline {
   PartitionedPipeline(WindowExtractorFn extractor,
                       const eedn::EednClassifierConfig& classifierConfig);
 
+  /// As above, plus a batch extractor used by trainClassifier/evalAccuracy
+  /// to feature-ise whole datasets at once (typically on the thread pool).
+  /// `batchExtractor` must produce the same features as `extractor`.
+  PartitionedPipeline(WindowExtractorFn extractor,
+                      BatchExtractorFn batchExtractor,
+                      const eedn::EednClassifierConfig& classifierConfig);
+
   /// Extract features for every window, then train the classifier stage.
   /// Returns final-epoch mean loss.
   float trainClassifier(const std::vector<vision::Image>& windows,
@@ -63,7 +76,11 @@ class PartitionedPipeline {
   eedn::EednClassifier& classifier() { return *classifier_; }
 
  private:
+  std::vector<std::vector<float>> extractAll(
+      const std::vector<vision::Image>& windows) const;
+
   WindowExtractorFn extractor_;
+  BatchExtractorFn batchExtractor_;  ///< optional; empty -> per-window loop
   std::unique_ptr<eedn::EednClassifier> classifier_;
 };
 

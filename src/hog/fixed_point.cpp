@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace pcnn::hog {
 namespace {
 constexpr double kPi = 3.14159265358979323846;
@@ -105,7 +107,9 @@ FixedPointHog::IntCellGrid FixedPointHog::computeCells(
     return pix[static_cast<std::size_t>(y) * w + x];
   };
 
-  for (int cy = 0; cy < grid.cellsY; ++cy) {
+  // Cell rows write disjoint histogram slices: safe to scan in parallel.
+  parallelFor(0, grid.cellsY, [&](long cyL) {
+    const int cy = static_cast<int>(cyL);
     for (int cx = 0; cx < grid.cellsX; ++cx) {
       std::int32_t* hist =
           grid.data.data() +
@@ -121,19 +125,34 @@ FixedPointHog::IntCellGrid FixedPointHog::computeCells(
         }
       }
     }
-  }
+  });
   return grid;
 }
 
 std::vector<float> FixedPointHog::windowDescriptor(
     const vision::Image& window) const {
-  const IntCellGrid grid = computeCells(window);
+  return blocksFromGrid(computeCells(window));
+}
+
+std::vector<float> FixedPointHog::blocksFromGrid(
+    const IntCellGrid& grid) const {
+  return windowDescriptorFromGrid(grid, 0, 0, grid.cellsX, grid.cellsY);
+}
+
+std::vector<float> FixedPointHog::windowDescriptorFromGrid(
+    const IntCellGrid& grid, int cx0, int cy0, int windowCellsX,
+    int windowCellsY) const {
   const int bc = params_.blockCells;
   const int stride = params_.blockStrideCells;
-  const int blocksX = (grid.cellsX - bc) / stride + 1;
-  const int blocksY = (grid.cellsY - bc) / stride + 1;
+  const int blocksX = (windowCellsX - bc) / stride + 1;
+  const int blocksY = (windowCellsY - bc) / stride + 1;
   std::vector<float> out;
   if (blocksX <= 0 || blocksY <= 0) return out;
+  if (cx0 < 0 || cy0 < 0 || cx0 + windowCellsX > grid.cellsX ||
+      cy0 + windowCellsY > grid.cellsY) {
+    throw std::invalid_argument(
+        "windowDescriptorFromGrid: window exceeds grid");
+  }
 
   const int blockLen = bc * bc * grid.bins;
   std::vector<std::int64_t> block(static_cast<std::size_t>(blockLen));
@@ -147,7 +166,7 @@ std::vector<float> FixedPointHog::windowDescriptor(
       for (int cy = 0; cy < bc; ++cy) {
         for (int cx = 0; cx < bc; ++cx) {
           const std::int32_t* hist =
-              grid.cell(bx * stride + cx, by * stride + cy);
+              grid.cell(cx0 + bx * stride + cx, cy0 + by * stride + cy);
           for (int b = 0; b < grid.bins; ++b) block[k++] = hist[b];
         }
       }

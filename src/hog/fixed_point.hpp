@@ -57,6 +57,18 @@ class FixedPointHog {
   /// the final scaling is integer.
   std::vector<float> windowDescriptor(const vision::Image& window) const;
 
+  /// Block assembly + integer L2 normalization over a whole precomputed
+  /// grid (the fixed-point analogue of HogExtractor::blocksFromGrid).
+  std::vector<float> blocksFromGrid(const IntCellGrid& grid) const;
+
+  /// Descriptor of the window whose top-left cell is (cx0, cy0), sliced
+  /// out of a cached per-level grid. Bitwise-identical to recomputing the
+  /// window's sub-grid and running the block stage over it.
+  std::vector<float> windowDescriptorFromGrid(const IntCellGrid& grid,
+                                              int cx0, int cy0,
+                                              int windowCellsX,
+                                              int windowCellsY) const;
+
   /// Orientation bin of an integer gradient, exposed for unit tests.
   int orientationBin(int ix, int iy) const;
 

@@ -1,5 +1,7 @@
 #include "hog/gradient.hpp"
 
+#include "common/parallel.hpp"
+
 namespace pcnn::hog {
 
 GradientField computeGradients(const vision::Image& img) {
@@ -10,13 +12,17 @@ GradientField computeGradients(const vision::Image& img) {
       static_cast<std::size_t>(img.width()) * img.height();
   field.ix.resize(n);
   field.iy.resize(n);
-  for (int y = 0; y < img.height(); ++y) {
+  // Rows are independent (each writes its own slice of ix/iy).
+  parallelFor(0, img.height(), [&](long y) {
     for (int x = 0; x < img.width(); ++x) {
-      const std::size_t i = static_cast<std::size_t>(y) * img.width() + x;
-      field.ix[i] = img.atClamped(x + 1, y) - img.atClamped(x - 1, y);
-      field.iy[i] = img.atClamped(x, y - 1) - img.atClamped(x, y + 1);
+      const std::size_t i =
+          static_cast<std::size_t>(y) * img.width() + x;
+      field.ix[i] = img.atClamped(x + 1, static_cast<int>(y)) -
+                    img.atClamped(x - 1, static_cast<int>(y));
+      field.iy[i] = img.atClamped(x, static_cast<int>(y) - 1) -
+                    img.atClamped(x, static_cast<int>(y) + 1);
     }
-  }
+  });
   return field;
 }
 

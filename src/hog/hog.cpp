@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace pcnn::hog {
 namespace {
 constexpr float kPi = 3.14159265358979323846f;
@@ -67,28 +69,41 @@ CellGrid HogExtractor::computeCells(const vision::Image& img) const {
                        grid.bins,
                    0.0f);
   const GradientField field = computeGradients(img);
-  for (int cy = 0; cy < grid.cellsY; ++cy) {
+  // Each cell row writes a disjoint slice of grid.data, so rows can run on
+  // any thread without changing the result.
+  parallelFor(0, grid.cellsY, [&](long cy) {
     for (int cx = 0; cx < grid.cellsX; ++cx) {
-      float* hist = grid.cell(cx, cy);
+      float* hist = grid.cell(cx, static_cast<int>(cy));
       for (int dy = 0; dy < params_.cellSize; ++dy) {
         for (int dx = 0; dx < params_.cellSize; ++dx) {
           const int x = cx * params_.cellSize + dx;
-          const int y = cy * params_.cellSize + dy;
+          const int y = static_cast<int>(cy) * params_.cellSize + dy;
           voteForPixel(field.gx(x, y), field.gy(x, y), hist);
         }
       }
     }
-  }
+  });
   return grid;
 }
 
 std::vector<float> HogExtractor::blocksFromGrid(const CellGrid& grid) const {
+  return windowDescriptorFromGrid(grid, 0, 0, grid.cellsX, grid.cellsY);
+}
+
+std::vector<float> HogExtractor::windowDescriptorFromGrid(
+    const CellGrid& grid, int cx0, int cy0, int windowCellsX,
+    int windowCellsY) const {
   const int bc = params_.blockCells;
   const int stride = params_.blockStrideCells;
-  const int blocksX = (grid.cellsX - bc) / stride + 1;
-  const int blocksY = (grid.cellsY - bc) / stride + 1;
+  const int blocksX = (windowCellsX - bc) / stride + 1;
+  const int blocksY = (windowCellsY - bc) / stride + 1;
   std::vector<float> out;
   if (blocksX <= 0 || blocksY <= 0) return out;
+  if (cx0 < 0 || cy0 < 0 || cx0 + windowCellsX > grid.cellsX ||
+      cy0 + windowCellsY > grid.cellsY) {
+    throw std::invalid_argument(
+        "windowDescriptorFromGrid: window exceeds grid");
+  }
   out.reserve(static_cast<std::size_t>(blocksX) * blocksY * bc * bc *
               grid.bins);
   for (int by = 0; by < blocksY; ++by) {
@@ -96,7 +111,8 @@ std::vector<float> HogExtractor::blocksFromGrid(const CellGrid& grid) const {
       const std::size_t blockStart = out.size();
       for (int cy = 0; cy < bc; ++cy) {
         for (int cx = 0; cx < bc; ++cx) {
-          const float* hist = grid.cell(bx * stride + cx, by * stride + cy);
+          const float* hist =
+              grid.cell(cx0 + bx * stride + cx, cy0 + by * stride + cy);
           out.insert(out.end(), hist, hist + grid.bins);
         }
       }

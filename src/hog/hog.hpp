@@ -79,6 +79,15 @@ class HogExtractor {
   /// Assembles (and optionally normalizes) blocks from a precomputed grid.
   std::vector<float> blocksFromGrid(const CellGrid& grid) const;
 
+  /// Assembles the block-normalized descriptor of the window whose top-left
+  /// cell is (cx0, cy0) by slicing a cached grid -- the shared-cell-grid
+  /// detection path: the grid is computed once per pyramid level and every
+  /// overlapping window reuses it instead of re-extracting its cells.
+  /// Bitwise-identical to blocksFromGrid over the window's sub-grid.
+  std::vector<float> windowDescriptorFromGrid(const CellGrid& grid, int cx0,
+                                              int cy0, int windowCellsX,
+                                              int windowCellsY) const;
+
  private:
   void voteForPixel(float gx, float gy, float* histogram) const;
   HogParams params_;

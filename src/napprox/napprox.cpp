@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "hog/gradient.hpp"
 
 namespace pcnn::napprox {
@@ -81,7 +82,9 @@ hog::CellGrid NApproxHog::computeCells(const vision::Image& img) const {
                        grid.bins,
                    0.0f);
   const hog::GradientField field = hog::computeGradients(img);
-  for (int cy = 0; cy < grid.cellsY; ++cy) {
+  // Rows of cells are independent: each writes its own grid slice.
+  parallelFor(0, grid.cellsY, [&](long cyL) {
+    const int cy = static_cast<int>(cyL);
     for (int cx = 0; cx < grid.cellsX; ++cx) {
       float* hist = grid.cell(cx, cy);
       for (int dy = 0; dy < params_.cellSize; ++dy) {
@@ -94,7 +97,7 @@ hog::CellGrid NApproxHog::computeCells(const vision::Image& img) const {
         }
       }
     }
-  }
+  });
   return grid;
 }
 
@@ -115,10 +118,28 @@ std::vector<float> NApproxHog::windowDescriptor(
   return assembler.blocksFromGrid(computeCells(window));
 }
 
+std::vector<float> NApproxHog::windowDescriptorFromGrid(
+    const hog::CellGrid& grid, int cx0, int cy0, int windowCellsX,
+    int windowCellsY) const {
+  const hog::HogExtractor assembler(blockParams());
+  return assembler.windowDescriptorFromGrid(grid, cx0, cy0, windowCellsX,
+                                            windowCellsY);
+}
+
 std::vector<float> NApproxHog::cellDescriptor(
     const vision::Image& window) const {
   hog::CellGrid grid = computeCells(window);
   return std::move(grid.data);
+}
+
+std::vector<std::vector<float>> NApproxHog::cellDescriptorBatch(
+    const std::vector<vision::Image>& windows) const {
+  std::vector<std::vector<float>> out(windows.size());
+  parallelFor(0, static_cast<long>(windows.size()), [&](long i) {
+    out[static_cast<std::size_t>(i)] =
+        cellDescriptor(windows[static_cast<std::size_t>(i)]);
+  });
+  return out;
 }
 
 }  // namespace pcnn::napprox

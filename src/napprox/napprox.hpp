@@ -49,8 +49,21 @@ class NApproxHog {
   /// hog::HogExtractor so the same SVM consumes either).
   std::vector<float> windowDescriptor(const vision::Image& window) const;
 
+  /// Block descriptor of the window with top-left cell (cx0, cy0), sliced
+  /// from a cached per-level grid (shared-cell-grid detection path).
+  std::vector<float> windowDescriptorFromGrid(const hog::CellGrid& grid,
+                                              int cx0, int cy0,
+                                              int windowCellsX,
+                                              int windowCellsY) const;
+
   /// Flat cell histograms without blocks/normalization (Eedn feature path).
   std::vector<float> cellDescriptor(const vision::Image& window) const;
+
+  /// cellDescriptor over a batch of windows, extracted in parallel on the
+  /// global thread pool (the extractor is stateless, so this is safe and
+  /// bit-deterministic for any thread count).
+  std::vector<std::vector<float>> cellDescriptorBatch(
+      const std::vector<vision::Image>& windows) const;
 
   /// Winning direction of a float gradient, or -1 when no direction's
   /// projection reaches minMagnitude. Strict argmax (first maximum wins);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "tn/spike_coding.hpp"
 
 namespace pcnn::napprox {
@@ -138,15 +139,22 @@ hog::CellGrid QuantizedNApproxHog::computeCells(
   grid.cellsX = img.width() / params_.cellSize;
   grid.cellsY = img.height() / params_.cellSize;
   grid.bins = params_.bins;
-  grid.data.reserve(static_cast<std::size_t>(grid.cellsX) * grid.cellsY *
-                    grid.bins);
-  for (int cy = 0; cy < grid.cellsY; ++cy) {
+  grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY *
+                       grid.bins,
+                   0.0f);
+  // The simulated cells are independent of one another: scan rows on the
+  // pool (the tick-accurate race model in particular is expensive).
+  parallelFor(0, grid.cellsY, [&](long cyL) {
+    const int cy = static_cast<int>(cyL);
     for (int cx = 0; cx < grid.cellsX; ++cx) {
       const std::vector<float> hist = cellHistogram(
           img, cx * params_.cellSize, cy * params_.cellSize);
-      grid.data.insert(grid.data.end(), hist.begin(), hist.end());
+      std::copy(hist.begin(), hist.end(),
+                grid.data.begin() +
+                    (static_cast<std::size_t>(cy) * grid.cellsX + cx) *
+                        grid.bins);
     }
-  }
+  });
   return grid;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace pcnn::nn {
 
 Conv2d::Conv2d(int inChannels, int inHeight, int inWidth, int outChannels,
@@ -41,7 +43,11 @@ std::vector<float> Conv2d::forward(const std::vector<float>& input,
     if (y < 0 || y >= inH_ || x < 0 || x >= inW_) return 0.0f;
     return input[(static_cast<std::size_t>(c) * inH_ + y) * inW_ + x];
   };
-  for (int oc = 0; oc < outC_; ++oc) {
+  // Output channels write disjoint planes of `out`: parallel over oc, with
+  // the per-pixel accumulation order unchanged, so the result is
+  // bit-identical for any thread count.
+  parallelFor(0, outC_, [&](long ocL) {
+    const int oc = static_cast<int>(ocL);
     for (int oy = 0; oy < outH_; ++oy) {
       for (int ox = 0; ox < outW_; ++ox) {
         float acc = b_[oc];
@@ -56,7 +62,7 @@ std::vector<float> Conv2d::forward(const std::vector<float>& input,
         out[(static_cast<std::size_t>(oc) * outH_ + oy) * outW_ + ox] = acc;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -68,7 +74,13 @@ std::vector<float> Conv2d::backward(const std::vector<float>& gradOutput) {
   auto inIdx = [&](int c, int y, int x) {
     return (static_cast<std::size_t>(c) * inH_ + y) * inW_ + x;
   };
-  for (int oc = 0; oc < outC_; ++oc) {
+  // Two passes so each can parallelize over an axis whose writes are
+  // disjoint: weight/bias gradients per output channel, then the input
+  // gradient per input channel. Each accumulator sees its contributions in
+  // the same (oc, oy, ox, ky, kx) order as the sequential loop, keeping
+  // backward bit-deterministic under threading.
+  parallelFor(0, outC_, [&](long ocL) {
+    const int oc = static_cast<int>(ocL);
     for (int oy = 0; oy < outH_; ++oy) {
       for (int ox = 0; ox < outW_; ++ox) {
         const float g =
@@ -86,13 +98,35 @@ std::vector<float> Conv2d::backward(const std::vector<float>& gradOutput) {
               gradW_[((static_cast<std::size_t>(oc) * inC_ + ic) * k_ + ky) *
                          k_ +
                      kx] += g * inputCache_[inIdx(ic, y, x)];
+            }
+          }
+        }
+      }
+    }
+  });
+  parallelFor(0, inC_, [&](long icL) {
+    const int ic = static_cast<int>(icL);
+    for (int oc = 0; oc < outC_; ++oc) {
+      for (int oy = 0; oy < outH_; ++oy) {
+        for (int ox = 0; ox < outW_; ++ox) {
+          const float g =
+              gradOutput[(static_cast<std::size_t>(oc) * outH_ + oy) *
+                             outW_ +
+                         ox];
+          if (g == 0.0f) continue;
+          for (int ky = 0; ky < k_; ++ky) {
+            const int y = oy - pad_ + ky;
+            if (y < 0 || y >= inH_) continue;
+            for (int kx = 0; kx < k_; ++kx) {
+              const int x = ox - pad_ + kx;
+              if (x < 0 || x >= inW_) continue;
               gradIn[inIdx(ic, y, x)] += g * wAt(oc, ic, ky, kx);
             }
           }
         }
       }
     }
-  }
+  });
   return gradIn;
 }
 

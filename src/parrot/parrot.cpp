@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "eedn/partitioned.hpp"
 #include "eedn/trinary.hpp"
 #include "nn/loss.hpp"
@@ -53,6 +54,11 @@ int ParrotHog::mappedCoresPerCell() const {
 }
 
 std::vector<float> ParrotHog::encodeInput(const std::vector<float>& patch) {
+  return encodeInputWith(patch, codingRng_);
+}
+
+std::vector<float> ParrotHog::encodeInputWith(const std::vector<float>& patch,
+                                              pcnn::Rng& rng) const {
   if (config_.inputSpikes <= 0) return patch;
   std::vector<float> coded(patch.size());
   const int k = config_.inputSpikes;
@@ -60,7 +66,7 @@ std::vector<float> ParrotHog::encodeInput(const std::vector<float>& patch) {
     const float v = std::clamp(patch[i], 0.0f, 1.0f);
     int spikes = 0;
     for (int s = 0; s < k; ++s) {
-      if (codingRng_.bernoulli(v)) ++spikes;
+      if (rng.bernoulli(v)) ++spikes;
     }
     coded[i] = static_cast<float>(spikes) / static_cast<float>(k);
   }
@@ -68,10 +74,15 @@ std::vector<float> ParrotHog::encodeInput(const std::vector<float>& patch) {
 }
 
 std::vector<float> ParrotHog::infer(const std::vector<float>& patch) {
+  return inferWith(patch, codingRng_);
+}
+
+std::vector<float> ParrotHog::inferWith(const std::vector<float>& patch,
+                                        pcnn::Rng& rng) {
   if (static_cast<int>(patch.size()) != kPatchSize) {
     throw std::invalid_argument("ParrotHog::infer: patch must be 10x10");
   }
-  return net_.forward(encodeInput(patch), false);
+  return net_.forward(encodeInputWith(patch, rng), false);
 }
 
 float ParrotHog::train(const OrientedSampleGenerator& generator,
@@ -144,6 +155,12 @@ double ParrotHog::dominantBinAccuracy(const OrientedSampleGenerator& generator,
 
 std::vector<float> ParrotHog::cellHistogram(const vision::Image& img, int x0,
                                             int y0) {
+  return cellHistogramWith(img, x0, y0, codingRng_);
+}
+
+std::vector<float> ParrotHog::cellHistogramWith(const vision::Image& img,
+                                                int x0, int y0,
+                                                pcnn::Rng& rng) {
   std::vector<float> patch(static_cast<std::size_t>(kPatchSize));
   int i = 0;
   for (int y = 0; y < 10; ++y) {
@@ -151,7 +168,7 @@ std::vector<float> ParrotHog::cellHistogram(const vision::Image& img, int x0,
       patch[i++] = img.atClamped(x0 - 1 + x, y0 - 1 + y);
     }
   }
-  std::vector<float> out = infer(patch);
+  std::vector<float> out = inferWith(patch, rng);
   // The parrot regresses vote counts directly; clamp to the physical range
   // (a cell casts at most 64 votes) so features match NApprox's scale.
   for (float& v : out) v = std::clamp(v, 0.0f, 64.0f);
@@ -177,6 +194,35 @@ hog::CellGrid ParrotHog::computeCells(const vision::Image& img) {
 std::vector<float> ParrotHog::cellDescriptor(const vision::Image& window) {
   hog::CellGrid grid = computeCells(window);
   return std::move(grid.data);
+}
+
+std::vector<std::vector<float>> ParrotHog::cellDescriptorBatch(
+    const std::vector<vision::Image>& windows) {
+  // Draw the per-window coding seeds sequentially so the realization each
+  // window receives depends only on the extractor's stream position, not
+  // on how the pool schedules the batch.
+  std::vector<std::uint64_t> seeds(windows.size());
+  for (auto& seed : seeds) seed = codingRng_.nextU64();
+  std::vector<std::vector<float>> out(windows.size());
+  parallelFor(0, static_cast<long>(windows.size()), [&](long i) {
+    const auto idx = static_cast<std::size_t>(i);
+    pcnn::Rng rng(seeds[idx]);
+    const vision::Image& window = windows[idx];
+    std::vector<float> features;
+    const int cellsX = window.width() / 8;
+    const int cellsY = window.height() / 8;
+    features.reserve(static_cast<std::size_t>(cellsX) * cellsY *
+                     config_.bins);
+    for (int cy = 0; cy < cellsY; ++cy) {
+      for (int cx = 0; cx < cellsX; ++cx) {
+        const std::vector<float> hist =
+            cellHistogramWith(window, cx * 8, cy * 8, rng);
+        features.insert(features.end(), hist.begin(), hist.end());
+      }
+    }
+    out[idx] = std::move(features);
+  });
+  return out;
 }
 
 std::vector<float> ParrotHog::windowDescriptor(const vision::Image& window,

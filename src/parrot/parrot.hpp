@@ -75,6 +75,14 @@ class ParrotHog {
   /// Flat cell features of a window (Eedn classifier path, no block norm).
   std::vector<float> cellDescriptor(const vision::Image& window);
 
+  /// cellDescriptor over a batch of windows, run on the global thread
+  /// pool. One stochastic-coding seed is drawn per window up front (from
+  /// this extractor's coding stream), so the result is deterministic for a
+  /// given extractor state regardless of the thread count. Inference
+  /// through the trained net is read-only and safe to share.
+  std::vector<std::vector<float>> cellDescriptorBatch(
+      const std::vector<vision::Image>& windows);
+
   /// Block-normalized window descriptor (SVM path).
   std::vector<float> windowDescriptor(const vision::Image& window,
                                       bool l2Normalize = true);
@@ -93,6 +101,12 @@ class ParrotHog {
 
  private:
   std::vector<float> encodeInput(const std::vector<float>& patch);
+  std::vector<float> encodeInputWith(const std::vector<float>& patch,
+                                     pcnn::Rng& rng) const;
+  std::vector<float> inferWith(const std::vector<float>& patch,
+                               pcnn::Rng& rng);
+  std::vector<float> cellHistogramWith(const vision::Image& img, int x0,
+                                       int y0, pcnn::Rng& rng);
   ParrotConfig config_;
   pcnn::Rng rng_;
   pcnn::Rng codingRng_;

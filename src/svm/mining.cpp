@@ -59,4 +59,62 @@ MiningResult trainWithHardNegatives(
   return result;
 }
 
+MiningResult trainWithHardNegatives(
+    LinearSvm& svm, const GridExtractorPair& extractor,
+    const std::vector<vision::Image>& positiveWindows,
+    const std::vector<vision::Image>& negativeWindows,
+    const std::vector<vision::Image>& negativeScenes,
+    const MiningParams& params) {
+  if (!extractor.grid || !extractor.assemble || extractor.cellSize <= 0) {
+    throw std::invalid_argument(
+        "trainWithHardNegatives: incomplete grid extractor");
+  }
+  if (positiveWindows.empty() || negativeWindows.empty()) {
+    throw std::invalid_argument(
+        "trainWithHardNegatives: need both positive and negative windows");
+  }
+  // A standalone training window IS its own grid (top-left cell 0,0).
+  auto windowFeatures = [&extractor](const vision::Image& window) {
+    return extractor.assemble(extractor.grid(window), 0, 0);
+  };
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+  features.reserve(positiveWindows.size() + negativeWindows.size());
+  for (const auto& window : positiveWindows) {
+    features.push_back(windowFeatures(window));
+    labels.push_back(1);
+  }
+  for (const auto& window : negativeWindows) {
+    features.push_back(windowFeatures(window));
+    labels.push_back(-1);
+  }
+  svm.train(features, labels);
+
+  MiningResult result;
+  for (int round = 0; round < params.rounds; ++round) {
+    int minedThisRound = 0;
+    for (const vision::Image& scene : negativeScenes) {
+      int minedInScene = 0;
+      vision::forEachWindowOnGrid(
+          scene, params.scan, extractor.cellSize, extractor.grid,
+          [&](const vision::Image&, const hog::CellGrid& grid, int cx0,
+              int cy0, const vision::Rect&, const vision::Rect&) {
+            if (minedInScene >= params.maxMinedPerScene) return;
+            std::vector<float> f = extractor.assemble(grid, cx0, cy0);
+            if (svm.decision(f) > params.mineThreshold) {
+              features.push_back(std::move(f));
+              labels.push_back(-1);
+              ++minedInScene;
+            }
+          });
+      minedThisRound += minedInScene;
+    }
+    result.minedNegatives += minedThisRound;
+    if (minedThisRound == 0) break;
+    svm.train(features, labels);
+  }
+  result.finalTrainAccuracy = svm.accuracy(features, labels);
+  return result;
+}
+
 }  // namespace pcnn::svm

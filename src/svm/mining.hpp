@@ -3,6 +3,7 @@
 #include <functional>
 #include <vector>
 
+#include "hog/hog.hpp"
 #include "svm/linear_svm.hpp"
 #include "vision/image.hpp"
 #include "vision/sliding_window.hpp"
@@ -12,6 +13,18 @@ namespace pcnn::svm {
 /// Extracts a feature descriptor from a detection window.
 using WindowExtractor =
     std::function<std::vector<float>(const vision::Image&)>;
+
+/// Shared-cell-grid feature path: `grid` computes the per-cell feature
+/// grid of a whole (pyramid-level) image once, and `assemble` slices the
+/// descriptor of the window whose top-left cell is (cx0, cy0) out of it.
+/// Mining negative scenes with this pair skips the per-window crop and
+/// cell recomputation the plain WindowExtractor pays for every position.
+struct GridExtractorPair {
+  std::function<hog::CellGrid(const vision::Image&)> grid;
+  std::function<std::vector<float>(const hog::CellGrid&, int cx0, int cy0)>
+      assemble;
+  int cellSize = 8;
+};
 
 /// Parameters of the hard-negative mining loop.
 struct MiningParams {
@@ -34,6 +47,18 @@ struct MiningResult {
 /// positives, to augment the SVM model as negatives" (Sec. 4).
 MiningResult trainWithHardNegatives(
     LinearSvm& svm, const WindowExtractor& extractor,
+    const std::vector<vision::Image>& positiveWindows,
+    const std::vector<vision::Image>& negativeWindows,
+    const std::vector<vision::Image>& negativeScenes,
+    const MiningParams& params = {});
+
+/// Same protocol on the shared-cell-grid path: training windows are
+/// extracted with assemble(grid(window), 0, 0) and negative scenes are
+/// scanned with one grid per pyramid level (vision::forEachWindowOnGrid),
+/// matching the feature path the GridDetector uses at detection time.
+/// Requires cell-aligned scan strides (see forEachWindowOnGrid).
+MiningResult trainWithHardNegatives(
+    LinearSvm& svm, const GridExtractorPair& extractor,
     const std::vector<vision::Image>& positiveWindows,
     const std::vector<vision::Image>& negativeWindows,
     const std::vector<vision::Image>& negativeScenes,

@@ -2,14 +2,21 @@
 
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace pcnn::tn {
 
-Network::Network(std::uint64_t seed) : rng_(seed) {
+Network::Network(std::uint64_t seed) : seed_(seed) {
   queues_.resize(kMaxDelayTicks + 1);
 }
 
 int Network::addCore() {
+  const auto index = static_cast<std::uint64_t>(cores_.size());
   cores_.push_back(std::make_unique<Core>());
+  // Distinct deterministic stream per core; splitmix64-style spread so
+  // adjacent cores do not get correlated seeds.
+  coreRngs_.emplace_back(seed_ + 0x9e3779b97f4a7c15ULL * (index + 1));
+  firedScratch_.emplace_back();
   return static_cast<int>(cores_.size()) - 1;
 }
 
@@ -67,12 +74,20 @@ RunResult Network::run(long ticks) {
     }
     due.clear();
 
-    // 2/3. Tick every core; route fired spikes.
+    // 2. Tick every core concurrently -- exactly what the chip does, every
+    //    core stepping in lockstep per 1 ms tick. Each core touches only
+    //    its own state, RNG stream and fired list.
+    parallelFor(0, coreCount(), [&](long c) {
+      auto& fired = firedScratch_[static_cast<std::size_t>(c)];
+      fired.clear();
+      cores_[c]->tick(coreRngs_[static_cast<std::size_t>(c)], fired);
+    });
+    // 3. Route fired spikes sequentially in core order, so recorded
+    //    outputs and queue contents are identical for any thread count.
     for (int c = 0; c < coreCount(); ++c) {
-      firedScratch_.clear();
-      cores_[c]->tick(rng_, firedScratch_);
-      result.totalSpikes += static_cast<long>(firedScratch_.size());
-      for (int n : firedScratch_) {
+      const auto& fired = firedScratch_[static_cast<std::size_t>(c)];
+      result.totalSpikes += static_cast<long>(fired.size());
+      for (int n : fired) {
         const NeuronConfig& cfg = cores_[c]->neuron(n);
         if (cfg.recordOutput) {
           result.outputSpikes.push_back({now_, c, n});

@@ -59,14 +59,19 @@ class Network {
     int axon;
   };
 
-  Rng rng_;
+  std::uint64_t seed_;
+  /// One RNG stream per core (seeded from seed_ and the core index), so
+  /// cores can tick concurrently and stochastic thresholds stay
+  /// deterministic for any thread count.
+  std::vector<Rng> coreRngs_;
   std::vector<std::unique_ptr<Core>> cores_;
   /// Ring buffer of delivery queues indexed by tick % (kMaxDelayTicks + 1).
   std::vector<std::vector<PendingSpike>> queues_;
   /// External inputs scheduled further ahead than the ring can hold.
   std::vector<PendingSpike> overflow_;
   long now_ = 0;
-  std::vector<int> firedScratch_;
+  /// Per-core fired-neuron scratch, reused across ticks.
+  std::vector<std::vector<int>> firedScratch_;
 };
 
 }  // namespace pcnn::tn

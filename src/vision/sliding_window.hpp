@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <stdexcept>
 
 #include "vision/geometry.hpp"
 #include "vision/image.hpp"
@@ -26,5 +27,56 @@ void forEachWindow(
 
 /// Total number of windows the scan will visit (for budgeting and tests).
 long countWindows(const Image& src, const SlidingWindowParams& params);
+
+/// Grid-aware scan: instead of handing each window its pixel crop (which
+/// makes every caller re-extract features a window at a time), the
+/// per-level feature grid is computed ONCE by `gridFn` and every window
+/// over that level reuses it -- the redundancy-elimination the paper's
+/// hardware pipeline is built around (an 8-px stride over 64-px windows
+/// recomputes each cell up to 64x otherwise).
+///
+/// Requirements: strideX/strideY and the window dimensions must be
+/// multiples of `cellSize`, so that every window lands on a whole cell.
+///
+/// `gridFn(levelImage)` returns any grid type (e.g. hog::CellGrid or
+/// FixedPointHog::IntCellGrid -- templated so vision stays independent of
+/// hog). `fn(levelImage, grid, cx0, cy0, inLevel, inOriginal)` is called
+/// per window with the window's top-left cell in the level grid.
+template <typename GridFn, typename WindowFn>
+void forEachWindowOnGrid(const Image& src, const SlidingWindowParams& params,
+                         int cellSize, GridFn&& gridFn, WindowFn&& fn) {
+  if (cellSize <= 0 || params.strideX % cellSize != 0 ||
+      params.strideY % cellSize != 0 ||
+      params.windowWidth % cellSize != 0 ||
+      params.windowHeight % cellSize != 0) {
+    throw std::invalid_argument(
+        "forEachWindowOnGrid: strides and window must be cell-aligned");
+  }
+  PyramidParams pp = params.pyramid;
+  pp.minWidth = params.windowWidth;
+  pp.minHeight = params.windowHeight;
+  const auto levels = buildPyramid(src, pp);
+  const int strideCellsX = params.strideX / cellSize;
+  const int strideCellsY = params.strideY / cellSize;
+  const int windowCellsX = params.windowWidth / cellSize;
+  const int windowCellsY = params.windowHeight / cellSize;
+  for (const PyramidLevel& level : levels) {
+    const Image& img = level.image;
+    const auto grid = gridFn(img);
+    const int cellsX = img.width() / cellSize;
+    const int cellsY = img.height() / cellSize;
+    for (int cy0 = 0; cy0 + windowCellsY <= cellsY; cy0 += strideCellsY) {
+      for (int cx0 = 0; cx0 + windowCellsX <= cellsX; cx0 += strideCellsX) {
+        Rect inLevel{static_cast<float>(cx0 * cellSize),
+                     static_cast<float>(cy0 * cellSize),
+                     static_cast<float>(params.windowWidth),
+                     static_cast<float>(params.windowHeight)};
+        Rect inOriginal{inLevel.x * level.scale, inLevel.y * level.scale,
+                        inLevel.w * level.scale, inLevel.h * level.scale};
+        fn(img, grid, cx0, cy0, inLevel, inOriginal);
+      }
+    }
+  }
+}
 
 }  // namespace pcnn::vision

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "hog/fixed_point.hpp"
@@ -301,6 +302,94 @@ TEST(FixedPointHog, CellGridGeometry) {
   EXPECT_EQ(grid.cellsX, 8);
   EXPECT_EQ(grid.cellsY, 16);
   EXPECT_EQ(grid.bins, 9);
+}
+
+// --- Cached-grid descriptor parity ---------------------------------------
+
+vision::Image syntheticWindow(std::uint64_t seed) {
+  vision::SyntheticPersonDataset synth;
+  Rng rng(seed);
+  return synth.positiveWindow(rng);
+}
+
+TEST(HogExtractor, GridDescriptorMatchesWindowDescriptorBitwise) {
+  const HogExtractor hog;
+  const vision::Image window = syntheticWindow(3);
+  const CellGrid grid = hog.computeCells(window);
+  const auto fromGrid =
+      hog.windowDescriptorFromGrid(grid, 0, 0, grid.cellsX, grid.cellsY);
+  const auto reference = hog.windowDescriptor(window);
+  ASSERT_EQ(fromGrid.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(fromGrid[i], reference[i]) << "mismatch at " << i;
+  }
+}
+
+TEST(HogExtractor, GridDescriptorSliceMatchesManualSubGrid) {
+  // Slicing a window out of a larger scene grid must equal assembling the
+  // same descriptor from an explicitly copied sub-grid.
+  const HogExtractor hog;
+  vision::SyntheticPersonDataset synth;
+  Rng rng(11);
+  const vision::Image scene = synth.scene(rng, 160, 192, 1).image;
+  const CellGrid grid = hog.computeCells(scene);
+  const int cx0 = 3, cy0 = 2, wcx = 8, wcy = 16;
+  CellGrid sub;
+  sub.cellsX = wcx;
+  sub.cellsY = wcy;
+  sub.bins = grid.bins;
+  for (int cy = 0; cy < wcy; ++cy) {
+    for (int cx = 0; cx < wcx; ++cx) {
+      const float* src = grid.cell(cx0 + cx, cy0 + cy);
+      sub.data.insert(sub.data.end(), src, src + grid.bins);
+    }
+  }
+  const auto sliced = hog.windowDescriptorFromGrid(grid, cx0, cy0, wcx, wcy);
+  const auto copied = hog.blocksFromGrid(sub);
+  ASSERT_EQ(sliced.size(), copied.size());
+  for (std::size_t i = 0; i < sliced.size(); ++i) {
+    EXPECT_EQ(sliced[i], copied[i]) << "mismatch at " << i;
+  }
+}
+
+TEST(HogExtractor, GridDescriptorOutOfRangeThrows) {
+  const HogExtractor hog;
+  const CellGrid grid = hog.computeCells(vision::Image(64, 128, 0.5f));
+  EXPECT_THROW(hog.windowDescriptorFromGrid(grid, 1, 0, 8, 16),
+               std::invalid_argument);
+  EXPECT_THROW(hog.windowDescriptorFromGrid(grid, 0, 1, 8, 16),
+               std::invalid_argument);
+}
+
+TEST(FixedPointHog, GridDescriptorMatchesWindowDescriptorBitwise) {
+  const FixedPointHog hog;
+  const vision::Image window = syntheticWindow(5);
+  const auto grid = hog.computeCells(window);
+  const auto fromGrid =
+      hog.windowDescriptorFromGrid(grid, 0, 0, grid.cellsX, grid.cellsY);
+  const auto reference = hog.windowDescriptor(window);
+  ASSERT_EQ(fromGrid.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(fromGrid[i], reference[i]) << "mismatch at " << i;
+  }
+}
+
+TEST(FixedPointHog, GridDescriptorSliceMatchesFullGridPrefix) {
+  // The fixed-point path normalizes each block independently, so a slice
+  // anchored at (0,0) of the full grid must reproduce the corresponding
+  // prefix blocks of blocksFromGrid bitwise.
+  const FixedPointHog hog;
+  vision::SyntheticPersonDataset synth;
+  Rng rng(13);
+  const vision::Image scene = synth.scene(rng, 128, 160, 1).image;
+  const auto grid = hog.computeCells(scene);
+  const auto sliced = hog.windowDescriptorFromGrid(grid, 0, 0, 2, 2);
+  // 2x2 cells -> exactly one 2x2 block: the first block of the full grid.
+  const auto full = hog.blocksFromGrid(grid);
+  ASSERT_EQ(sliced.size(), 4u * static_cast<std::size_t>(grid.bins));
+  for (std::size_t i = 0; i < sliced.size(); ++i) {
+    EXPECT_EQ(sliced[i], full[i]) << "mismatch at " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,218 @@
+// Thread-pool semantics plus the library-wide determinism contract: every
+// parallelized substrate must produce identical results with 1 thread and
+// with several.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/detector.hpp"
+#include "hog/hog.hpp"
+#include "nn/conv2d.hpp"
+#include "tn/network.hpp"
+#include "vision/synth.hpp"
+
+namespace pcnn {
+namespace {
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : saved_(threadCount()) {
+    setThreadCount(n);
+  }
+  ~ThreadCountGuard() { setThreadCount(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  parallelFor(0, 1000, [&](long i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  ThreadCountGuard guard(4);
+  int calls = 0;
+  parallelFor(5, 5, [&](long) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> atomicCalls{0};
+  parallelFor(7, 8, [&](long i) {
+    EXPECT_EQ(i, 7);
+    atomicCalls.fetch_add(1);
+  });
+  EXPECT_EQ(atomicCalls.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadCountGuard guard(4);
+  EXPECT_THROW(parallelFor(0, 100,
+                           [](long i) {
+                             if (i == 37) {
+                               throw std::runtime_error("boom");
+                             }
+                           }),
+               std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<long> sum{0};
+  parallelFor(0, 10, [&](long i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadCountGuard guard(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  parallelFor(0, 8, [&](long outer) {
+    // Nested parallelFor must not deadlock; it runs inline on this thread.
+    parallelFor(0, 8, [&](long inner) { hits[outer * 8 + inner].fetch_add(1); });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunked, ChunkBoundariesIndependentOfThreadCount) {
+  auto collect = [](int threads) {
+    ThreadCountGuard guard(threads);
+    std::vector<std::pair<long, long>> chunks(100, {-1, -1});
+    std::atomic<int> next{0};
+    parallelForChunked(0, 103, 10, [&](long b, long e) {
+      chunks[static_cast<std::size_t>(next.fetch_add(1))] = {b, e};
+    });
+    chunks.resize(static_cast<std::size_t>(next.load()));
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(collect(1), collect(4));
+}
+
+TEST(ParallelDeterminism, HogCellsIdenticalAcrossThreadCounts) {
+  vision::SyntheticPersonDataset synth;
+  Rng rng(21);
+  const vision::Image scene = synth.scene(rng, 192, 160, 1).image;
+  const hog::HogExtractor hog;
+  std::vector<float> oneThread, fourThreads;
+  {
+    ThreadCountGuard guard(1);
+    oneThread = hog.computeCells(scene).data;
+  }
+  {
+    ThreadCountGuard guard(4);
+    fourThreads = hog.computeCells(scene).data;
+  }
+  ASSERT_EQ(oneThread.size(), fourThreads.size());
+  for (std::size_t i = 0; i < oneThread.size(); ++i) {
+    EXPECT_EQ(oneThread[i], fourThreads[i]) << "cell value differs at " << i;
+  }
+}
+
+TEST(ParallelDeterminism, Conv2dForwardBackwardIdentical) {
+  auto runOnce = [](int threads) {
+    ThreadCountGuard guard(threads);
+    Rng rng(5);
+    nn::Conv2d conv(3, 12, 12, 8, 3, 1, rng);
+    std::vector<float> input(static_cast<std::size_t>(conv.inputSize()));
+    Rng inRng(9);
+    for (auto& v : input) v = static_cast<float>(inRng.uniform()) - 0.5f;
+    auto out = conv.forward(input, /*train=*/true);
+    std::vector<float> gradOut(out.size());
+    Rng gRng(17);
+    for (auto& v : gradOut) v = static_cast<float>(gRng.uniform()) - 0.5f;
+    auto gradIn = conv.backward(gradOut);
+    out.insert(out.end(), gradIn.begin(), gradIn.end());
+    return out;
+  };
+  const auto oneThread = runOnce(1);
+  const auto fourThreads = runOnce(4);
+  ASSERT_EQ(oneThread.size(), fourThreads.size());
+  for (std::size_t i = 0; i < oneThread.size(); ++i) {
+    EXPECT_EQ(oneThread[i], fourThreads[i]) << "value differs at " << i;
+  }
+}
+
+TEST(ParallelDeterminism, TnNetworkIdenticalAcrossThreadCounts) {
+  auto runOnce = [](int threads) {
+    ThreadCountGuard guard(threads);
+    tn::Network net(77);
+    Rng rng(77);
+    for (int c = 0; c < 4; ++c) net.addCore();
+    for (int c = 0; c < 4; ++c) {
+      tn::Core& core = net.core(c);
+      for (int a = 0; a < 256; ++a) core.setAxonType(a, a % 4);
+      for (int n = 0; n < 256; ++n) {
+        auto& cfg = core.neuron(n);
+        cfg.synapticWeights = {2, -1, 1, -2};
+        cfg.threshold = 3;
+        cfg.stochasticThreshold = (n % 2 == 0);
+        cfg.resetMode = tn::ResetMode::kLinear;
+        cfg.floorPotential = -32;
+        cfg.recordOutput = (n < 8);
+        cfg.dest = tn::Destination{(c + 1) % 4, (n * 7) % 256, 1 + n % 3};
+      }
+      for (int i = 0; i < 2048; ++i) {
+        core.setConnection(rng.uniformInt(0, 255), rng.uniformInt(0, 255),
+                           true);
+      }
+    }
+    for (int t = 0; t < 8; ++t) {
+      for (int a = 0; a < 32; ++a) net.scheduleInput(t, a % 4, (a * 5) % 256);
+    }
+    return net.run(32);
+  };
+  const auto one = runOnce(1);
+  const auto four = runOnce(4);
+  EXPECT_EQ(one.totalSpikes, four.totalSpikes);
+  ASSERT_EQ(one.outputSpikes.size(), four.outputSpikes.size());
+  for (std::size_t i = 0; i < one.outputSpikes.size(); ++i) {
+    EXPECT_EQ(one.outputSpikes[i].tick, four.outputSpikes[i].tick);
+    EXPECT_EQ(one.outputSpikes[i].core, four.outputSpikes[i].core);
+    EXPECT_EQ(one.outputSpikes[i].neuron, four.outputSpikes[i].neuron);
+  }
+}
+
+TEST(ParallelDeterminism, GridDetectorIdenticalAcrossThreadCounts) {
+  vision::SyntheticPersonDataset synth;
+  Rng rng(31);
+  const vision::Image scene = synth.scene(rng, 224, 224, 2).image;
+  const auto hog = std::make_shared<hog::HogExtractor>();
+  core::GridDetectorParams params;
+  params.scoreThreshold = -1e9f;  // keep every window's score
+  params.pyramid.maxLevels = 3;
+  const core::GridDetector detector(
+      params,
+      [hog](const vision::Image& img) { return hog->computeCells(img); },
+      core::blockFeatureAssembler(hog::HogParams{}, 8, 16),
+      [](const std::vector<float>& f) {
+        return std::accumulate(f.begin(), f.end(), 0.0f);
+      });
+  std::vector<vision::Detection> one, four;
+  {
+    ThreadCountGuard guard(1);
+    one = detector.detectRaw(scene);
+  }
+  {
+    ThreadCountGuard guard(4);
+    four = detector.detectRaw(scene);
+  }
+  ASSERT_FALSE(one.empty());
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].score, four[i].score) << "score differs at window " << i;
+    EXPECT_EQ(one[i].box.x, four[i].box.x);
+    EXPECT_EQ(one[i].box.y, four[i].box.y);
+    EXPECT_EQ(one[i].box.w, four[i].box.w);
+    EXPECT_EQ(one[i].box.h, four[i].box.h);
+  }
+}
+
+}  // namespace
+}  // namespace pcnn
