@@ -3,7 +3,9 @@
 //   (a) the legacy path -- crop every window and recompute its descriptor
 //       from pixels (each cell recomputed by up to 64 overlapping windows),
 //   (b) the cached-grid path -- one cell grid per pyramid level, windows
-//       assembled by slicing it (GridDetector), at 1/2/4 threads.
+//       assembled by slicing it (GridDetector), at 1/2/4 threads,
+//   (c) the cached-grid path for every registered extractor backend on a
+//       smaller scene (the registry walk -- one entry per backend).
 // Emits BENCH_detect.json with wall times and speedups.
 //
 // Usage: bench_detect [outputPath] [repeats]
@@ -17,6 +19,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/detector.hpp"
+#include "extract/registry.hpp"
 #include "hog/hog.hpp"
 #include "vision/sliding_window.hpp"
 #include "vision/synth.hpp"
@@ -39,6 +42,20 @@ double bestOfMs(int repeats, const std::function<void()>& fn) {
   return best;
 }
 
+/// A fixed linear scorer of the given dimension; the benchmark measures
+/// feature extraction, not classifier quality.
+std::function<float(const std::vector<float>&)> randomScorer(int dim) {
+  std::vector<float> weights(static_cast<std::size_t>(dim));
+  Rng wrng(7);
+  for (auto& w : weights) w = static_cast<float>(wrng.uniform()) - 0.5f;
+  return [weights = std::move(weights)](const std::vector<float>& f) {
+    float acc = 0.0f;
+    const std::size_t n = f.size() < weights.size() ? f.size() : weights.size();
+    for (std::size_t i = 0; i < n; ++i) acc += weights[i] * f[i];
+    return acc;
+  };
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,19 +68,7 @@ int main(int argc, char** argv) {
   const vision::Image scene = dataset.scene(rng, sceneW, sceneH, 2).image;
 
   const hog::HogExtractor hog;
-  const hog::HogParams blockParams;  // 9 bins, 2x2 blocks, L2 norm
-
-  // A fixed linear scorer over the 7x15x36 = 3780-float window descriptor;
-  // the benchmark measures feature extraction, not classifier training.
-  std::vector<float> weights(3780);
-  Rng wrng(7);
-  for (auto& w : weights) w = static_cast<float>(wrng.uniform()) - 0.5f;
-  auto score = [&weights](const std::vector<float>& f) {
-    float acc = 0.0f;
-    const std::size_t n = f.size() < weights.size() ? f.size() : weights.size();
-    for (std::size_t i = 0; i < n; ++i) acc += weights[i] * f[i];
-    return acc;
-  };
+  const auto score = randomScorer(3780);  // 7x15x36-float window descriptor
 
   vision::SlidingWindowParams scan;  // 64x128 window, 8-px stride
   const long numWindows = vision::countWindows(scene, scan);
@@ -87,13 +92,13 @@ int main(int argc, char** argv) {
   });
   std::printf("legacy per-window, 1 thread:  %9.1f ms\n", legacyMs);
 
-  // (b) Cached grids via GridDetector at 1/2/4 threads.
+  // (b) Cached grids via GridDetector at 1/2/4 threads, same classic-HoG
+  // features through the polymorphic extractor layer.
   core::GridDetectorParams params;
   params.scoreThreshold = 1e9f;  // score every window, keep (almost) none
   core::GridDetector detector(
-      params,
-      [&hog](const vision::Image& img) { return hog.computeCells(img); },
-      core::blockFeatureAssembler(blockParams, 8, 16), score);
+      params, extract::makeExtractor("hog", extract::FeatureLayout::kBlockNorm),
+      score);
 
   const int threadCounts[] = {1, 2, 4};
   double cachedMs[3] = {0, 0, 0};
@@ -104,6 +109,35 @@ int main(int argc, char** argv) {
     std::printf("cached grid, %d thread%s:      %9.1f ms  (%.2fx vs legacy)\n",
                 threadCounts[i], threadCounts[i] == 1 ? " " : "s",
                 cachedMs[i], legacyMs / cachedMs[i]);
+  }
+
+  // (c) Registry walk: every backend through the same cached-grid scan on
+  // a smaller scene (NApprox/Parrot cells cost far more than classic HoG).
+  const int smallW = 320, smallH = 240;
+  Rng smallRng(43);
+  const vision::Image smallScene =
+      dataset.scene(smallRng, smallW, smallH, 1).image;
+  vision::SlidingWindowParams smallScan;
+  smallScan.pyramid.maxLevels = 2;
+  const long smallWindows = vision::countWindows(smallScene, smallScan);
+  setThreadCount(1);
+  std::printf("\nper-backend cached-grid scan, %dx%d scene, %ld windows, "
+              "1 thread:\n",
+              smallW, smallH, smallWindows);
+  const auto names = extract::ExtractorRegistry::instance().names();
+  std::vector<double> backendMs(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    auto extractor = extract::makeExtractor(
+        names[i], extract::FeatureLayout::kBlockNorm);
+    const auto backendScore = randomScorer(extractor->featureDim());
+    core::GridDetectorParams bp;
+    bp.scoreThreshold = 1e9f;
+    bp.pyramid = smallScan.pyramid;
+    core::GridDetector backendDetector(bp, extractor, backendScore);
+    backendMs[i] = bestOfMs(
+        repeats, [&] { (void)backendDetector.detectRaw(smallScene).size(); });
+    std::printf("  %-12s %9.1f ms  (%d-dim features)\n", names[i].c_str(),
+                backendMs[i], extractor->featureDim());
   }
 
   std::FILE* out = std::fopen(outPath.c_str(), "w");
@@ -124,11 +158,19 @@ int main(int argc, char** argv) {
                "  \"cached_grid_4t_ms\": %.2f,\n"
                "  \"speedup_cached_1t\": %.2f,\n"
                "  \"speedup_cached_2t\": %.2f,\n"
-               "  \"speedup_cached_4t\": %.2f\n"
-               "}\n",
+               "  \"speedup_cached_4t\": %.2f,\n"
+               "  \"extractor_scene\": [%d, %d],\n"
+               "  \"extractor_windows_scanned\": %ld,\n"
+               "  \"extractors\": {",
                sceneW, sceneH, numWindows, repeats, legacyMs, cachedMs[0],
                cachedMs[1], cachedMs[2], legacyMs / cachedMs[0],
-               legacyMs / cachedMs[1], legacyMs / cachedMs[2]);
+               legacyMs / cachedMs[1], legacyMs / cachedMs[2], smallW, smallH,
+               smallWindows);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::fprintf(out, "%s\n    \"%s\": {\"cached_grid_1t_ms\": %.2f}",
+                 i == 0 ? "" : ",", names[i].c_str(), backendMs[i]);
+  }
+  std::fprintf(out, "\n  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", outPath.c_str());
   return 0;

@@ -5,58 +5,48 @@
 // Expected shape (paper): the three curves nearly coincide -- all three
 // extractors produce similar-quality features.
 #include <cstdio>
-#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "hog/fixed_point.hpp"
-#include "hog/hog.hpp"
-#include "napprox/napprox.hpp"
-#include "napprox/quantized.hpp"
+#include "extract/registry.hpp"
 #include "svm/linear_svm.hpp"
 #include "svm/mining.hpp"
 
 namespace {
 
-using pcnn::hog::CellGrid;
-using pcnn::vision::Image;
-
-struct ExtractorConfig {
-  std::string name;
-  pcnn::core::GridExtractor grid;
-  pcnn::core::WindowFeatureAssembler assembler;
-};
-
-void runConfig(const ExtractorConfig& config,
-               const pcnn::bench::BenchDataset& data) {
+void runSpec(const std::string& spec, const pcnn::bench::BenchDataset& data) {
   using namespace pcnn;
+  const auto extractor =
+      extract::makeExtractor(spec, extract::FeatureLayout::kBlockNorm);
 
   // Train the SVM on block descriptors with one hard-negative round. The
-  // grid/assembler pair is shared with the detector below, so mining scans
-  // negative scenes over cached per-level cell grids too.
+  // extractor is shared with the detector below, so mining scans negative
+  // scenes over cached per-level cell grids too.
   svm::LinearSvm model;
   svm::MiningParams mining;
   mining.mineThreshold = -0.25f;  // near-boundary windows count as hard
   mining.scan.strideX = 16;
   mining.scan.strideY = 16;
   mining.scan.pyramid.maxLevels = 3;
-  svm::GridExtractorPair gridExtractor{config.grid, config.assembler, 8};
   const auto miningResult = svm::trainWithHardNegatives(
-      model, gridExtractor, data.trainPositives, data.trainNegatives,
+      model, *extractor, data.trainPositives, data.trainNegatives,
       data.negativeScenes, mining);
 
   core::GridDetectorParams params;
   params.scoreThreshold = -2.0f;  // keep a wide sweep for the curve
-  core::GridDetector detector(params, config.grid, config.assembler,
+  core::GridDetector detector(params, extractor,
                               [&model](const std::vector<float>& f) {
                                 return static_cast<float>(model.decision(f));
                               });
   const auto results = bench::evaluateDetector(detector, data.testScenes);
-  std::printf("[%s] mined %d hard negatives, train accuracy %.3f\n",
-              config.name.c_str(), miningResult.minedNegatives,
-              miningResult.finalTrainAccuracy);
-  bench::printCurve("miss rate vs FPPI (" + config.name + ")",
+  const auto info = extractor->info();
+  std::printf("[%s] %s, %d bins; mined %d hard negatives, train accuracy "
+              "%.3f\n",
+              spec.c_str(), info.precision.c_str(), extractor->bins(),
+              miningResult.minedNegatives, miningResult.finalTrainAccuracy);
+  bench::printCurve("miss rate vs FPPI (" + spec + ")",
                     eval::missRateCurve(results));
 }
 
@@ -69,52 +59,12 @@ int main() {
   const bench::BenchDataset data =
       bench::makeBenchDataset(120, 2, 10, 288, 224, 44);
 
-  // FPGA-HoG: fixed-point 9-bin weighted voting.
-  const auto fpga = std::make_shared<hog::FixedPointHog>();
-  {
-    // Grid path: integer cell histograms dequantized; block assembly with
-    // the float assembler (L2 norm) so the detector shares plumbing.
-    hog::HogParams blockParams;
-    blockParams.numBins = 9;
-    ExtractorConfig config{
-        "FPGA-HoG l2norm, 9 bins, weighted",
-        [fpga](const Image& img) {
-          const auto intGrid = fpga->computeCells(img);
-          CellGrid grid;
-          grid.cellsX = intGrid.cellsX;
-          grid.cellsY = intGrid.cellsY;
-          grid.bins = intGrid.bins;
-          grid.data.assign(intGrid.data.begin(), intGrid.data.end());
-          return grid;
-        },
-        core::blockFeatureAssembler(blockParams, 8, 16)};
-    runConfig(config, data);
-  }
-
-  // NApprox(fp): float 18-bin count voting.
-  const auto napproxFp = std::make_shared<napprox::NApproxHog>();
-  {
-    hog::HogParams blockParams;
-    blockParams.numBins = 18;
-    blockParams.signedOrientation = true;
-    ExtractorConfig config{
-        "NApprox(fp) l2norm, 18 bins, count",
-        [napproxFp](const Image& img) { return napproxFp->computeCells(img); },
-        core::blockFeatureAssembler(blockParams, 8, 16)};
-    runConfig(config, data);
-  }
-
-  // NApprox: TrueNorth-compatible quantization (64-spike inputs).
-  const auto quantized = std::make_shared<napprox::QuantizedNApproxHog>();
-  {
-    hog::HogParams blockParams;
-    blockParams.numBins = 18;
-    blockParams.signedOrientation = true;
-    ExtractorConfig config{
-        "NApprox l2norm (64-spike quantized)",
-        [quantized](const Image& img) { return quantized->computeCells(img); },
-        core::blockFeatureAssembler(blockParams, 8, 16)};
-    runConfig(config, data);
+  // Fig. 4's three extractors, as registry specs: the fixed-point FPGA
+  // baseline, float NApprox, and TrueNorth-quantized NApprox (64-spike
+  // rate-coded inputs). All share the block-normalized SVM feature layout.
+  for (const std::string spec :
+       {"fixedpoint", "napprox", "napprox:64spike"}) {
+    runSpec(spec, data);
   }
 
   std::printf("Expected shape (paper): the three curves nearly coincide.\n");

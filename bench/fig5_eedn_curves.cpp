@@ -7,11 +7,12 @@
 // blind (all-positive or all-negative) decisions.
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/pipeline.hpp"
-#include "napprox/napprox.hpp"
-#include "parrot/parrot.hpp"
+#include "extract/registry.hpp"
 
 namespace {
 
@@ -29,19 +30,28 @@ pcnn::eedn::EednClassifierConfig classifierConfig(std::uint64_t seed) {
   return config;
 }
 
-void runPipeline(const std::string& name,
-                 const pcnn::core::WindowExtractorFn& extract,
-                 const pcnn::core::BatchExtractorFn& extractBatch,
-                 const pcnn::core::GridExtractor& grid,
-                 const pcnn::bench::BenchDataset& data, long extractorCores,
-                 int paperExtractorCores, int featureResamples = 1) {
+void runSpec(const std::string& spec, const pcnn::bench::BenchDataset& data) {
   using namespace pcnn;
-  core::PartitionedPipeline pipeline(extract, extractBatch,
-                                     classifierConfig(5));
+  extract::ExtractorOptions options;
+  options.layout = extract::FeatureLayout::kFlatCell;
+  options.seed = 2017;
+  const auto extractor = extract::makeExtractor(spec, options);
+
+  // Stage A of the co-training: trainable extractors (the parrot) learn to
+  // mimic the NApprox teacher on generated oriented samples; fixed-function
+  // extractors no-op.
+  std::printf("[%s] pretraining extractor (stage A of co-training)...\n",
+              spec.c_str());
+  extractor->pretrain(4000, 16, 0.005f);
+
+  core::PartitionedPipeline pipeline(extractor, classifierConfig(5));
 
   // Stochastic extractors (the spike-coded parrot) produce a fresh noise
   // realization per extraction; training on several realizations per
   // window keeps the classifier from overfitting one draw.
+  const auto info = extractor->info();
+  const int featureResamples =
+      info.coding == extract::CodingScheme::kStochasticStream ? 3 : 1;
   std::vector<Image> windows;
   std::vector<int> labels;
   for (int rep = 0; rep < featureResamples; ++rep) {
@@ -60,18 +70,23 @@ void runPipeline(const std::string& name,
   core::GridDetectorParams params;
   params.scoreThreshold = -3.0f;
   auto& classifier = pipeline.classifier();
-  core::GridDetector detector(
-      params, grid, core::cellFeatureAssembler(8, 16),
-      [&classifier](const std::vector<float>& f) {
-        return classifier.score(f);
-      });
+  core::GridDetector detector(params, extractor,
+                              [&classifier](const std::vector<float>& f) {
+                                return classifier.score(f);
+                              });
   const auto results = bench::evaluateDetector(detector, data.testScenes);
 
+  // Sec. 5.1 core accounting straight from the extractor's metadata.
+  const auto budget = core::makeResourceBudget(info);
+  const long cells = budget.cellsPerWindow();
   std::printf("[%s] train accuracy %.3f; extractor cores: %ld per window "
-              "(paper: %d), classifier cores: %ld (paper: 2864)\n",
-              name.c_str(), trainAcc, extractorCores, paperExtractorCores,
-              pipeline.classifier().coreCountEstimate());
-  bench::printCurve("miss rate vs FPPI (" + name + " + Eedn)",
+              "(paper: %ld), classifier cores: %ld (paper: %d)\n",
+              spec.c_str(), trainAcc,
+              static_cast<long>(info.coresPerCell) * cells,
+              static_cast<long>(budget.parrotExtractorCores()),
+              pipeline.classifier().coreCountEstimate(),
+              budget.classifierCores);
+  bench::printCurve("miss rate vs FPPI (" + spec + " + Eedn)",
                     eval::missRateCurve(results));
 }
 
@@ -84,41 +99,11 @@ int main() {
   const bench::BenchDataset data =
       bench::makeBenchDataset(110, 0, 8, 288, 224, 55);
 
-  // --- NApprox + Eedn -----------------------------------------------------
-  const auto napproxHog = std::make_shared<napprox::NApproxHog>();
-  runPipeline(
-      "NApprox HoG",
-      [napproxHog](const Image& w) { return napproxHog->cellDescriptor(w); },
-      [napproxHog](const std::vector<Image>& ws) {
-        return napproxHog->cellDescriptorBatch(ws);
-      },
-      [napproxHog](const Image& img) { return napproxHog->computeCells(img); },
-      data, 20 * 128, 26 * 128);
-
-  // --- Parrot (32-spike stochastic coding) + Eedn -------------------------
-  auto parrotHog = std::make_shared<parrot::ParrotHog>([] {
-    parrot::ParrotConfig config;
-    config.seed = 2017;
-    return config;
-  }());
-  {
-    const parrot::OrientedSampleGenerator generator;
-    std::printf("training parrot extractor (stage A of co-training)...\n");
-    parrotHog->train(generator, 4000, 16, 0.005f);
-    std::printf("parrot validation MSE: %.4f, dominant-bin accuracy %.3f\n\n",
-                parrotHog->validate(generator, 300),
-                parrotHog->dominantBinAccuracy(generator, 300));
-    parrotHog->setInputSpikes(32);
+  // Fig. 5's two partitioned pipelines, as registry specs over flat cell
+  // features: float NApprox and the 32-spike stochastically-coded parrot.
+  for (const std::string spec : {"napprox", "parrot:32spike"}) {
+    runSpec(spec, data);
   }
-  runPipeline(
-      "Parrot HoG (32-spike)",
-      [parrotHog](const Image& w) { return parrotHog->cellDescriptor(w); },
-      [parrotHog](const std::vector<Image>& ws) {
-        return parrotHog->cellDescriptorBatch(ws);
-      },
-      [parrotHog](const Image& img) { return parrotHog->computeCells(img); },
-      data, static_cast<long>(parrotHog->mappedCoresPerCell()) * 128,
-      8 * 128, /*featureResamples=*/3);
 
   // --- Absorbed monolithic network (Sec. 5.1 check) -----------------------
   {

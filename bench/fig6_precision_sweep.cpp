@@ -13,7 +13,9 @@
 
 #include "bench_common.hpp"
 #include "core/pipeline.hpp"
-#include "parrot/parrot.hpp"
+#include "extract/backends.hpp"
+#include "extract/registry.hpp"
+#include "parrot/generator.hpp"
 
 int main() {
   using namespace pcnn;
@@ -33,20 +35,24 @@ int main() {
   }
 
   // Train the parrot once with exact inputs (deployment precision is a
-  // representation choice, not a retraining).
-  auto parrotHog = std::make_shared<parrot::ParrotHog>([] {
-    parrot::ParrotConfig config;
-    config.seed = 2017;
-    return config;
-  }());
-  const parrot::OrientedSampleGenerator generator;
+  // representation choice, not a retraining): registry "parrot" is the
+  // exact variant, and setInputSpikes re-codes it per sweep step.
+  extract::ExtractorOptions options;
+  options.layout = extract::FeatureLayout::kFlatCell;
+  options.seed = 2017;
+  const auto extractor = extract::makeExtractor("parrot", options);
   std::printf("training parrot (exact inputs)...\n\n");
-  parrotHog->train(generator, 4000, 16, 0.005f);
+  extractor->pretrain(4000, 16, 0.005f);
+
+  // The parrot-specific dominant-bin diagnostic needs the concrete backend.
+  const auto parrotBackend =
+      std::dynamic_pointer_cast<extract::ParrotBackend>(extractor);
+  const parrot::OrientedSampleGenerator generator;
 
   std::printf("%8s  %18s  %18s  %12s\n", "spikes", "parrot bin acc",
               "classifier acc", "miss rate");
   for (int spikes : {32, 16, 8, 4, 2, 1}) {
-    parrotHog->setInputSpikes(spikes);
+    extractor->setInputSpikes(spikes);
 
     // Downstream Eedn classifier trained on features at this precision.
     eedn::EednClassifierConfig config;
@@ -57,11 +63,7 @@ int main() {
     config.outputPopulation = 8;
     config.inputScale = 1.0f / 64.0f;  // cell votes arrive as spike rates
     config.seed = 5;
-    core::PartitionedPipeline pipeline(
-        [parrotHog](const vision::Image& w) {
-          return parrotHog->cellDescriptor(w);
-        },
-        config);
+    core::PartitionedPipeline pipeline(extractor, config);
     // Three stochastic-coding realizations per window so the classifier
     // learns the coding noise rather than one draw of it.
     std::vector<vision::Image> windows;
@@ -93,8 +95,8 @@ int main() {
     const double missRate =
         positives > 0 ? static_cast<double>(misses) / positives : 0.0;
     std::printf("%8d  %18.3f  %18.3f  %12.3f\n", spikes,
-                parrotHog->dominantBinAccuracy(generator, 250), accuracy,
-                missRate);
+                parrotBackend->parrot().dominantBinAccuracy(generator, 250),
+                accuracy, missRate);
   }
   std::printf("\nExpected shape (paper): accuracy degrades gracefully as "
               "spike precision falls. The paper reports even 1-spike coding "

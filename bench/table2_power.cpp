@@ -5,6 +5,7 @@
 // 26-core module, and the abstract's 6.5x-208x power ratio.
 #include <cstdio>
 
+#include "extract/registry.hpp"
 #include "napprox/corelet.hpp"
 #include "napprox/quantized.hpp"
 #include "power/power.hpp"
@@ -17,13 +18,16 @@ int main() {
               "(paper: 1.5M)\n\n",
               workload.cellsPerFrame(), workload.cellsPerSecond());
 
+  // Rows come from registry-constructed extractors' own deployment
+  // metadata (FeatureExtractor::powerEstimate), one per table2Specs().
   std::printf("%-30s %-18s %10s %10s %12s   %s\n", "Approach",
               "Signal resolution", "modules", "chips", "power", "paper");
   const char* paperValues[] = {"8.6 W (system), 1.12 W (logic)",
                                "40 W, ~650 chips", "6.15 W", "768 mW",
                                "192 mW"};
   int row = 0;
-  for (const power::PowerEstimate& e : power::table2(workload)) {
+  for (const power::PowerEstimate& e :
+       extract::table2FromRegistry(workload)) {
     char powerStr[32];
     if (e.watts >= 1.0) {
       std::snprintf(powerStr, sizeof(powerStr), "%.2f W", e.watts);

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure with src/ warnings promoted to errors,
+# build everything, and run the full test suite.
+#
+# Usage: ./ci.sh [builddir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DPCNN_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "ci.sh: build + tests passed"

@@ -1,27 +1,33 @@
-// End-to-end pedestrian detection on synthetic scenes: train an SVM on
-// NApprox HoG features with hard-negative mining, scan a multi-scale
-// pyramid with the grid detector, apply NMS (epsilon = 0.2), and report
-// detections against ground truth -- the full Figure-4-style pipeline on a
-// couple of scenes.
+// End-to-end pedestrian detection on synthetic scenes: pick a feature
+// backend from the extractor registry, train an SVM on its flat cell
+// features with hard-negative mining, scan a multi-scale pyramid with the
+// grid detector, apply NMS (epsilon = 0.2), and report detections against
+// ground truth -- the full Figure-4-style pipeline on a couple of scenes,
+// for every registered backend by default.
 //
-// Usage: pedestrian_detection [numScenes] [seed]
+// Usage: pedestrian_detection [numScenes] [seed] [extractor]
+//   extractor: a registry spec ("hog", "napprox", "parrot:4spike", ...);
+//              omit to run every registered backend.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/detector.hpp"
 #include "eval/detection_eval.hpp"
-#include "napprox/napprox.hpp"
+#include "extract/registry.hpp"
 #include "svm/linear_svm.hpp"
 #include "svm/mining.hpp"
 #include "vision/pgm.hpp"
 #include "vision/synth.hpp"
 
-int main(int argc, char** argv) {
-  using namespace pcnn;
-  const int numScenes = argc > 1 ? std::atoi(argv[1]) : 3;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+namespace {
 
+void runExtractor(const std::string& spec, int numScenes,
+                  std::uint64_t seed) {
+  using namespace pcnn;
+  std::printf("\n=== extractor: %s ===\n", spec.c_str());
   vision::SyntheticPersonDataset dataset;
   Rng rng(seed);
 
@@ -36,31 +42,31 @@ int main(int argc, char** argv) {
     negativeScenes.push_back(dataset.scene(rng, 256, 256, 0).image);
   }
 
-  // 2. SVM on flat NApprox cell features, with hard-negative mining. The
-  // grid/assembler pair is shared with the detector: mining scans each
-  // negative scene over one cached cell grid per pyramid level instead of
-  // re-extracting every window from scratch.
-  napprox::NApproxHog featureHog;
-  auto grid = [&featureHog](const vision::Image& img) {
-    return featureHog.computeCells(img);
-  };
-  auto assembler = core::cellFeatureAssembler(8, 16);
+  // 2. Stage A: pretrain the extractor where it is trainable (the parrot
+  // learns to mimic its NApprox teacher; fixed-function backends no-op).
+  const auto extractor =
+      extract::makeExtractor(spec, extract::FeatureLayout::kFlatCell);
+  extractor->pretrain(4000, 16, 0.005f);
+
+  // 3. SVM on flat cell features, with hard-negative mining. The extractor
+  // is shared with the detector: mining scans each negative scene over one
+  // cached cell grid per pyramid level instead of re-extracting every
+  // window from scratch.
   svm::LinearSvm model;
   svm::MiningParams mining;
   mining.scan.strideX = 16;
   mining.scan.strideY = 16;
   mining.scan.pyramid.maxLevels = 3;
   const auto miningResult = svm::trainWithHardNegatives(
-      model, svm::GridExtractorPair{grid, assembler, 8}, positives, negatives,
-      negativeScenes, mining);
+      model, *extractor, positives, negatives, negativeScenes, mining);
   std::printf("trained SVM: %d hard negatives mined, train accuracy %.3f\n",
               miningResult.minedNegatives, miningResult.finalTrainAccuracy);
 
-  // 3. Multi-scale detection on fresh scenes (window rows scanned on the
+  // 4. Multi-scale detection on fresh scenes (window rows scanned on the
   // thread pool; set PCNN_NUM_THREADS to control it).
   core::GridDetectorParams params;
   params.scoreThreshold = 0.25f;
-  core::GridDetector detector(params, grid, assembler,
+  core::GridDetector detector(params, extractor,
                               [&model](const std::vector<float>& f) {
                                 return static_cast<float>(model.decision(f));
                               });
@@ -85,12 +91,28 @@ int main(int argc, char** argv) {
     results.push_back(std::move(r));
   }
 
-  // 4. Evaluation summary.
+  // 5. Evaluation summary.
   const eval::Counts counts = eval::evaluateAtThreshold(results, 0.0f);
   std::printf("\noverall: TP=%d FP=%d misses=%d\n", counts.truePositives,
               counts.falsePositives, counts.misses);
   const auto curve = eval::missRateCurve(results);
   std::printf("log-average miss rate: %.3f\n",
               eval::logAverageMissRate(curve));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pcnn;
+  const int numScenes = argc > 1 ? std::atoi(argv[1]) : 3;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  if (argc > 3) {
+    runExtractor(argv[3], numScenes, seed);
+    return 0;
+  }
+  for (const std::string& name : extract::ExtractorRegistry::instance().names()) {
+    runExtractor(name, numScenes, seed);
+  }
   return 0;
 }

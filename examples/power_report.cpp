@@ -3,6 +3,7 @@
 // the abstract (6.5x-208x).
 #include <cstdio>
 
+#include "extract/registry.hpp"
 #include "power/power.hpp"
 
 int main() {
@@ -12,9 +13,11 @@ int main() {
               workload.cellsPerFrame(), workload.fps,
               workload.cellsPerSecond());
 
+  // Each row is derived from a registry-constructed extractor's own
+  // deployment metadata (see extract::table2Specs).
   std::printf("%-32s %-18s %12s %10s %10s\n", "Approach", "Signal resolution",
               "modules", "chips", "power");
-  for (const PowerEstimate& row : table2(workload)) {
+  for (const PowerEstimate& row : pcnn::extract::table2FromRegistry(workload)) {
     char power[32];
     if (row.watts >= 1.0) {
       std::snprintf(power, sizeof(power), "%.2f W", row.watts);

@@ -8,6 +8,25 @@
 namespace pcnn::core {
 
 GridDetector::GridDetector(const GridDetectorParams& params,
+                           std::shared_ptr<extract::FeatureExtractor> extractor,
+                           WindowScorer scorer)
+    : params_(params),
+      featureExtractor_(std::move(extractor)),
+      scorer_(std::move(scorer)) {
+  if (!featureExtractor_ || !scorer_) {
+    throw std::invalid_argument("GridDetector: null extractor or scorer");
+  }
+  params_.cellSize = featureExtractor_->cellSize();
+  params_.windowCellsX = featureExtractor_->windowCellsX();
+  params_.windowCellsY = featureExtractor_->windowCellsY();
+  const auto ex = featureExtractor_;
+  extractor_ = [ex](const vision::Image& img) { return ex->cellGrid(img); };
+  assembler_ = [ex](const hog::CellGrid& grid, int cx0, int cy0) {
+    return ex->windowFromGrid(grid, cx0, cy0);
+  };
+}
+
+GridDetector::GridDetector(const GridDetectorParams& params,
                            GridExtractor extractor,
                            WindowFeatureAssembler assembler,
                            WindowScorer scorer)
@@ -22,6 +41,11 @@ GridDetector::GridDetector(const GridDetectorParams& params,
 
 std::vector<vision::Detection> GridDetector::detectRaw(
     const vision::Image& scene) const {
+  return detectRaw(scene, params_.scoreThreshold);
+}
+
+std::vector<vision::Detection> GridDetector::detectRaw(
+    const vision::Image& scene, float scoreThreshold) const {
   std::vector<vision::Detection> detections;
   vision::PyramidParams pp = params_.pyramid;
   pp.minWidth = params_.windowCellsX * params_.cellSize;
@@ -47,7 +71,7 @@ std::vector<vision::Detection> GridDetector::detectRaw(
         const std::vector<float> features =
             assembler_(grid, cx, static_cast<int>(cy));
         const float score = scorer_(features);
-        if (score < params_.scoreThreshold) continue;
+        if (score < scoreThreshold) continue;
         vision::Detection det;
         det.score = score;
         det.box.x = static_cast<float>(cx * params_.cellSize) * level.scale;
@@ -77,7 +101,13 @@ std::vector<vision::Detection> GridDetector::detectRaw(
 
 std::vector<vision::Detection> GridDetector::detect(
     const vision::Image& scene) const {
-  return vision::nonMaximumSuppression(detectRaw(scene), params_.nmsEpsilon);
+  return detect(scene, params_.scoreThreshold);
+}
+
+std::vector<vision::Detection> GridDetector::detect(
+    const vision::Image& scene, float scoreThreshold) const {
+  return vision::nonMaximumSuppression(detectRaw(scene, scoreThreshold),
+                                       params_.nmsEpsilon);
 }
 
 WindowFeatureAssembler cellFeatureAssembler(int windowCellsX,

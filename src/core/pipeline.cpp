@@ -6,6 +6,23 @@
 namespace pcnn::core {
 
 PartitionedPipeline::PartitionedPipeline(
+    std::shared_ptr<extract::FeatureExtractor> extractor,
+    const eedn::EednClassifierConfig& classifierConfig)
+    : featureExtractor_(std::move(extractor)),
+      classifier_(std::make_unique<eedn::EednClassifier>(classifierConfig)) {
+  if (!featureExtractor_) {
+    throw std::invalid_argument("PartitionedPipeline: null extractor");
+  }
+  const auto ex = featureExtractor_;
+  extractor_ = [ex](const vision::Image& window) {
+    return ex->windowFeatures(window);
+  };
+  batchExtractor_ = [ex](const std::vector<vision::Image>& windows) {
+    return ex->batchFeatures(windows);
+  };
+}
+
+PartitionedPipeline::PartitionedPipeline(
     WindowExtractorFn extractor,
     const eedn::EednClassifierConfig& classifierConfig)
     : PartitionedPipeline(std::move(extractor), BatchExtractorFn{},
@@ -56,13 +73,13 @@ float PartitionedPipeline::trainClassifier(
   return loss;
 }
 
-float PartitionedPipeline::score(const vision::Image& window) {
+float PartitionedPipeline::score(const vision::Image& window) const {
   return classifier_->score(extractor_(window));
 }
 
 double PartitionedPipeline::evalAccuracy(
     const std::vector<vision::Image>& windows,
-    const std::vector<int>& labels) {
+    const std::vector<int>& labels) const {
   if (windows.empty() || windows.size() != labels.size()) return 0.0;
   const auto features = extractAll(windows);
   std::size_t correct = 0;
@@ -85,6 +102,18 @@ parrot::ParrotHog trainParrotStage(const parrot::ParrotConfig& config,
 
 std::vector<float> rawPixelFeatures(const vision::Image& window) {
   return window.data();
+}
+
+ResourceBudget makeResourceBudget(const extract::ExtractorInfo& info,
+                                  int classifierCores) {
+  ResourceBudget budget;
+  budget.classifierCores = classifierCores;
+  if (info.paperCoresPerCell > 0) {
+    budget.parrotCoresPerCell = info.paperCoresPerCell;
+  } else if (info.coresPerCell > 0) {
+    budget.parrotCoresPerCell = info.coresPerCell;
+  }
+  return budget;
 }
 
 std::unique_ptr<eedn::EednClassifier> makeAbsorbedClassifier(

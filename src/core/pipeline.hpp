@@ -5,19 +5,20 @@
 #include <vector>
 
 #include "eedn/classifier.hpp"
+#include "extract/extractor.hpp"
 #include "parrot/parrot.hpp"
 #include "vision/image.hpp"
 
 namespace pcnn::core {
 
 /// Extracts flat cell features from a full detection window (the Eedn
-/// classifier's input path).
+/// classifier's input path). DEPRECATED shim: new code should hand
+/// PartitionedPipeline an extract::FeatureExtractor.
 using WindowExtractorFn =
     std::function<std::vector<float>(const vision::Image&)>;
 
-/// Batch form: features for many windows at once. Extractors expose this
-/// so whole training/evaluation sets run on the thread pool (see
-/// NApproxHog::cellDescriptorBatch and ParrotHog::cellDescriptorBatch).
+/// Batch form: features for many windows at once. DEPRECATED shim -- the
+/// FeatureExtractor interface carries batchFeatures natively.
 using BatchExtractorFn = std::function<std::vector<std::vector<float>>(
     const std::vector<vision::Image>&)>;
 
@@ -40,12 +41,27 @@ struct ResourceBudget {
   }
 };
 
+/// Budget derived from an extractor's own deployment metadata instead of
+/// hard-coded constants: the per-cell core count comes from
+/// ExtractorInfo::paperCoresPerCell (falling back to the mapped count,
+/// then to the paper's parrot default when the extractor reports no
+/// TrueNorth footprint).
+ResourceBudget makeResourceBudget(const extract::ExtractorInfo& info,
+                                  int classifierCores = 2864);
+
 /// The paper's primary artifact: a *partitioned* network -- an explicit
 /// feature-extraction stage (NApprox, Parrot, or classic HoG) feeding a
 /// separately trained Eedn classification stage, the two co-trained as a
 /// pipeline rather than absorbed into one monolithic network.
 class PartitionedPipeline {
  public:
+  /// Primary form: feature stage behind the polymorphic extractor layer
+  /// (typically registry-constructed). Uses the extractor's native batch
+  /// path for whole-dataset feature extraction.
+  PartitionedPipeline(std::shared_ptr<extract::FeatureExtractor> extractor,
+                      const eedn::EednClassifierConfig& classifierConfig);
+
+  /// DEPRECATED shim for hand-assembled extraction lambdas.
   PartitionedPipeline(WindowExtractorFn extractor,
                       const eedn::EednClassifierConfig& classifierConfig);
 
@@ -63,22 +79,28 @@ class PartitionedPipeline {
                         float learningRate, float momentum = 0.9f,
                         int batchSize = 16);
 
-  float score(const vision::Image& window);
-  int predict(const vision::Image& window) {
+  float score(const vision::Image& window) const;
+  int predict(const vision::Image& window) const {
     return score(window) >= 0.0f ? 1 : -1;
   }
   double evalAccuracy(const std::vector<vision::Image>& windows,
-                      const std::vector<int>& labels);
+                      const std::vector<int>& labels) const;
 
   std::vector<float> features(const vision::Image& window) const {
     return extractor_(window);
   }
   eedn::EednClassifier& classifier() { return *classifier_; }
 
+  /// The feature stage, or nullptr when built from the legacy shims.
+  const std::shared_ptr<extract::FeatureExtractor>& extractor() const {
+    return featureExtractor_;
+  }
+
  private:
   std::vector<std::vector<float>> extractAll(
       const std::vector<vision::Image>& windows) const;
 
+  std::shared_ptr<extract::FeatureExtractor> featureExtractor_;
   WindowExtractorFn extractor_;
   BatchExtractorFn batchExtractor_;  ///< optional; empty -> per-window loop
   std::unique_ptr<eedn::EednClassifier> classifier_;

@@ -1,0 +1,204 @@
+#include "extract/backends.hpp"
+
+#include <utility>
+
+#include "napprox/corelet.hpp"
+#include "parrot/generator.hpp"
+
+namespace pcnn::extract {
+
+// --- HogBackend -----------------------------------------------------------
+
+HogBackend::HogBackend(std::string name, FeatureLayout layout,
+                       const hog::HogParams& params, int windowCellsX,
+                       int windowCellsY)
+    : FeatureExtractor(std::move(name), layout, params.numBins, windowCellsX,
+                       windowCellsY, params.cellSize),
+      model_(params) {}
+
+hog::CellGrid HogBackend::cellGrid(const vision::Image& image) {
+  return model_.computeCells(image);
+}
+
+std::vector<float> HogBackend::windowFeatures(const vision::Image& window) {
+  return layout() == FeatureLayout::kFlatCell
+             ? model_.cellDescriptor(window)
+             : model_.windowDescriptor(window);
+}
+
+ExtractorInfo HogBackend::info() const {
+  ExtractorInfo meta;
+  meta.precision = "float (software reference)";
+  return meta;
+}
+
+// --- FixedPointBackend ----------------------------------------------------
+
+FixedPointBackend::FixedPointBackend(std::string name, FeatureLayout layout,
+                                     const hog::FixedPointHogParams& params,
+                                     int windowCellsX, int windowCellsY)
+    : FeatureExtractor(std::move(name), layout, params.numBins, windowCellsX,
+                       windowCellsY, params.cellSize),
+      model_(params) {}
+
+hog::CellGrid FixedPointBackend::cellGrid(const vision::Image& image) {
+  const hog::FixedPointHog::IntCellGrid intGrid = model_.computeCells(image);
+  hog::CellGrid grid;
+  grid.cellsX = intGrid.cellsX;
+  grid.cellsY = intGrid.cellsY;
+  grid.bins = intGrid.bins;
+  grid.data.assign(intGrid.data.begin(), intGrid.data.end());
+  return grid;
+}
+
+ExtractorInfo FixedPointBackend::info() const {
+  ExtractorInfo meta;
+  meta.precision = "16-bit fixed point";
+  meta.fpgaBaseline = true;
+  return meta;
+}
+
+// --- NApproxBackend -------------------------------------------------------
+
+NApproxBackend::NApproxBackend(std::string name, FeatureLayout layout,
+                               const napprox::NApproxParams& params,
+                               int windowCellsX, int windowCellsY)
+    : FeatureExtractor(std::move(name), layout, params.bins, windowCellsX,
+                       windowCellsY, params.cellSize),
+      model_(params) {}
+
+hog::CellGrid NApproxBackend::cellGrid(const vision::Image& image) {
+  return model_.computeCells(image);
+}
+
+std::vector<float> NApproxBackend::windowFeatures(
+    const vision::Image& window) {
+  return layout() == FeatureLayout::kFlatCell
+             ? model_.cellDescriptor(window)
+             : model_.windowDescriptor(window);
+}
+
+std::vector<std::vector<float>> NApproxBackend::batchFeatures(
+    const std::vector<vision::Image>& windows) {
+  if (layout() == FeatureLayout::kFlatCell) {
+    return model_.cellDescriptorBatch(windows);
+  }
+  return FeatureExtractor::batchFeatures(windows);
+}
+
+ExtractorInfo NApproxBackend::info() const {
+  ExtractorInfo meta;
+  meta.precision = "float";
+  // The float model maps to the same corelet structure once quantized, so
+  // report the mapping's footprint for the Sec. 5.1 core accounting.
+  meta.coresPerCell = napproxCoreletCoresPerCell();
+  meta.paperCoresPerCell = 26;
+  return meta;
+}
+
+// --- QuantizedNApproxBackend ----------------------------------------------
+
+QuantizedNApproxBackend::QuantizedNApproxBackend(
+    std::string name, FeatureLayout layout,
+    const napprox::NApproxParams& params,
+    const napprox::QuantizedParams& quant, int windowCellsX, int windowCellsY)
+    : FeatureExtractor(std::move(name), layout, params.bins, windowCellsX,
+                       windowCellsY, params.cellSize),
+      model_(params, quant) {}
+
+hog::CellGrid QuantizedNApproxBackend::cellGrid(const vision::Image& image) {
+  return model_.computeCells(image);
+}
+
+std::vector<float> QuantizedNApproxBackend::windowFeatures(
+    const vision::Image& window) {
+  return layout() == FeatureLayout::kFlatCell
+             ? model_.cellDescriptor(window)
+             : model_.windowDescriptor(window);
+}
+
+ExtractorInfo QuantizedNApproxBackend::info() const {
+  ExtractorInfo meta;
+  const int spikes = model_.quant().spikeWindow;
+  meta.precision = std::to_string(spikes) + "-spike rate code";
+  meta.coding = CodingScheme::kRateAccumulate;
+  meta.spikeWindow = spikes;
+  meta.coresPerCell = napproxCoreletCoresPerCell();
+  meta.paperCoresPerCell = 26;
+  return meta;
+}
+
+int napproxCoreletCoresPerCell() {
+  static const int cores = [] {
+    const napprox::QuantizedNApproxHog model(
+        {}, {}, napprox::QuantizedMode::kTickAccurate);
+    return napprox::NApproxCorelet(model).coreCount();
+  }();
+  return cores;
+}
+
+// --- ParrotBackend --------------------------------------------------------
+
+ParrotBackend::ParrotBackend(std::string name, FeatureLayout layout,
+                             const parrot::ParrotConfig& config,
+                             int windowCellsX, int windowCellsY)
+    : FeatureExtractor(std::move(name), layout, config.bins, windowCellsX,
+                       windowCellsY),
+      model_(config) {}
+
+hog::CellGrid ParrotBackend::cellGrid(const vision::Image& image) {
+  return model_.computeCells(image);
+}
+
+std::vector<float> ParrotBackend::windowFeatures(const vision::Image& window) {
+  if (layout() == FeatureLayout::kFlatCell) {
+    return model_.cellDescriptor(window);
+  }
+  return FeatureExtractor::windowFeatures(window);
+}
+
+std::vector<std::vector<float>> ParrotBackend::batchFeatures(
+    const std::vector<vision::Image>& windows) {
+  // The parrot's own batch path pre-draws one coding seed per window, so
+  // the batch is deterministic for any thread count. The block layout
+  // reshapes each flat result back into its cell grid and runs the shared
+  // block stage over it -- identical to assembling from cellGrid().
+  std::vector<std::vector<float>> flat = model_.cellDescriptorBatch(windows);
+  if (layout() == FeatureLayout::kFlatCell) return flat;
+  std::vector<std::vector<float>> out(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    hog::CellGrid grid;
+    grid.cellsX = windows[i].width() / cellSize();
+    grid.cellsY = windows[i].height() / cellSize();
+    grid.bins = bins();
+    grid.data = std::move(flat[i]);
+    out[i] = windowFromGrid(grid, 0, 0);
+  }
+  return out;
+}
+
+ExtractorInfo ParrotBackend::info() const {
+  ExtractorInfo meta;
+  const int spikes = model_.config().inputSpikes;
+  meta.precision = spikes > 0
+                       ? std::to_string(spikes) + "-spike stochastic"
+                       : "float (exact inputs)";
+  meta.coding = spikes > 0 ? CodingScheme::kStochasticStream
+                           : CodingScheme::kNone;
+  meta.spikeWindow = spikes;
+  meta.coresPerCell = model_.mappedCoresPerCell();
+  meta.paperCoresPerCell = model_.config().paperCoresPerCell;
+  return meta;
+}
+
+float ParrotBackend::pretrain(int numSamples, int epochs,
+                              float learningRate) {
+  const parrot::OrientedSampleGenerator generator;
+  return model_.train(generator, numSamples, epochs, learningRate);
+}
+
+void ParrotBackend::setInputSpikes(int spikes) {
+  model_.setInputSpikes(spikes);
+}
+
+}  // namespace pcnn::extract

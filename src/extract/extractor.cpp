@@ -1,0 +1,134 @@
+#include "extract/extractor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/parallel.hpp"
+
+namespace pcnn::extract {
+
+namespace {
+
+hog::HogParams blockAssemblyParams(int bins) {
+  hog::HogParams hp;
+  hp.numBins = bins;
+  hp.blockCells = 2;
+  hp.blockStrideCells = 1;
+  hp.l2Normalize = true;
+  return hp;
+}
+
+}  // namespace
+
+const char* layoutName(FeatureLayout layout) {
+  switch (layout) {
+    case FeatureLayout::kFlatCell:
+      return "flat-cell";
+    case FeatureLayout::kBlockNorm:
+      return "block-norm";
+  }
+  return "?";
+}
+
+FeatureExtractor::FeatureExtractor(std::string name, FeatureLayout layout,
+                                   int bins, int windowCellsX,
+                                   int windowCellsY, int cellSize)
+    : name_(std::move(name)),
+      layout_(layout),
+      bins_(bins),
+      cellSize_(cellSize),
+      windowCellsX_(windowCellsX),
+      windowCellsY_(windowCellsY),
+      blockAssembler_(blockAssemblyParams(bins)) {
+  if (bins_ <= 0 || cellSize_ <= 0 || windowCellsX_ <= 0 ||
+      windowCellsY_ <= 0) {
+    throw std::invalid_argument("FeatureExtractor: invalid geometry");
+  }
+}
+
+int FeatureExtractor::featureDim() const {
+  switch (layout_) {
+    case FeatureLayout::kFlatCell:
+      return windowCellsX_ * windowCellsY_ * bins_;
+    case FeatureLayout::kBlockNorm: {
+      const int blocksX = windowCellsX_ - 1;  // 2x2 blocks, 1-cell stride
+      const int blocksY = windowCellsY_ - 1;
+      return blocksX * blocksY * 4 * bins_;
+    }
+  }
+  return 0;
+}
+
+std::vector<float> FeatureExtractor::windowFromGrid(const hog::CellGrid& grid,
+                                                    int cx0, int cy0) const {
+  if (layout_ == FeatureLayout::kBlockNorm) {
+    return blockAssembler_.windowDescriptorFromGrid(grid, cx0, cy0,
+                                                    windowCellsX_,
+                                                    windowCellsY_);
+  }
+  if (cx0 < 0 || cy0 < 0 || cx0 + windowCellsX_ > grid.cellsX ||
+      cy0 + windowCellsY_ > grid.cellsY) {
+    throw std::invalid_argument("windowFromGrid: window exceeds grid");
+  }
+  std::vector<float> features;
+  features.reserve(static_cast<std::size_t>(windowCellsX_) * windowCellsY_ *
+                   grid.bins);
+  for (int cy = 0; cy < windowCellsY_; ++cy) {
+    for (int cx = 0; cx < windowCellsX_; ++cx) {
+      const float* hist = grid.cell(cx0 + cx, cy0 + cy);
+      features.insert(features.end(), hist, hist + grid.bins);
+    }
+  }
+  return features;
+}
+
+std::vector<float> FeatureExtractor::windowFeatures(
+    const vision::Image& window) {
+  return windowFromGrid(cellGrid(window), 0, 0);
+}
+
+std::vector<std::vector<float>> FeatureExtractor::batchFeatures(
+    const std::vector<vision::Image>& windows) {
+  std::vector<std::vector<float>> out(windows.size());
+  if (statelessExtraction()) {
+    parallelFor(0, static_cast<long>(windows.size()), [&](long i) {
+      out[static_cast<std::size_t>(i)] =
+          windowFeatures(windows[static_cast<std::size_t>(i)]);
+    });
+  } else {
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      out[i] = windowFeatures(windows[i]);
+    }
+  }
+  return out;
+}
+
+float FeatureExtractor::pretrain(int, int, float) { return 0.0f; }
+
+void FeatureExtractor::setInputSpikes(int) {}
+
+std::optional<power::PowerEstimate> FeatureExtractor::powerEstimate(
+    const power::FullHdWorkload& workload) const {
+  const ExtractorInfo meta = info();
+  const power::TrueNorthPowerModel model;
+  switch (meta.coding) {
+    case CodingScheme::kRateAccumulate:
+      return model.napprox(workload, meta.spikeWindow,
+                           meta.paperCoresPerCell);
+    case CodingScheme::kStochasticStream:
+      return model.parrot(workload, meta.spikeWindow, meta.paperCoresPerCell);
+    case CodingScheme::kNone:
+      break;
+  }
+  if (meta.fpgaBaseline) {
+    const power::FpgaPowerModel fpga;
+    power::PowerEstimate estimate;
+    estimate.approach = "High-precision HoG on FPGA";
+    estimate.signalResolution = std::to_string(fpga.bits) + "-bit";
+    estimate.watts = fpga.systemWatts;  // system; logic-only is 1.12 W
+    return estimate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pcnn::extract

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hog/hog.hpp"
+#include "power/power.hpp"
+#include "vision/image.hpp"
+
+namespace pcnn::extract {
+
+/// Which feature vector an extractor emits for a detection window.
+///
+/// The paper runs every extractor through the same two downstream heads:
+/// the SVM consumes overlapping 2x2-cell L2-normalized blocks (Fig. 4),
+/// while the Eedn classifier consumes the flat concatenation of cell
+/// histograms with block normalization elided (Fig. 5, Sec. 5 -- the norm
+/// is costly on TrueNorth). Both layouts are assembled from the same
+/// per-cell histogram grid, so one extractor instance serves either head.
+enum class FeatureLayout {
+  kFlatCell,   ///< windowCellsX * windowCellsY * bins, no normalization
+  kBlockNorm,  ///< 2x2-cell blocks, 1-cell stride, L2-normalized
+};
+
+const char* layoutName(FeatureLayout layout);
+
+/// How the extractor's inputs are delivered on TrueNorth -- determines the
+/// throughput (and therefore the module count and power) of a deployment.
+enum class CodingScheme {
+  kNone,              ///< not spike-coded (software model / FPGA)
+  kRateAccumulate,    ///< rate code accumulated for spikeWindow ticks
+                      ///< (NApprox: one cell per spikeWindow+overhead ticks)
+  kStochasticStream,  ///< stochastic code, pipelined output every tick
+                      ///< (Parrot: 1000/spikes cells/s per module)
+};
+
+/// Deployment metadata an extractor reports about itself: the resource and
+/// precision numbers that feed the Table-2 power model and the Sec. 5.1
+/// core accounting (core::ResourceBudget). Zeroed fields mean "not
+/// applicable" -- e.g. a float software model has no TrueNorth mapping.
+struct ExtractorInfo {
+  std::string precision;        ///< human-readable signal resolution
+  CodingScheme coding = CodingScheme::kNone;
+  int spikeWindow = 0;          ///< coding window in ticks (0 = exact)
+  int coresPerCell = 0;         ///< our mapped TrueNorth cores per 8x8 cell
+  int paperCoresPerCell = 0;    ///< the paper module's cores per cell
+  bool fpgaBaseline = false;    ///< true for the fixed-point FPGA design
+};
+
+/// Polymorphic feature-extraction stage of the partitioned pipeline.
+///
+/// Captures the contract the system grew implicitly across PR 1: features
+/// are assembled from a per-cell histogram grid (hog::CellGrid) that is
+/// computed once per image and shared by every window over it, plus
+/// whole-window and whole-batch convenience paths. The four backends
+/// (classic HoG, fixed-point FPGA HoG, NApprox, Parrot) all implement this
+/// interface in both feature layouts; consumers (core::GridDetector,
+/// core::PartitionedPipeline, svm mining, the benches) are written against
+/// it, so a new backend is a single registry entry away from every harness.
+///
+/// Threading contract: cellGrid / windowFeatures / batchFeatures may be
+/// stateful (the Parrot draws stochastic-coding noise from an internal RNG
+/// stream) and must be called from one thread at a time. windowFromGrid is
+/// const and re-entrant: the detector scans window rows concurrently over
+/// one shared grid.
+class FeatureExtractor {
+ public:
+  virtual ~FeatureExtractor() = default;
+
+  const std::string& name() const { return name_; }
+  FeatureLayout layout() const { return layout_; }
+  int bins() const { return bins_; }
+  int cellSize() const { return cellSize_; }
+  int windowCellsX() const { return windowCellsX_; }
+  int windowCellsY() const { return windowCellsY_; }
+
+  /// Length of the feature vector windowFromGrid / windowFeatures emit.
+  int featureDim() const;
+
+  /// Per-cell histogram grid of a whole (pyramid-level) image. Computed
+  /// once per level and sliced by every window over it.
+  virtual hog::CellGrid cellGrid(const vision::Image& image) = 0;
+
+  /// Features of the window whose top-left cell is (cx0, cy0), sliced out
+  /// of a cached grid. Bitwise-identical to extracting the same window's
+  /// sub-grid and assembling it standalone. Const and re-entrant.
+  std::vector<float> windowFromGrid(const hog::CellGrid& grid, int cx0,
+                                    int cy0) const;
+
+  /// Features of one standalone window (== windowFromGrid(cellGrid(w),0,0)
+  /// by default; backends with a native per-window path override to share
+  /// it, and the conformance suite checks the two stay bitwise-identical).
+  virtual std::vector<float> windowFeatures(const vision::Image& window);
+
+  /// windowFeatures over a batch. Stateless backends run on the global
+  /// thread pool; results match the sequential loop bit-for-bit at any
+  /// thread count. Stateful backends (Parrot) pre-draw one coding seed per
+  /// window so their batch is deterministic for a given extractor state
+  /// regardless of the thread count (but consumes the RNG stream
+  /// differently than the sequential loop would).
+  virtual std::vector<std::vector<float>> batchFeatures(
+      const std::vector<vision::Image>& windows);
+
+  /// Deployment metadata (precision, coding, core counts).
+  virtual ExtractorInfo info() const = 0;
+
+  /// Stage A of the paper's co-training: trains the extractor itself
+  /// (Sec. 3.2 -- the Parrot mimics NApprox on generated oriented samples).
+  /// Returns the final-epoch loss; no-op returning 0 for fixed-function
+  /// extractors.
+  virtual float pretrain(int numSamples, int epochs, float learningRate);
+
+  /// Changes the input spike-coding window without retraining (the Fig. 6
+  /// precision sweep). No-op for extractors without a coded input stage.
+  virtual void setInputSpikes(int spikes);
+
+  /// True when feature extraction mutates no state, so batches may fan out
+  /// per-window on the thread pool.
+  virtual bool statelessExtraction() const { return true; }
+
+  /// Table-2 power row for this extractor under the given workload, or
+  /// nullopt when the extractor has no hardware deployment (pure software
+  /// models). Derived from info() via power::TrueNorthPowerModel /
+  /// power::FpgaPowerModel.
+  std::optional<power::PowerEstimate> powerEstimate(
+      const power::FullHdWorkload& workload = {}) const;
+
+ protected:
+  FeatureExtractor(std::string name, FeatureLayout layout, int bins,
+                   int windowCellsX, int windowCellsY, int cellSize = 8);
+
+ private:
+  std::string name_;
+  FeatureLayout layout_;
+  int bins_;
+  int cellSize_;
+  int windowCellsX_;
+  int windowCellsY_;
+  hog::HogExtractor blockAssembler_;  ///< block slicing for kBlockNorm
+};
+
+}  // namespace pcnn::extract

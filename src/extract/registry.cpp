@@ -1,0 +1,155 @@
+#include "extract/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "extract/backends.hpp"
+
+namespace pcnn::extract {
+
+namespace {
+
+/// Parses "<N>spike" -> N; returns -1 when the variant has another shape.
+int parseSpikes(const std::string& variant) {
+  const std::string suffix = "spike";
+  if (variant.size() <= suffix.size() ||
+      variant.compare(variant.size() - suffix.size(), suffix.size(),
+                      suffix) != 0) {
+    return -1;
+  }
+  const std::string digits = variant.substr(0, variant.size() - suffix.size());
+  int value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return digits.empty() ? -1 : value;
+}
+
+[[noreturn]] void badVariant(const std::string& spec) {
+  throw std::invalid_argument("ExtractorRegistry: unknown variant in \"" +
+                              spec + "\"");
+}
+
+}  // namespace
+
+ExtractorRegistry& ExtractorRegistry::instance() {
+  static ExtractorRegistry registry;
+  return registry;
+}
+
+ExtractorRegistry::ExtractorRegistry() {
+  add("hog", [](const std::string& spec, const std::string& variant,
+                const ExtractorOptions& options)
+          -> std::shared_ptr<FeatureExtractor> {
+    if (!variant.empty()) badVariant(spec);
+    return std::make_shared<HogBackend>(spec, options.layout,
+                                        hog::HogParams{},
+                                        options.windowCellsX,
+                                        options.windowCellsY);
+  });
+  add("fixedpoint", [](const std::string& spec, const std::string& variant,
+                       const ExtractorOptions& options)
+          -> std::shared_ptr<FeatureExtractor> {
+    if (!variant.empty()) badVariant(spec);
+    return std::make_shared<FixedPointBackend>(spec, options.layout,
+                                               hog::FixedPointHogParams{},
+                                               options.windowCellsX,
+                                               options.windowCellsY);
+  });
+  add("napprox", [](const std::string& spec, const std::string& variant,
+                    const ExtractorOptions& options)
+          -> std::shared_ptr<FeatureExtractor> {
+    if (variant.empty() || variant == "fp") {
+      return std::make_shared<NApproxBackend>(spec, options.layout,
+                                              napprox::NApproxParams{},
+                                              options.windowCellsX,
+                                              options.windowCellsY);
+    }
+    const int spikes = parseSpikes(variant);
+    if (spikes <= 0) badVariant(spec);
+    napprox::QuantizedParams quant;
+    quant.spikeWindow = spikes;
+    return std::make_shared<QuantizedNApproxBackend>(
+        spec, options.layout, napprox::NApproxParams{}, quant,
+        options.windowCellsX, options.windowCellsY);
+  });
+  add("parrot", [](const std::string& spec, const std::string& variant,
+                   const ExtractorOptions& options)
+          -> std::shared_ptr<FeatureExtractor> {
+    parrot::ParrotConfig config;
+    config.seed = options.seed;
+    if (variant.empty() || variant == "exact") {
+      config.inputSpikes = 0;
+    } else {
+      const int spikes = parseSpikes(variant);
+      if (spikes <= 0) badVariant(spec);
+      config.inputSpikes = spikes;
+    }
+    return std::make_shared<ParrotBackend>(spec, options.layout, config,
+                                           options.windowCellsX,
+                                           options.windowCellsY);
+  });
+}
+
+void ExtractorRegistry::add(const std::string& base, Factory factory) {
+  factories_[base] = std::move(factory);
+}
+
+bool ExtractorRegistry::contains(const std::string& base) const {
+  return factories_.count(base) > 0;
+}
+
+std::vector<std::string> ExtractorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [base, factory] : factories_) out.push_back(base);
+  return out;
+}
+
+std::shared_ptr<FeatureExtractor> ExtractorRegistry::create(
+    const std::string& spec, const ExtractorOptions& options) const {
+  const std::size_t colon = spec.find(':');
+  const std::string base = spec.substr(0, colon);
+  const std::string variant =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const auto it = factories_.find(base);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("ExtractorRegistry: unknown extractor \"" +
+                                base + "\"");
+  }
+  return it->second(spec, variant, options);
+}
+
+std::shared_ptr<FeatureExtractor> makeExtractor(const std::string& spec,
+                                                FeatureLayout layout) {
+  ExtractorOptions options;
+  options.layout = layout;
+  return ExtractorRegistry::instance().create(spec, options);
+}
+
+std::shared_ptr<FeatureExtractor> makeExtractor(
+    const std::string& spec, const ExtractorOptions& options) {
+  return ExtractorRegistry::instance().create(spec, options);
+}
+
+const std::vector<std::string>& table2Specs() {
+  static const std::vector<std::string> specs = {
+      "fixedpoint", "napprox:64spike", "parrot:32spike", "parrot:4spike",
+      "parrot:1spike"};
+  return specs;
+}
+
+std::vector<power::PowerEstimate> table2FromRegistry(
+    const power::FullHdWorkload& workload) {
+  std::vector<power::PowerEstimate> rows;
+  for (const std::string& spec : table2Specs()) {
+    const auto extractor = makeExtractor(spec);
+    if (const auto row = extractor->powerEstimate(workload)) {
+      rows.push_back(*row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace pcnn::extract

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "extract/extractor.hpp"
+
+namespace pcnn::extract {
+
+/// Construction-time options shared by every backend factory. The spec
+/// string picks the backend and its precision variant; these pick the
+/// downstream-facing geometry and layout.
+struct ExtractorOptions {
+  FeatureLayout layout = FeatureLayout::kFlatCell;
+  int windowCellsX = 8;   ///< 64-pixel-wide window at 8-px cells
+  int windowCellsY = 16;  ///< 128-pixel-tall window
+  std::uint64_t seed = 21;  ///< RNG seed for trained/stochastic backends
+};
+
+/// Name -> factory registry for feature-extraction backends.
+///
+/// A spec string is `base` or `base:variant` -- e.g. "hog", "fixedpoint",
+/// "napprox", "napprox:64spike", "parrot:4spike". Pipelines, detectors and
+/// benches construct extractors from these strings instead of hand-wiring
+/// per-backend lambdas, so adding a backend means registering one factory
+/// and every harness picks it up.
+///
+/// Built-in backends (registered on first use):
+///   hog         classic float HoG, 9 unsigned bins, weighted voting
+///   fixedpoint  FPGA-style integer HoG (the paper's baseline)
+///   napprox     NApprox HoG; variants: "fp" (default, float) or
+///               "<N>spike" (TrueNorth-precision rate coding, e.g. 64spike)
+///   parrot      Parrot HoG cell network; variants: "exact" (default) or
+///               "<N>spike" (stochastic input coding, e.g. 32spike).
+///               Construct then pretrain() -- stage A of the co-training.
+class ExtractorRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<FeatureExtractor>(
+      const std::string& spec, const std::string& variant,
+      const ExtractorOptions& options)>;
+
+  static ExtractorRegistry& instance();
+
+  /// Registers (or replaces) the factory for a base name.
+  void add(const std::string& base, Factory factory);
+
+  bool contains(const std::string& base) const;
+
+  /// Sorted base names of every registered backend.
+  std::vector<std::string> names() const;
+
+  /// Constructs an extractor from a spec string. Throws
+  /// std::invalid_argument for unknown base names or variants.
+  std::shared_ptr<FeatureExtractor> create(
+      const std::string& spec, const ExtractorOptions& options = {}) const;
+
+ private:
+  ExtractorRegistry();
+  std::map<std::string, Factory> factories_;
+};
+
+/// Convenience: ExtractorRegistry::instance().create(spec, {layout}).
+std::shared_ptr<FeatureExtractor> makeExtractor(
+    const std::string& spec, FeatureLayout layout = FeatureLayout::kFlatCell);
+std::shared_ptr<FeatureExtractor> makeExtractor(
+    const std::string& spec, const ExtractorOptions& options);
+
+/// The spec strings whose deployments form the paper's Table 2, in row
+/// order: FPGA baseline, NApprox at 64-spike, Parrot at 32/4/1 spikes.
+const std::vector<std::string>& table2Specs();
+
+/// Table-2 power rows derived from registry-constructed extractors (one
+/// row per table2Specs() entry, via FeatureExtractor::powerEstimate).
+std::vector<power::PowerEstimate> table2FromRegistry(
+    const power::FullHdWorkload& workload = {});
+
+}  // namespace pcnn::extract

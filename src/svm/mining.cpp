@@ -117,4 +117,15 @@ MiningResult trainWithHardNegatives(
   return result;
 }
 
+MiningResult trainWithHardNegatives(
+    LinearSvm& svm, extract::FeatureExtractor& extractor,
+    const std::vector<vision::Image>& positiveWindows,
+    const std::vector<vision::Image>& negativeWindows,
+    const std::vector<vision::Image>& negativeScenes,
+    const MiningParams& params) {
+  return trainWithHardNegatives(svm, GridExtractorPair(extractor),
+                                positiveWindows, negativeWindows,
+                                negativeScenes, params);
+}
+
 }  // namespace pcnn::svm

@@ -122,6 +122,37 @@ TEST(GridDetector, RawDetectionsExceedNmsDetections) {
   EXPECT_GT(detector.detectRaw(scene).size(), detector.detect(scene).size());
 }
 
+TEST(GridDetector, ThresholdOverrideAtDetectTime) {
+  // Every window scores 1.0; the construction-time threshold keeps them
+  // all, and a call-time override above the score drops them all without
+  // rebuilding the detector.
+  GridDetectorParams params;
+  params.windowCellsX = 2;
+  params.windowCellsY = 2;
+  params.scoreThreshold = 0.5f;
+  params.pyramid.maxLevels = 1;
+  auto extractor = [](const vision::Image& img) {
+    hog::CellGrid grid;
+    grid.cellsX = img.width() / 8;
+    grid.cellsY = img.height() / 8;
+    grid.bins = 1;
+    grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY,
+                     1.0f);
+    return grid;
+  };
+  auto scorer = [](const std::vector<float>&) { return 1.0f; };
+  GridDetector detector(params, extractor, cellFeatureAssembler(2, 2),
+                        scorer);
+  vision::Image scene(48, 48, 0.5f);
+  const auto atDefault = detector.detectRaw(scene);
+  EXPECT_FALSE(atDefault.empty());
+  EXPECT_EQ(detector.detectRaw(scene, 0.5f).size(), atDefault.size());
+  EXPECT_TRUE(detector.detectRaw(scene, 2.0f).empty());
+  EXPECT_TRUE(detector.detect(scene, 2.0f).empty());
+  // The override is per call: the construction-time threshold still holds.
+  EXPECT_EQ(detector.detectRaw(scene).size(), atDefault.size());
+}
+
 TEST(PartitionedPipeline, TrainsOnExtractedFeatures) {
   // NApprox features + small Eedn head learn to separate synthetic person
   // windows from negatives (a miniature of the Fig. 5 pipeline).
@@ -156,7 +187,11 @@ TEST(PartitionedPipeline, TrainsOnExtractedFeatures) {
 TEST(PartitionedPipeline, RejectsNulls) {
   eedn::EednClassifierConfig config;
   config.inputSize = 8;
-  EXPECT_THROW(PartitionedPipeline(nullptr, config), std::invalid_argument);
+  EXPECT_THROW(PartitionedPipeline(WindowExtractorFn{}, config),
+               std::invalid_argument);
+  EXPECT_THROW(PartitionedPipeline(
+                   std::shared_ptr<extract::FeatureExtractor>{}, config),
+               std::invalid_argument);
 }
 
 TEST(Absorbed, ClassifierMeetsResourceBudget) {
