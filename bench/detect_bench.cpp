@@ -14,12 +14,14 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/detector.hpp"
 #include "extract/registry.hpp"
+#include "hog/cell_kernels.hpp"
 #include "hog/hog.hpp"
 #include "vision/sliding_window.hpp"
 #include "vision/synth.hpp"
@@ -152,6 +154,9 @@ int main(int argc, char** argv) {
                "  \"window_px\": [64, 128],\n"
                "  \"windows_scanned\": %ld,\n"
                "  \"repeats\": %d,\n"
+               "  \"kernel_dispatch\": \"%s\",\n"
+               "  \"simd_level\": \"%s\",\n"
+               "  \"hardware_threads\": %u,\n"
                "  \"legacy_per_window_1t_ms\": %.2f,\n"
                "  \"cached_grid_1t_ms\": %.2f,\n"
                "  \"cached_grid_2t_ms\": %.2f,\n"
@@ -162,7 +167,10 @@ int main(int argc, char** argv) {
                "  \"extractor_scene\": [%d, %d],\n"
                "  \"extractor_windows_scanned\": %ld,\n"
                "  \"extractors\": {",
-               sceneW, sceneH, numWindows, repeats, legacyMs, cachedMs[0],
+               sceneW, sceneH, numWindows, repeats,
+               hog::kernels::kindName(hog::kernels::activeKind()),
+               hog::kernels::simdLevel(),
+               std::thread::hardware_concurrency(), legacyMs, cachedMs[0],
                cachedMs[1], cachedMs[2], legacyMs / cachedMs[0],
                legacyMs / cachedMs[1], legacyMs / cachedMs[2], smallW, smallH,
                smallWindows);

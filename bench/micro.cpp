@@ -7,8 +7,11 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/detector.hpp"
+#include "extract/registry.hpp"
 #include "vision/sliding_window.hpp"
+#include "hog/cell_kernels.hpp"
 #include "hog/fixed_point.hpp"
+#include "hog/gradient.hpp"
 #include "hog/hog.hpp"
 #include "napprox/corelet.hpp"
 #include "napprox/napprox.hpp"
@@ -48,6 +51,74 @@ void BM_FixedPointHogWindow(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 128);
 }
 BENCHMARK(BM_FixedPointHogWindow);
+
+// --- Cell-kernel layer: scalar reference vs batched SoA row kernels -----
+// (src/hog/cell_kernels.*), one whole 320x240 grid per iteration. Arg 0
+// runs the scalar per-pixel loops, Arg 1 the batched kernels (which the
+// dynamic linker further specializes to the best target_clones variant --
+// see the simd_level field of BENCH_detect.json for what that resolved to).
+
+const vision::Image& kernelScene() {
+  static const vision::Image scene = [] {
+    vision::SyntheticPersonDataset synth;
+    Rng rng(23);
+    return synth.scene(rng, 320, 240, 1).image;
+  }();
+  return scene;
+}
+
+void BM_HogCellKernel(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const hog::HogParams params;
+  const hog::GradientField field = hog::computeGradients(kernelScene());
+  hog::CellGrid grid;
+  grid.cellsX = kernelScene().width() / params.cellSize;
+  grid.cellsY = kernelScene().height() / params.cellSize;
+  grid.bins = params.numBins;
+  for (auto _ : state) {
+    grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY *
+                         grid.bins,
+                     0.0f);
+    if (batched) {
+      hog::kernels::hogCellRowsBatched(field, params, grid, 0, grid.cellsY);
+    } else {
+      hog::kernels::hogCellRowsScalar(field, params, grid, 0, grid.cellsY);
+    }
+    benchmark::DoNotOptimize(grid.data.data());
+  }
+  state.SetLabel(batched ? "batched" : "scalar");
+  state.SetItemsProcessed(state.iterations() * grid.cellsX * grid.cellsY);
+}
+BENCHMARK(BM_HogCellKernel)->Arg(0)->Arg(1);
+
+void BM_FixedCellKernel(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const hog::FixedPointHog model;
+  const std::vector<std::int32_t> pix =
+      hog::kernels::quantizePixels(kernelScene(), model.params().pixelBits);
+  const int w = kernelScene().width();
+  const int h = kernelScene().height();
+  hog::FixedPointHog::IntCellGrid grid;
+  grid.cellsX = w / model.params().cellSize;
+  grid.cellsY = h / model.params().cellSize;
+  grid.bins = model.params().numBins;
+  for (auto _ : state) {
+    grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY *
+                         grid.bins,
+                     0);
+    if (batched) {
+      hog::kernels::fixedCellRowsBatched(model, pix.data(), w, h, grid, 0,
+                                         grid.cellsY);
+    } else {
+      hog::kernels::fixedCellRowsScalar(model, pix.data(), w, h, grid, 0,
+                                        grid.cellsY);
+    }
+    benchmark::DoNotOptimize(grid.data.data());
+  }
+  state.SetLabel(batched ? "batched" : "scalar");
+  state.SetItemsProcessed(state.iterations() * grid.cellsX * grid.cellsY);
+}
+BENCHMARK(BM_FixedCellKernel)->Arg(0)->Arg(1);
 
 void BM_NApproxFpCell(benchmark::State& state) {
   const napprox::NApproxHog extractor;
@@ -173,15 +244,12 @@ BENCHMARK(BM_DetectFullFrame_LegacyPerWindow)->Arg(1)->Unit(benchmark::kMillisec
 
 void BM_DetectFullFrame_CachedGrid(benchmark::State& state) {
   setThreadCount(static_cast<int>(state.range(0)));
-  const auto extractor = std::make_shared<hog::HogExtractor>();
   core::GridDetectorParams params;
   params.scoreThreshold = 1e9f;
   const core::GridDetector detector(
       params,
-      [extractor](const vision::Image& img) {
-        return extractor->computeCells(img);
-      },
-      core::blockFeatureAssembler(hog::HogParams{}, 8, 16), benchScore);
+      extract::makeExtractor("hog", extract::FeatureLayout::kBlockNorm),
+      benchScore);
   for (auto _ : state) {
     benchmark::DoNotOptimize(detector.detectRaw(benchScene()));
   }

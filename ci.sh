@@ -12,4 +12,12 @@ cmake -B "$BUILD_DIR" -S . -DPCNN_WERROR=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "ci.sh: build + tests passed"
+# The fast label again under both kernel dispatch settings: once with the
+# batched SIMD kernels (the default) and once with PCNN_SIMD=off forcing
+# the scalar reference path, so a vectorization regression in either
+# implementation -- or a parity break between them -- fails CI.
+ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j"$(nproc)"
+PCNN_SIMD=off ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure \
+  -j"$(nproc)"
+
+echo "ci.sh: build + tests (incl. scalar-dispatch fast re-run) passed"

@@ -175,4 +175,13 @@ void parallelFor(long begin, long end,
   });
 }
 
+long suggestedGrain(long items) {
+  if (items < 1) return 1;
+  const long threads = threadCount();
+  if (threads <= 1) return items;  // one chunk, dispatched inline
+  constexpr long kChunksPerThread = 4;
+  const long grain = items / (threads * kChunksPerThread);
+  return grain < 1 ? 1 : grain;
+}
+
 }  // namespace pcnn

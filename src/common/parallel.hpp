@@ -37,4 +37,16 @@ void parallelFor(long begin, long end, const std::function<void(long)>& body);
 void parallelForChunked(long begin, long end, long grain,
                         const std::function<void(long, long)>& body);
 
+/// Work-sized grain for parallelForChunked: splits `items` into about four
+/// chunks per pool thread (enough slack for load balancing without paying
+/// per-index dispatch), and collapses to a single chunk on a 1-thread pool
+/// so the inline path runs with zero pool overhead.
+///
+/// The returned grain depends on the pool size, so chunk *boundaries* vary
+/// with the thread count. That is safe exactly when every index writes its
+/// own disjoint output (the library's hot loops all do); a body whose
+/// within-chunk accumulation order matters must pass an explicit grain to
+/// keep results thread-count-independent.
+long suggestedGrain(long items);
+
 }  // namespace pcnn

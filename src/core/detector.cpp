@@ -19,24 +19,6 @@ GridDetector::GridDetector(const GridDetectorParams& params,
   params_.cellSize = featureExtractor_->cellSize();
   params_.windowCellsX = featureExtractor_->windowCellsX();
   params_.windowCellsY = featureExtractor_->windowCellsY();
-  const auto ex = featureExtractor_;
-  extractor_ = [ex](const vision::Image& img) { return ex->cellGrid(img); };
-  assembler_ = [ex](const hog::CellGrid& grid, int cx0, int cy0) {
-    return ex->windowFromGrid(grid, cx0, cy0);
-  };
-}
-
-GridDetector::GridDetector(const GridDetectorParams& params,
-                           GridExtractor extractor,
-                           WindowFeatureAssembler assembler,
-                           WindowScorer scorer)
-    : params_(params),
-      extractor_(std::move(extractor)),
-      assembler_(std::move(assembler)),
-      scorer_(std::move(scorer)) {
-  if (!extractor_ || !assembler_ || !scorer_) {
-    throw std::invalid_argument("GridDetector: null callable");
-  }
 }
 
 std::vector<vision::Detection> GridDetector::detectRaw(
@@ -52,13 +34,22 @@ std::vector<vision::Detection> GridDetector::detectRaw(
   pp.minHeight = params_.windowCellsY * params_.cellSize;
   const auto levels = vision::buildPyramid(scene, pp);
 
+  const bool blockPath =
+      featureExtractor_->layout() == extract::FeatureLayout::kBlockNorm;
+
   for (const vision::PyramidLevel& level : levels) {
     // The grid is extracted once per level (extractors may be stateful, so
     // this stays on the calling thread); every window over the level then
-    // shares it. Rows are scored on the pool, each collecting into its own
-    // bucket, and buckets are concatenated in row order afterwards so the
-    // output is identical to the sequential scan for any thread count.
-    const hog::CellGrid grid = extractor_(level.image);
+    // shares it. Block-norm extractors also normalize every block exactly
+    // once here -- adjacent windows overlap by all but one cell column, so
+    // the per-window path would redo each block's normalization for each
+    // of the up to 4 windows covering it. Rows are scored on the pool,
+    // each collecting into its own bucket, and buckets are concatenated in
+    // row order afterwards so the output is identical to the sequential
+    // scan for any thread count.
+    const hog::CellGrid grid = featureExtractor_->cellGrid(level.image);
+    const hog::BlockGrid blocks =
+        blockPath ? featureExtractor_->prepareBlocks(grid) : hog::BlockGrid{};
     const int maxCy = grid.cellsY - params_.windowCellsY;
     const int maxCx = grid.cellsX - params_.windowCellsX;
     if (maxCy < 0 || maxCx < 0) continue;
@@ -69,7 +60,10 @@ std::vector<vision::Detection> GridDetector::detectRaw(
           rows[static_cast<std::size_t>(cy)];
       for (int cx = 0; cx <= maxCx; ++cx) {
         const std::vector<float> features =
-            assembler_(grid, cx, static_cast<int>(cy));
+            blockPath ? featureExtractor_->windowFromBlocks(
+                            blocks, cx, static_cast<int>(cy))
+                      : featureExtractor_->windowFromGrid(
+                            grid, cx, static_cast<int>(cy));
         const float score = scorer_(features);
         if (score < scoreThreshold) continue;
         vision::Detection det;
@@ -108,36 +102,6 @@ std::vector<vision::Detection> GridDetector::detect(
     const vision::Image& scene, float scoreThreshold) const {
   return vision::nonMaximumSuppression(detectRaw(scene, scoreThreshold),
                                        params_.nmsEpsilon);
-}
-
-WindowFeatureAssembler cellFeatureAssembler(int windowCellsX,
-                                            int windowCellsY) {
-  return [windowCellsX, windowCellsY](const hog::CellGrid& grid, int cx0,
-                                      int cy0) {
-    std::vector<float> features;
-    features.reserve(static_cast<std::size_t>(windowCellsX) * windowCellsY *
-                     grid.bins);
-    for (int cy = 0; cy < windowCellsY; ++cy) {
-      for (int cx = 0; cx < windowCellsX; ++cx) {
-        const float* hist = grid.cell(cx0 + cx, cy0 + cy);
-        features.insert(features.end(), hist, hist + grid.bins);
-      }
-    }
-    return features;
-  };
-}
-
-WindowFeatureAssembler blockFeatureAssembler(const hog::HogParams& params,
-                                             int windowCellsX,
-                                             int windowCellsY) {
-  // Slice blocks straight out of the shared level grid -- no sub-grid copy
-  // and no per-window extractor construction.
-  const hog::HogExtractor assembler(params);
-  return [assembler, windowCellsX, windowCellsY](const hog::CellGrid& grid,
-                                                 int cx0, int cy0) {
-    return assembler.windowDescriptorFromGrid(grid, cx0, cy0, windowCellsX,
-                                              windowCellsY);
-  };
 }
 
 }  // namespace pcnn::core

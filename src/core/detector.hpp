@@ -12,20 +12,6 @@
 
 namespace pcnn::core {
 
-/// Computes the per-cell feature grid of a (pyramid-level) image. Cell
-/// grids are computed once per level and shared by every window over it --
-/// the same economy the hardware pipeline exploits (cells are the unit of
-/// work in Sec. 5.2).
-///
-/// DEPRECATED shim: new code should pass an extract::FeatureExtractor to
-/// GridDetector instead of a GridExtractor/WindowFeatureAssembler pair.
-using GridExtractor = std::function<hog::CellGrid(const vision::Image&)>;
-
-/// Assembles a window's feature vector from the level grid given the
-/// window's top-left cell (cx0, cy0). DEPRECATED shim -- see GridExtractor.
-using WindowFeatureAssembler = std::function<std::vector<float>(
-    const hog::CellGrid&, int cx0, int cy0)>;
-
 /// Scores a window feature vector; higher = more person-like.
 using WindowScorer = std::function<float(const std::vector<float>&)>;
 
@@ -38,30 +24,27 @@ struct GridDetectorParams {
   float nmsEpsilon = 0.2f;      ///< the paper's NMS epsilon
   vision::PyramidParams pyramid;  ///< 1.1x scale steps by default
   /// Scan window rows on the global thread pool (PCNN_NUM_THREADS). The
-  /// assembler and scorer are then called concurrently and must be
-  /// re-entrant for concurrent reads -- true of FeatureExtractor::
-  /// windowFromGrid, LinearSvm::decision and EednClassifier::score
-  /// (inference is read-only). Detections are emitted in the same
-  /// row-major order as the sequential scan, so results are identical for
-  /// any thread count.
+  /// extractor's windowFromGrid / windowFromBlocks and the scorer are then
+  /// called concurrently and must be re-entrant for concurrent reads --
+  /// true of FeatureExtractor, LinearSvm::decision and
+  /// EednClassifier::score (inference is read-only). Detections are
+  /// emitted in the same row-major order as the sequential scan, so
+  /// results are identical for any thread count.
   bool parallelScan = true;
 };
 
 class GridDetector {
  public:
-  /// Primary form: detector over a registry-constructed feature extractor.
-  /// The window geometry (cellSize, windowCellsX/Y) is taken from the
-  /// extractor, overriding the corresponding params fields. The extractor
-  /// computes one grid per pyramid level on the calling thread (it may be
-  /// stateful); windowFromGrid then runs concurrently over the shared
-  /// grid.
+  /// Detector over a registry-constructed feature extractor. The window
+  /// geometry (cellSize, windowCellsX/Y) is taken from the extractor,
+  /// overriding the corresponding params fields. The extractor computes
+  /// one grid per pyramid level on the calling thread (it may be
+  /// stateful); block-norm extractors additionally precompute the level's
+  /// normalized block grid once, and window features are then sliced from
+  /// it concurrently.
   GridDetector(const GridDetectorParams& params,
                std::shared_ptr<extract::FeatureExtractor> extractor,
                WindowScorer scorer);
-
-  /// DEPRECATED shim for hand-assembled extraction lambdas.
-  GridDetector(const GridDetectorParams& params, GridExtractor extractor,
-               WindowFeatureAssembler assembler, WindowScorer scorer);
 
   /// Scans all pyramid levels with a one-cell stride, scores every window,
   /// keeps those above threshold, and applies NMS. Boxes are in original
@@ -80,7 +63,6 @@ class GridDetector {
 
   const GridDetectorParams& params() const { return params_; }
 
-  /// The feature extractor, or nullptr when built from the legacy shims.
   const std::shared_ptr<extract::FeatureExtractor>& extractor() const {
     return featureExtractor_;
   }
@@ -88,22 +70,7 @@ class GridDetector {
  private:
   GridDetectorParams params_;
   std::shared_ptr<extract::FeatureExtractor> featureExtractor_;
-  GridExtractor extractor_;
-  WindowFeatureAssembler assembler_;
   WindowScorer scorer_;
 };
-
-/// Assembler producing the flat concatenation of the window's cell
-/// histograms (the Eedn feature path -- block normalization elided).
-/// DEPRECATED shim: FeatureLayout::kFlatCell extractors carry this logic.
-WindowFeatureAssembler cellFeatureAssembler(int windowCellsX,
-                                            int windowCellsY);
-
-/// Assembler producing overlapping 2x2-cell blocks, optionally
-/// L2-normalized, from the window's sub-grid (the SVM feature path).
-/// DEPRECATED shim: FeatureLayout::kBlockNorm extractors carry this logic.
-WindowFeatureAssembler blockFeatureAssembler(const hog::HogParams& params,
-                                             int windowCellsX,
-                                             int windowCellsY);
 
 }  // namespace pcnn::core

@@ -13,46 +13,14 @@ PartitionedPipeline::PartitionedPipeline(
   if (!featureExtractor_) {
     throw std::invalid_argument("PartitionedPipeline: null extractor");
   }
-  const auto ex = featureExtractor_;
-  extractor_ = [ex](const vision::Image& window) {
-    return ex->windowFeatures(window);
-  };
-  batchExtractor_ = [ex](const std::vector<vision::Image>& windows) {
-    return ex->batchFeatures(windows);
-  };
-}
-
-PartitionedPipeline::PartitionedPipeline(
-    WindowExtractorFn extractor,
-    const eedn::EednClassifierConfig& classifierConfig)
-    : PartitionedPipeline(std::move(extractor), BatchExtractorFn{},
-                          classifierConfig) {}
-
-PartitionedPipeline::PartitionedPipeline(
-    WindowExtractorFn extractor, BatchExtractorFn batchExtractor,
-    const eedn::EednClassifierConfig& classifierConfig)
-    : extractor_(std::move(extractor)),
-      batchExtractor_(std::move(batchExtractor)),
-      classifier_(std::make_unique<eedn::EednClassifier>(classifierConfig)) {
-  if (!extractor_) {
-    throw std::invalid_argument("PartitionedPipeline: null extractor");
-  }
 }
 
 std::vector<std::vector<float>> PartitionedPipeline::extractAll(
     const std::vector<vision::Image>& windows) const {
-  if (batchExtractor_) {
-    auto features = batchExtractor_(windows);
-    if (features.size() != windows.size()) {
-      throw std::logic_error(
-          "PartitionedPipeline: batch extractor returned wrong count");
-    }
-    return features;
-  }
-  std::vector<std::vector<float>> features;
-  features.reserve(windows.size());
-  for (const vision::Image& window : windows) {
-    features.push_back(extractor_(window));
+  auto features = featureExtractor_->batchFeatures(windows);
+  if (features.size() != windows.size()) {
+    throw std::logic_error(
+        "PartitionedPipeline: batch extractor returned wrong count");
   }
   return features;
 }
@@ -74,7 +42,7 @@ float PartitionedPipeline::trainClassifier(
 }
 
 float PartitionedPipeline::score(const vision::Image& window) const {
-  return classifier_->score(extractor_(window));
+  return classifier_->score(featureExtractor_->windowFeatures(window));
 }
 
 double PartitionedPipeline::evalAccuracy(

@@ -11,17 +11,6 @@
 
 namespace pcnn::core {
 
-/// Extracts flat cell features from a full detection window (the Eedn
-/// classifier's input path). DEPRECATED shim: new code should hand
-/// PartitionedPipeline an extract::FeatureExtractor.
-using WindowExtractorFn =
-    std::function<std::vector<float>(const vision::Image&)>;
-
-/// Batch form: features for many windows at once. DEPRECATED shim -- the
-/// FeatureExtractor interface carries batchFeatures natively.
-using BatchExtractorFn = std::function<std::vector<std::vector<float>>(
-    const std::vector<vision::Image>&)>;
-
 /// Resource accounting for the three paradigms. Paper numbers (Sec. 5.1):
 /// the Parrot extractor uses 8 cores per 8x8 cell -> 1024 cores for a
 /// 64x128 window; the Eedn classifier uses 2864 cores; the Absorbed
@@ -55,21 +44,10 @@ ResourceBudget makeResourceBudget(const extract::ExtractorInfo& info,
 /// pipeline rather than absorbed into one monolithic network.
 class PartitionedPipeline {
  public:
-  /// Primary form: feature stage behind the polymorphic extractor layer
-  /// (typically registry-constructed). Uses the extractor's native batch
-  /// path for whole-dataset feature extraction.
+  /// Feature stage behind the polymorphic extractor layer (typically
+  /// registry-constructed). Uses the extractor's native batch path for
+  /// whole-dataset feature extraction.
   PartitionedPipeline(std::shared_ptr<extract::FeatureExtractor> extractor,
-                      const eedn::EednClassifierConfig& classifierConfig);
-
-  /// DEPRECATED shim for hand-assembled extraction lambdas.
-  PartitionedPipeline(WindowExtractorFn extractor,
-                      const eedn::EednClassifierConfig& classifierConfig);
-
-  /// As above, plus a batch extractor used by trainClassifier/evalAccuracy
-  /// to feature-ise whole datasets at once (typically on the thread pool).
-  /// `batchExtractor` must produce the same features as `extractor`.
-  PartitionedPipeline(WindowExtractorFn extractor,
-                      BatchExtractorFn batchExtractor,
                       const eedn::EednClassifierConfig& classifierConfig);
 
   /// Extract features for every window, then train the classifier stage.
@@ -87,11 +65,10 @@ class PartitionedPipeline {
                       const std::vector<int>& labels) const;
 
   std::vector<float> features(const vision::Image& window) const {
-    return extractor_(window);
+    return featureExtractor_->windowFeatures(window);
   }
   eedn::EednClassifier& classifier() { return *classifier_; }
 
-  /// The feature stage, or nullptr when built from the legacy shims.
   const std::shared_ptr<extract::FeatureExtractor>& extractor() const {
     return featureExtractor_;
   }
@@ -101,8 +78,6 @@ class PartitionedPipeline {
       const std::vector<vision::Image>& windows) const;
 
   std::shared_ptr<extract::FeatureExtractor> featureExtractor_;
-  WindowExtractorFn extractor_;
-  BatchExtractorFn batchExtractor_;  ///< optional; empty -> per-window loop
   std::unique_ptr<eedn::EednClassifier> classifier_;
 };
 

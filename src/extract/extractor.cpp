@@ -82,6 +82,23 @@ std::vector<float> FeatureExtractor::windowFromGrid(const hog::CellGrid& grid,
   return features;
 }
 
+hog::BlockGrid FeatureExtractor::prepareBlocks(
+    const hog::CellGrid& grid) const {
+  if (layout_ != FeatureLayout::kBlockNorm) return {};
+  return blockAssembler_.blockGridFromCells(grid);
+}
+
+std::vector<float> FeatureExtractor::windowFromBlocks(
+    const hog::BlockGrid& blocks, int cx0, int cy0) const {
+  if (layout_ != FeatureLayout::kBlockNorm) {
+    throw std::logic_error(
+        "windowFromBlocks: only block-norm extractors have a block grid");
+  }
+  return blockAssembler_.windowDescriptorFromBlocks(blocks, cx0, cy0,
+                                                    windowCellsX_,
+                                                    windowCellsY_);
+}
+
 std::vector<float> FeatureExtractor::windowFeatures(
     const vision::Image& window) {
   return windowFromGrid(cellGrid(window), 0, 0);

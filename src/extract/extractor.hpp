@@ -89,6 +89,20 @@ class FeatureExtractor {
   std::vector<float> windowFromGrid(const hog::CellGrid& grid, int cx0,
                                     int cy0) const;
 
+  /// Precomputes the per-level normalized block grid (kBlockNorm only --
+  /// returns an empty grid for kFlatCell, which has no block structure).
+  /// Every block is assembled and L2-normalized once; windowFromBlocks
+  /// then slices windows out of it with plain copies, instead of
+  /// re-normalizing each block for each of the up to 4 windows covering
+  /// it. Const and re-entrant.
+  hog::BlockGrid prepareBlocks(const hog::CellGrid& grid) const;
+
+  /// windowFromGrid equivalent over a grid prepared by prepareBlocks:
+  /// bitwise-identical features, amortized block normalization. Only valid
+  /// for kBlockNorm extractors. Const and re-entrant.
+  std::vector<float> windowFromBlocks(const hog::BlockGrid& blocks, int cx0,
+                                      int cy0) const;
+
   /// Features of one standalone window (== windowFromGrid(cellGrid(w),0,0)
   /// by default; backends with a native per-window path override to share
   /// it, and the conformance suite checks the two stay bitwise-identical).

@@ -1,9 +1,11 @@
 #include "hog/fixed_point.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "hog/cell_kernels.hpp"
 
 namespace pcnn::hog {
 namespace {
@@ -89,43 +91,33 @@ FixedPointHog::IntCellGrid FixedPointHog::computeCells(
   if (grid.cellsX <= 0 || grid.cellsY <= 0) return grid;
 
   // Quantize pixels once (hardware receives 8-bit camera data).
-  const int maxLevel = (1 << params_.pixelBits) - 1;
   const int w = img.width();
   const int h = img.height();
-  std::vector<std::int32_t> pix(static_cast<std::size_t>(w) * h);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float v = img.at(x, y);
-      v = v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v);
-      pix[static_cast<std::size_t>(y) * w + x] =
-          static_cast<std::int32_t>(std::lround(v * maxLevel));
-    }
-  }
-  auto at = [&](int x, int y) {
-    x = x < 0 ? 0 : (x >= w ? w - 1 : x);
-    y = y < 0 ? 0 : (y >= h ? h - 1 : y);
-    return pix[static_cast<std::size_t>(y) * w + x];
-  };
+  const std::vector<std::int32_t> pix =
+      kernels::quantizePixels(img, params_.pixelBits);
 
-  // Cell rows write disjoint histogram slices: safe to scan in parallel.
-  parallelFor(0, grid.cellsY, [&](long cyL) {
-    const int cy = static_cast<int>(cyL);
-    for (int cx = 0; cx < grid.cellsX; ++cx) {
-      std::int32_t* hist =
-          grid.data.data() +
-          (static_cast<std::size_t>(cy) * grid.cellsX + cx) * grid.bins;
-      for (int dy = 0; dy < params_.cellSize; ++dy) {
-        for (int dx = 0; dx < params_.cellSize; ++dx) {
-          const int x = cx * params_.cellSize + dx;
-          const int y = cy * params_.cellSize + dy;
-          const int ix = at(x + 1, y) - at(x - 1, y);
-          const int iy = at(x, y - 1) - at(x, y + 1);
-          if (ix == 0 && iy == 0) continue;
-          hist[orientationBin(ix, iy)] += approxMagnitude(ix, iy);
+  // The batched kernel works in int32 rows; exotic pixelBits/
+  // tanFractionBits combinations that could overflow it fall back to the
+  // scalar int64 path regardless of the dispatch setting.
+  kernels::Kind kind = kernels::activeKind();
+  if (kind == kernels::Kind::kBatched && !kernels::fixedBatchedFits(*this)) {
+    kind = kernels::Kind::kScalar;
+  }
+
+  // Cell rows write disjoint histogram slices: safe to scan in parallel
+  // (both kernels are integer-exact, so chunking never changes results).
+  parallelForChunked(
+      0, grid.cellsY, suggestedGrain(grid.cellsY), [&](long lo, long hi) {
+        if (kind == kernels::Kind::kBatched) {
+          kernels::fixedCellRowsBatched(*this, pix.data(), w, h, grid,
+                                        static_cast<int>(lo),
+                                        static_cast<int>(hi));
+        } else {
+          kernels::fixedCellRowsScalar(*this, pix.data(), w, h, grid,
+                                       static_cast<int>(lo),
+                                       static_cast<int>(hi));
         }
-      }
-    }
-  });
+      });
   return grid;
 }
 
@@ -158,7 +150,23 @@ std::vector<float> FixedPointHog::windowDescriptorFromGrid(
   std::vector<std::int64_t> block(static_cast<std::size_t>(blockLen));
   const float dequant =
       1.0f / static_cast<float>(1 << params_.normFractionBits);
-  out.reserve(static_cast<std::size_t>(blocksX) * blocksY * blockLen);
+  out.resize(static_cast<std::size_t>(blocksX) * blocksY * blockLen);
+  float* dst = out.data();
+
+  // The histogram values are bounded by cellSize^2 pixels of
+  // alpha-max-beta-min magnitude; when shifting them into
+  // Q(normFractionBits) still fits an int32 (true for the 8-bit/Q8
+  // defaults), the normalization quotient can use 32-bit unsigned division
+  // -- several times cheaper than the general 64-bit form and exactly
+  // equal on non-negative operands.
+  const std::int64_t maxLevel = (std::int64_t{1} << params_.pixelBits) - 1;
+  const std::int64_t maxMag = maxLevel + ((3 * maxLevel) >> 3);
+  const std::int64_t maxCell = static_cast<std::int64_t>(params_.cellSize) *
+                               params_.cellSize * maxMag;
+  const bool narrowDivide =
+      params_.normFractionBits >= 0 && params_.normFractionBits < 31 &&
+      (maxCell << params_.normFractionBits) <=
+          std::numeric_limits<std::int32_t>::max();
 
   for (int by = 0; by < blocksY; ++by) {
     for (int bx = 0; bx < blocksX; ++bx) {
@@ -176,17 +184,28 @@ std::vector<float> FixedPointHog::windowDescriptorFromGrid(
           sumSq += static_cast<std::uint64_t>(block[i] * block[i]);
         }
         const std::uint32_t norm = isqrt(sumSq);
-        for (int i = 0; i < blockLen; ++i) {
-          // v / ||v|| in Q(normFractionBits), then dequantized for the SVM.
-          const std::int64_t q =
-              (block[i] << params_.normFractionBits) / norm;
-          out.push_back(static_cast<float>(q) * dequant);
+        if (narrowDivide) {
+          for (int i = 0; i < blockLen; ++i) {
+            const std::uint32_t q =
+                (static_cast<std::uint32_t>(block[i])
+                 << params_.normFractionBits) /
+                norm;
+            dst[i] = static_cast<float>(q) * dequant;
+          }
+        } else {
+          for (int i = 0; i < blockLen; ++i) {
+            // v / ||v|| in Q(normFractionBits), dequantized for the SVM.
+            const std::int64_t q =
+                (block[i] << params_.normFractionBits) / norm;
+            dst[i] = static_cast<float>(q) * dequant;
+          }
         }
       } else {
         for (int i = 0; i < blockLen; ++i) {
-          out.push_back(static_cast<float>(block[i]));
+          dst[i] = static_cast<float>(block[i]);
         }
       }
+      dst += blockLen;
     }
   }
   return out;

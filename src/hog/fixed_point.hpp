@@ -78,6 +78,11 @@ class FixedPointHog {
   /// Integer square root (floor), exposed for unit tests.
   static std::uint32_t isqrt(std::uint64_t value);
 
+  /// tan(boundary) LUT in Q(tanFractionBits), exposed for the batched
+  /// cell kernels (hog/cell_kernels.hpp), which re-run the same boundary
+  /// comparisons over whole pixel rows.
+  const std::vector<std::int64_t>& tanLut() const { return tanLut_; }
+
  private:
   FixedPointHogParams params_;
   std::vector<std::int64_t> tanLut_;  ///< tan(boundary) in Q(tanFractionBits)

@@ -1,46 +1,17 @@
 #include "hog/hog.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "hog/cell_kernels.hpp"
 
 namespace pcnn::hog {
-namespace {
-constexpr float kPi = 3.14159265358979323846f;
-}
 
 HogExtractor::HogExtractor(const HogParams& params) : params_(params) {
   if (params.cellSize <= 0 || params.numBins <= 0) {
     throw std::invalid_argument("HogExtractor: invalid params");
-  }
-}
-
-void HogExtractor::voteForPixel(float gx, float gy, float* histogram) const {
-  const float mag = std::sqrt(gx * gx + gy * gy);
-  if (mag < 1e-9f) return;  // no orientation: contributes nothing
-  float angle = std::atan2(gy, gx);  // [-pi, pi]
-  const float range = params_.signedOrientation ? 2.0f * kPi : kPi;
-  if (angle < 0.0f) angle += 2.0f * kPi;           // [0, 2pi)
-  if (!params_.signedOrientation && angle >= kPi) angle -= kPi;  // [0, pi)
-
-  const float weight = params_.weightedVote ? mag : 1.0f;
-  const float binWidth = range / static_cast<float>(params_.numBins);
-  if (params_.bilinearBinning) {
-    // Vote split between the two nearest bin centres (aliasing mitigation,
-    // Dalal & Triggs; the paper's NApprox intentionally omits this).
-    const float pos = angle / binWidth - 0.5f;
-    int b0 = static_cast<int>(std::floor(pos));
-    const float frac = pos - static_cast<float>(b0);
-    int b1 = b0 + 1;
-    if (b0 < 0) b0 += params_.numBins;
-    if (b1 >= params_.numBins) b1 -= params_.numBins;
-    histogram[b0] += weight * (1.0f - frac);
-    histogram[b1] += weight * frac;
-  } else {
-    int bin = static_cast<int>(angle / binWidth);
-    if (bin >= params_.numBins) bin = params_.numBins - 1;
-    histogram[bin] += weight;
   }
 }
 
@@ -54,7 +25,7 @@ std::vector<float> HogExtractor::cellHistogram(const vision::Image& img,
       const int y = y0 + dy;
       const float gx = img.atClamped(x + 1, y) - img.atClamped(x - 1, y);
       const float gy = img.atClamped(x, y - 1) - img.atClamped(x, y + 1);
-      voteForPixel(gx, gy, histogram.data());
+      kernels::voteForPixel(params_, gx, gy, histogram.data());
     }
   }
   return histogram;
@@ -68,21 +39,24 @@ CellGrid HogExtractor::computeCells(const vision::Image& img) const {
   grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY *
                        grid.bins,
                    0.0f);
+  if (grid.cellsX <= 0 || grid.cellsY <= 0) return grid;
   const GradientField field = computeGradients(img);
-  // Each cell row writes a disjoint slice of grid.data, so rows can run on
-  // any thread without changing the result.
-  parallelFor(0, grid.cellsY, [&](long cy) {
-    for (int cx = 0; cx < grid.cellsX; ++cx) {
-      float* hist = grid.cell(cx, static_cast<int>(cy));
-      for (int dy = 0; dy < params_.cellSize; ++dy) {
-        for (int dx = 0; dx < params_.cellSize; ++dx) {
-          const int x = cx * params_.cellSize + dx;
-          const int y = static_cast<int>(cy) * params_.cellSize + dy;
-          voteForPixel(field.gx(x, y), field.gy(x, y), hist);
+  const kernels::Kind kind = kernels::activeKind();
+  // Each cell row writes a disjoint slice of grid.data, so row blocks can
+  // run on any thread without changing the result; the grain amortizes
+  // pool dispatch and the batched kernel's row-buffer allocation.
+  parallelForChunked(
+      0, grid.cellsY, suggestedGrain(grid.cellsY), [&](long lo, long hi) {
+        if (kind == kernels::Kind::kBatched) {
+          kernels::hogCellRowsBatched(field, params_, grid,
+                                      static_cast<int>(lo),
+                                      static_cast<int>(hi));
+        } else {
+          kernels::hogCellRowsScalar(field, params_, grid,
+                                     static_cast<int>(lo),
+                                     static_cast<int>(hi));
         }
-      }
-    }
-  });
+      });
   return grid;
 }
 
@@ -104,30 +78,102 @@ std::vector<float> HogExtractor::windowDescriptorFromGrid(
     throw std::invalid_argument(
         "windowDescriptorFromGrid: window exceeds grid");
   }
-  out.reserve(static_cast<std::size_t>(blocksX) * blocksY * bc * bc *
-              grid.bins);
+  const int blockLen = bc * bc * grid.bins;
+  out.resize(static_cast<std::size_t>(blocksX) * blocksY * blockLen);
+  float* dst = out.data();
   for (int by = 0; by < blocksY; ++by) {
     for (int bx = 0; bx < blocksX; ++bx) {
-      const std::size_t blockStart = out.size();
-      for (int cy = 0; cy < bc; ++cy) {
-        for (int cx = 0; cx < bc; ++cx) {
-          const float* hist =
-              grid.cell(cx0 + bx * stride + cx, cy0 + by * stride + cy);
-          out.insert(out.end(), hist, hist + grid.bins);
-        }
-      }
-      if (params_.l2Normalize) {
-        double sumSq = 0.0;
-        for (std::size_t i = blockStart; i < out.size(); ++i) {
-          sumSq += static_cast<double>(out[i]) * out[i];
-        }
-        const float norm = static_cast<float>(
-            std::sqrt(sumSq + params_.l2Epsilon * params_.l2Epsilon));
-        for (std::size_t i = blockStart; i < out.size(); ++i) {
-          out[i] /= norm;
-        }
-      }
+      assembleBlock(grid, cx0 + bx * stride, cy0 + by * stride, dst);
+      dst += blockLen;
     }
+  }
+  return out;
+}
+
+void HogExtractor::assembleBlock(const CellGrid& grid, int cellX, int cellY,
+                                 float* dst) const {
+  const int bc = params_.blockCells;
+  const int blockLen = bc * bc * grid.bins;
+  float* block = dst;
+  for (int cy = 0; cy < bc; ++cy) {
+    for (int cx = 0; cx < bc; ++cx) {
+      const float* hist = grid.cell(cellX + cx, cellY + cy);
+      std::memcpy(dst, hist, sizeof(float) * grid.bins);
+      dst += grid.bins;
+    }
+  }
+  if (params_.l2Normalize) {
+    double sumSq = 0.0;
+    for (int i = 0; i < blockLen; ++i) {
+      sumSq += static_cast<double>(block[i]) * block[i];
+    }
+    // One divide + blockLen multiplies; detection assembles thousands of
+    // overlapping blocks per frame, and per-element division was a
+    // measurable share of the cached-grid scan.
+    const float invNorm = 1.0f /
+                          static_cast<float>(std::sqrt(
+                              sumSq + params_.l2Epsilon * params_.l2Epsilon));
+    for (int i = 0; i < blockLen; ++i) block[i] *= invNorm;
+  }
+}
+
+BlockGrid HogExtractor::blockGridFromCells(const CellGrid& grid) const {
+  if (params_.blockStrideCells != 1) {
+    throw std::invalid_argument(
+        "blockGridFromCells: requires blockStrideCells == 1 so every "
+        "window origin lines up with a precomputed block");
+  }
+  const int bc = params_.blockCells;
+  BlockGrid blocks;
+  blocks.blocksX = grid.cellsX - bc + 1;
+  blocks.blocksY = grid.cellsY - bc + 1;
+  blocks.blockLen = bc * bc * grid.bins;
+  if (blocks.blocksX <= 0 || blocks.blocksY <= 0) {
+    blocks.blocksX = 0;
+    blocks.blocksY = 0;
+    return blocks;
+  }
+  blocks.data.resize(static_cast<std::size_t>(blocks.blocksX) *
+                     blocks.blocksY * blocks.blockLen);
+  // Block rows write disjoint output rows; assembleBlock only reads the
+  // grid, so chunk boundaries cannot change any value.
+  parallelForChunked(
+      0, blocks.blocksY, suggestedGrain(blocks.blocksY),
+      [&](long lo, long hi) {
+        for (long by = lo; by < hi; ++by) {
+          float* dst = blocks.data.data() +
+                       static_cast<std::size_t>(by) * blocks.blocksX *
+                           blocks.blockLen;
+          for (int bx = 0; bx < blocks.blocksX; ++bx) {
+            assembleBlock(grid, bx, static_cast<int>(by), dst);
+            dst += blocks.blockLen;
+          }
+        }
+      });
+  return blocks;
+}
+
+std::vector<float> HogExtractor::windowDescriptorFromBlocks(
+    const BlockGrid& blocks, int cx0, int cy0, int windowCellsX,
+    int windowCellsY) const {
+  const int bc = params_.blockCells;
+  const int wbx = windowCellsX - bc + 1;
+  const int wby = windowCellsY - bc + 1;
+  std::vector<float> out;
+  if (wbx <= 0 || wby <= 0) return out;
+  if (cx0 < 0 || cy0 < 0 || cx0 + wbx > blocks.blocksX ||
+      cy0 + wby > blocks.blocksY) {
+    throw std::invalid_argument(
+        "windowDescriptorFromBlocks: window exceeds block grid");
+  }
+  // With stride 1 the window's blocks are wby contiguous runs of wbx
+  // blocks in the level-wide grid: a straight row-wise copy.
+  out.resize(static_cast<std::size_t>(wbx) * wby * blocks.blockLen);
+  const std::size_t rowLen = static_cast<std::size_t>(wbx) * blocks.blockLen;
+  float* dst = out.data();
+  for (int by = 0; by < wby; ++by) {
+    std::memcpy(dst, blocks.block(cx0, cy0 + by), sizeof(float) * rowLen);
+    dst += rowLen;
   }
   return out;
 }

@@ -43,6 +43,24 @@ struct CellGrid {
   }
 };
 
+/// A dense grid of assembled (and normalized) blocks over a whole cell
+/// grid. Each block's values depend only on its own cells, never on the
+/// window asking for it -- so one normalization pass per pyramid level can
+/// be shared by every overlapping detection window, where the per-window
+/// path re-normalizes each block for each of the up-to-blockCells^2
+/// windows covering it.
+struct BlockGrid {
+  int blocksX = 0;
+  int blocksY = 0;
+  int blockLen = 0;  ///< blockCells^2 * bins floats per block
+  std::vector<float> data;  ///< blocksY * blocksX * blockLen, row-major
+
+  const float* block(int bx, int by) const {
+    return data.data() +
+           (static_cast<std::size_t>(by) * blocksX + bx) * blockLen;
+  }
+};
+
 /// Reference floating-point HoG extractor (Dalal & Triggs).
 class HogExtractor {
  public:
@@ -88,8 +106,26 @@ class HogExtractor {
                                               int cy0, int windowCellsX,
                                               int windowCellsY) const;
 
+  /// Assembles and normalizes every block of the grid once. Requires
+  /// blockStrideCells == 1 (the library-wide default) so that any window
+  /// origin lines up with the precomputed blocks.
+  BlockGrid blockGridFromCells(const CellGrid& grid) const;
+
+  /// Descriptor of the window whose top-left cell is (cx0, cy0), sliced
+  /// out of a precomputed block grid. Bitwise-identical to
+  /// windowDescriptorFromGrid over the corresponding cell grid; the block
+  /// normalization work is amortized across all windows sharing the grid.
+  std::vector<float> windowDescriptorFromBlocks(const BlockGrid& blocks,
+                                                int cx0, int cy0,
+                                                int windowCellsX,
+                                                int windowCellsY) const;
+
  private:
-  void voteForPixel(float gx, float gy, float* histogram) const;
+  /// Copies one block's cells to dst and L2-normalizes in place -- the
+  /// single implementation behind every block-assembly path, which is what
+  /// makes the from-grid and from-blocks descriptors bitwise-identical.
+  void assembleBlock(const CellGrid& grid, int cellX, int cellY,
+                     float* dst) const;
   HogParams params_;
 };
 

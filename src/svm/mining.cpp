@@ -60,22 +60,18 @@ MiningResult trainWithHardNegatives(
 }
 
 MiningResult trainWithHardNegatives(
-    LinearSvm& svm, const GridExtractorPair& extractor,
+    LinearSvm& svm, extract::FeatureExtractor& extractor,
     const std::vector<vision::Image>& positiveWindows,
     const std::vector<vision::Image>& negativeWindows,
     const std::vector<vision::Image>& negativeScenes,
     const MiningParams& params) {
-  if (!extractor.grid || !extractor.assemble || extractor.cellSize <= 0) {
-    throw std::invalid_argument(
-        "trainWithHardNegatives: incomplete grid extractor");
-  }
   if (positiveWindows.empty() || negativeWindows.empty()) {
     throw std::invalid_argument(
         "trainWithHardNegatives: need both positive and negative windows");
   }
   // A standalone training window IS its own grid (top-left cell 0,0).
   auto windowFeatures = [&extractor](const vision::Image& window) {
-    return extractor.assemble(extractor.grid(window), 0, 0);
+    return extractor.windowFromGrid(extractor.cellGrid(window), 0, 0);
   };
   std::vector<std::vector<float>> features;
   std::vector<int> labels;
@@ -96,11 +92,14 @@ MiningResult trainWithHardNegatives(
     for (const vision::Image& scene : negativeScenes) {
       int minedInScene = 0;
       vision::forEachWindowOnGrid(
-          scene, params.scan, extractor.cellSize, extractor.grid,
+          scene, params.scan, extractor.cellSize(),
+          [&extractor](const vision::Image& img) {
+            return extractor.cellGrid(img);
+          },
           [&](const vision::Image&, const hog::CellGrid& grid, int cx0,
               int cy0, const vision::Rect&, const vision::Rect&) {
             if (minedInScene >= params.maxMinedPerScene) return;
-            std::vector<float> f = extractor.assemble(grid, cx0, cy0);
+            std::vector<float> f = extractor.windowFromGrid(grid, cx0, cy0);
             if (svm.decision(f) > params.mineThreshold) {
               features.push_back(std::move(f));
               labels.push_back(-1);
@@ -115,17 +114,6 @@ MiningResult trainWithHardNegatives(
   }
   result.finalTrainAccuracy = svm.accuracy(features, labels);
   return result;
-}
-
-MiningResult trainWithHardNegatives(
-    LinearSvm& svm, extract::FeatureExtractor& extractor,
-    const std::vector<vision::Image>& positiveWindows,
-    const std::vector<vision::Image>& negativeWindows,
-    const std::vector<vision::Image>& negativeScenes,
-    const MiningParams& params) {
-  return trainWithHardNegatives(svm, GridExtractorPair(extractor),
-                                positiveWindows, negativeWindows,
-                                negativeScenes, params);
 }
 
 }  // namespace pcnn::svm

@@ -15,42 +15,6 @@ namespace pcnn::svm {
 using WindowExtractor =
     std::function<std::vector<float>(const vision::Image&)>;
 
-/// Shared-cell-grid feature path: `grid` computes the per-cell feature
-/// grid of a whole (pyramid-level) image once, and `assemble` slices the
-/// descriptor of the window whose top-left cell is (cx0, cy0) out of it.
-/// Mining negative scenes with this pair skips the per-window crop and
-/// cell recomputation the plain WindowExtractor pays for every position.
-///
-/// DEPRECATED shim: this pair is exactly the cellGrid/windowFromGrid half
-/// of extract::FeatureExtractor -- pass the extractor itself instead.
-struct GridExtractorPair {
-  std::function<hog::CellGrid(const vision::Image&)> grid;
-  std::function<std::vector<float>(const hog::CellGrid&, int cx0, int cy0)>
-      assemble;
-  int cellSize = 8;
-
-  GridExtractorPair() = default;
-  GridExtractorPair(
-      std::function<hog::CellGrid(const vision::Image&)> gridFn,
-      std::function<std::vector<float>(const hog::CellGrid&, int, int)>
-          assembleFn,
-      int cell)
-      : grid(std::move(gridFn)),
-        assemble(std::move(assembleFn)),
-        cellSize(cell) {}
-
-  /// Collapses a FeatureExtractor into the pair (kept alive by the caller
-  /// for the pair's lifetime).
-  explicit GridExtractorPair(extract::FeatureExtractor& extractor)
-      : grid([&extractor](const vision::Image& img) {
-          return extractor.cellGrid(img);
-        }),
-        assemble([&extractor](const hog::CellGrid& g, int cx0, int cy0) {
-          return extractor.windowFromGrid(g, cx0, cy0);
-        }),
-        cellSize(extractor.cellSize()) {}
-};
-
 /// Parameters of the hard-negative mining loop.
 struct MiningParams {
   int rounds = 1;              ///< re-training rounds after the initial fit
@@ -77,23 +41,13 @@ MiningResult trainWithHardNegatives(
     const std::vector<vision::Image>& negativeScenes,
     const MiningParams& params = {});
 
-/// Same protocol on the shared-cell-grid path: training windows are
-/// extracted with assemble(grid(window), 0, 0) and negative scenes are
-/// scanned with one grid per pyramid level (vision::forEachWindowOnGrid),
-/// matching the feature path the GridDetector uses at detection time.
-/// Requires cell-aligned scan strides (see forEachWindowOnGrid).
-MiningResult trainWithHardNegatives(
-    LinearSvm& svm, const GridExtractorPair& extractor,
-    const std::vector<vision::Image>& positiveWindows,
-    const std::vector<vision::Image>& negativeWindows,
-    const std::vector<vision::Image>& negativeScenes,
-    const MiningParams& params = {});
-
 /// Same protocol against the polymorphic extractor layer: training windows
 /// use windowFromGrid(cellGrid(window), 0, 0) and negative scenes are
-/// scanned over one cached grid per pyramid level, matching the feature
-/// path GridDetector uses at detection time. The extractor may be stateful
-/// (grids are computed on the calling thread).
+/// scanned over one cached grid per pyramid level
+/// (vision::forEachWindowOnGrid), matching the feature path GridDetector
+/// uses at detection time. The extractor may be stateful (grids are
+/// computed on the calling thread). Requires cell-aligned scan strides
+/// (see forEachWindowOnGrid).
 MiningResult trainWithHardNegatives(
     LinearSvm& svm, extract::FeatureExtractor& extractor,
     const std::vector<vision::Image>& positiveWindows,

@@ -1,0 +1,226 @@
+// Scalar-vs-batched parity suite for the cell-kernel layer
+// (src/hog/cell_kernels.*). Pins the numerics contract down:
+//  - the fixed-point row kernel is bitwise-identical to the scalar
+//    reference at any image size and dispatch setting;
+//  - the float row kernel tracks the scalar atan2/sqrt reference within
+//    the polynomial's documented tolerance, across bin counts, signed /
+//    unsigned orientations, vote modes, and the bilinear wraparound bins;
+//  - PCNN_SIMD=off really forces the scalar path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "extract/registry.hpp"
+#include "hog/cell_kernels.hpp"
+#include "hog/fixed_point.hpp"
+#include "hog/gradient.hpp"
+#include "hog/hog.hpp"
+#include "vision/image.hpp"
+
+namespace pcnn::hog {
+namespace {
+
+vision::Image randomImage(int width, int height, std::uint64_t seed) {
+  vision::Image img(width, height);
+  Rng rng(seed);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.at(x, y) = static_cast<float>(rng.uniform());
+    }
+  }
+  return img;
+}
+
+/// Runs both float kernels over the same image and returns the grids.
+struct FloatPair {
+  CellGrid scalar;
+  CellGrid batched;
+};
+
+FloatPair runFloatKernels(const vision::Image& img, const HogParams& params) {
+  const GradientField field = computeGradients(img);
+  FloatPair out;
+  for (CellGrid* grid : {&out.scalar, &out.batched}) {
+    grid->cellsX = img.width() / params.cellSize;
+    grid->cellsY = img.height() / params.cellSize;
+    grid->bins = params.numBins;
+    grid->data.assign(static_cast<std::size_t>(grid->cellsX) * grid->cellsY *
+                          grid->bins,
+                      0.0f);
+  }
+  kernels::hogCellRowsScalar(field, params, out.scalar, 0, out.scalar.cellsY);
+  kernels::hogCellRowsBatched(field, params, out.batched, 0,
+                              out.batched.cellsY);
+  return out;
+}
+
+void expectGridsClose(const FloatPair& grids, float tolerance) {
+  ASSERT_EQ(grids.scalar.data.size(), grids.batched.data.size());
+  ASSERT_FALSE(grids.scalar.data.empty());
+  for (std::size_t i = 0; i < grids.scalar.data.size(); ++i) {
+    ASSERT_NEAR(grids.scalar.data[i], grids.batched.data[i], tolerance)
+        << "bin " << i;
+  }
+}
+
+TEST(CellKernelParity, FixedPointBitwiseOnRandomImages) {
+  const FixedPointHog model;
+  ASSERT_TRUE(kernels::fixedBatchedFits(model));
+  // Non-multiple-of-8 sizes exercise the ragged row tails and the
+  // replicate-clamped borders of the batched gradient pass.
+  const int sizes[][2] = {{64, 128}, {67, 45}, {8, 8}, {33, 9}, {320, 240}};
+  for (const auto& size : sizes) {
+    const vision::Image img = randomImage(size[0], size[1], 17u + size[0]);
+    const std::vector<std::int32_t> pix =
+        kernels::quantizePixels(img, model.params().pixelBits);
+    FixedPointHog::IntCellGrid scalar, batched;
+    for (FixedPointHog::IntCellGrid* grid : {&scalar, &batched}) {
+      grid->cellsX = img.width() / model.params().cellSize;
+      grid->cellsY = img.height() / model.params().cellSize;
+      grid->bins = model.params().numBins;
+      grid->data.assign(static_cast<std::size_t>(grid->cellsX) *
+                            grid->cellsY * grid->bins,
+                        0);
+    }
+    kernels::fixedCellRowsScalar(model, pix.data(), img.width(), img.height(),
+                                 scalar, 0, scalar.cellsY);
+    kernels::fixedCellRowsBatched(model, pix.data(), img.width(),
+                                  img.height(), batched, 0, batched.cellsY);
+    ASSERT_EQ(scalar.data.size(), batched.data.size());
+    for (std::size_t i = 0; i < scalar.data.size(); ++i) {
+      ASSERT_EQ(scalar.data[i], batched.data[i])
+          << size[0] << "x" << size[1] << " bin " << i;
+    }
+  }
+}
+
+TEST(CellKernelParity, FloatToleranceAcrossConfigs) {
+  // The four configurations the extractors actually use: classic 9-bin
+  // unsigned weighted bilinear HoG, the 18-bin signed NApprox layout, and
+  // the hard-binning / count-vote variants.
+  std::vector<HogParams> configs(4);
+  configs[1].numBins = 18;
+  configs[1].signedOrientation = true;
+  configs[2].weightedVote = false;
+  configs[3].bilinearBinning = false;
+  for (const HogParams& params : configs) {
+    const vision::Image img = randomImage(72, 56, 99);
+    // A cell accumulates 64 votes; each vote's angle is off by at most
+    // ~1e-5 rad, so a per-bin slack of a few 1e-3 on O(1) magnitudes
+    // covers the worst case (hard binning can flip a borderline pixel's
+    // bin entirely -- see the wraparound test -- but not on this smooth
+    // random image at these bin widths).
+    expectGridsClose(runFloatKernels(img, params), 5e-3f);
+  }
+}
+
+TEST(CellKernelParity, BilinearWraparoundNearBinBoundaries) {
+  // Gradients aimed at the wraparound seam: angles just below/above 0 and
+  // just below 180/360 deg, where bilinear voting splits between bin 0 and
+  // bin numBins-1. A hand-built field isolates the interpolation from the
+  // gradient pass.
+  for (const bool signedOrientation : {false, true}) {
+    HogParams params;
+    params.cellSize = 4;
+    params.signedOrientation = signedOrientation;
+    const float full = signedOrientation ? 6.28318530718f : 3.14159265359f;
+    GradientField field;
+    field.width = 4;
+    field.height = 4;
+    field.ix.resize(16);
+    field.iy.resize(16);
+    const float angles[16] = {
+        -1e-4f,        1e-4f,        full - 1e-4f, full + 1e-4f,
+        -1e-3f,        1e-3f,        full - 1e-3f, full / 2,
+        full / 9.0f,   full / 4.5f,  full * 0.999f, full * 0.001f,
+        full * 0.499f, full * 0.501f, 0.0f,         full / 3.0f};
+    for (int i = 0; i < 16; ++i) {
+      field.ix[i] = std::cos(angles[i]);
+      field.iy[i] = std::sin(angles[i]);
+    }
+    FloatPair out;
+    for (CellGrid* grid : {&out.scalar, &out.batched}) {
+      grid->cellsX = 1;
+      grid->cellsY = 1;
+      grid->bins = params.numBins;
+      grid->data.assign(static_cast<std::size_t>(params.numBins), 0.0f);
+    }
+    kernels::hogCellRowsScalar(field, params, out.scalar, 0, 1);
+    kernels::hogCellRowsBatched(field, params, out.batched, 0, 1);
+    // All magnitudes are 1; every vote splits across the seam exactly as
+    // the scalar path does, up to the angle approximation scaled by the
+    // 1/binWidth interpolation slope.
+    expectGridsClose(out, 1e-3f);
+  }
+}
+
+TEST(CellKernelParity, ZeroGradientPixelsVoteNowhere) {
+  HogParams params;
+  params.cellSize = 4;
+  GradientField field;
+  field.width = 4;
+  field.height = 4;
+  field.ix.assign(16, 0.0f);
+  field.iy.assign(16, 0.0f);
+  FloatPair out;
+  for (CellGrid* grid : {&out.scalar, &out.batched}) {
+    grid->cellsX = 1;
+    grid->cellsY = 1;
+    grid->bins = params.numBins;
+    grid->data.assign(static_cast<std::size_t>(params.numBins), 0.0f);
+  }
+  kernels::hogCellRowsScalar(field, params, out.scalar, 0, 1);
+  kernels::hogCellRowsBatched(field, params, out.batched, 0, 1);
+  for (int b = 0; b < params.numBins; ++b) {
+    EXPECT_EQ(out.scalar.data[b], 0.0f);
+    EXPECT_EQ(out.batched.data[b], 0.0f);
+  }
+}
+
+TEST(CellKernelDispatch, EnvironmentOverrideForcesScalar) {
+  ASSERT_EQ(unsetenv("PCNN_SIMD"), 0);
+  EXPECT_EQ(kernels::activeKind(), kernels::Kind::kBatched);
+  for (const char* off : {"off", "0", "scalar", "false"}) {
+    ASSERT_EQ(setenv("PCNN_SIMD", off, 1), 0);
+    EXPECT_EQ(kernels::activeKind(), kernels::Kind::kScalar) << off;
+  }
+  ASSERT_EQ(setenv("PCNN_SIMD", "on", 1), 0);
+  EXPECT_EQ(kernels::activeKind(), kernels::Kind::kBatched);
+  ASSERT_EQ(unsetenv("PCNN_SIMD"), 0);
+  EXPECT_STRNE(kernels::kindName(kernels::Kind::kScalar),
+               kernels::kindName(kernels::Kind::kBatched));
+  EXPECT_NE(kernels::simdLevel(), nullptr);
+}
+
+TEST(CellKernelDispatch, ExtractorGridsAgreeAcrossDispatch) {
+  // End-to-end: the registry extractors must produce (near-)identical cell
+  // grids whether the env forces scalar or leaves the batched default.
+  const vision::Image img = randomImage(96, 80, 4242);
+  for (const char* spec : {"hog", "fixedpoint"}) {
+    const auto extractor =
+        extract::makeExtractor(spec, extract::FeatureLayout::kBlockNorm);
+    ASSERT_EQ(unsetenv("PCNN_SIMD"), 0);
+    const CellGrid batched = extractor->cellGrid(img);
+    ASSERT_EQ(setenv("PCNN_SIMD", "off", 1), 0);
+    const CellGrid scalar = extractor->cellGrid(img);
+    ASSERT_EQ(unsetenv("PCNN_SIMD"), 0);
+    ASSERT_EQ(batched.data.size(), scalar.data.size());
+    ASSERT_FALSE(batched.data.empty());
+    const bool exact = std::string(spec) == "fixedpoint";
+    for (std::size_t i = 0; i < batched.data.size(); ++i) {
+      if (exact) {
+        ASSERT_EQ(batched.data[i], scalar.data[i]) << spec << " bin " << i;
+      } else {
+        ASSERT_NEAR(batched.data[i], scalar.data[i], 5e-3f)
+            << spec << " bin " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcnn::hog

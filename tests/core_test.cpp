@@ -3,64 +3,22 @@
 #include "common/rng.hpp"
 #include "core/detector.hpp"
 #include "core/pipeline.hpp"
+#include "extract/registry.hpp"
 #include "napprox/napprox.hpp"
 #include "vision/synth.hpp"
 
 namespace pcnn::core {
 namespace {
 
-TEST(ResourceBudget, PaperNumbers) {
-  const ResourceBudget budget;
-  EXPECT_EQ(budget.cellsPerWindow(), 128);
-  EXPECT_EQ(budget.parrotExtractorCores(), 1024);  // 8 cores x 128 cells
-  EXPECT_EQ(budget.combinedCores(), 3888);         // 1024 + 2864
-}
+/// Toy flat-cell extractor whose single-bin "histogram" is the cell's mean
+/// brightness -- small enough that detector behavior is obvious by hand.
+class CellMeanExtractor : public extract::FeatureExtractor {
+ public:
+  CellMeanExtractor(int windowCellsX, int windowCellsY)
+      : FeatureExtractor("cell-mean", extract::FeatureLayout::kFlatCell, 1,
+                         windowCellsX, windowCellsY) {}
 
-TEST(Assemblers, CellFeatureAssemblerFlattens) {
-  hog::CellGrid grid;
-  grid.cellsX = 4;
-  grid.cellsY = 4;
-  grid.bins = 2;
-  grid.data.resize(32);
-  for (std::size_t i = 0; i < grid.data.size(); ++i) {
-    grid.data[i] = static_cast<float>(i);
-  }
-  const auto assemble = cellFeatureAssembler(2, 2);
-  const auto f = assemble(grid, 1, 1);
-  ASSERT_EQ(f.size(), 8u);
-  // First cell of the window is grid cell (1,1) = index (1*4+1)*2 = 10.
-  EXPECT_FLOAT_EQ(f[0], 10.0f);
-  EXPECT_FLOAT_EQ(f[1], 11.0f);
-}
-
-TEST(Assemblers, BlockFeatureAssemblerShape) {
-  hog::CellGrid grid;
-  grid.cellsX = 8;
-  grid.cellsY = 16;
-  grid.bins = 18;
-  grid.data.assign(8 * 16 * 18, 1.0f);
-  hog::HogParams params;
-  params.numBins = 18;
-  const auto assemble = blockFeatureAssembler(params, 8, 16);
-  EXPECT_EQ(assemble(grid, 0, 0).size(), static_cast<std::size_t>(7560));
-}
-
-TEST(GridDetector, NullCallablesRejected) {
-  GridDetectorParams params;
-  EXPECT_THROW(GridDetector(params, nullptr, cellFeatureAssembler(8, 16),
-                            [](const std::vector<float>&) { return 0.0f; }),
-               std::invalid_argument);
-}
-
-TEST(GridDetector, FindsBrightWindowWithToyScorer) {
-  // Toy setting: features are cell means; the scorer fires on bright cells.
-  GridDetectorParams params;
-  params.windowCellsX = 2;
-  params.windowCellsY = 4;
-  params.scoreThreshold = 0.5f;
-  params.pyramid.maxLevels = 1;
-
-  auto extractor = [](const vision::Image& img) {
+  hog::CellGrid cellGrid(const vision::Image& img) override {
     hog::CellGrid grid;
     grid.cellsX = img.width() / 8;
     grid.cellsY = img.height() / 8;
@@ -78,7 +36,121 @@ TEST(GridDetector, FindsBrightWindowWithToyScorer) {
       }
     }
     return grid;
-  };
+  }
+
+  extract::ExtractorInfo info() const override { return {}; }
+};
+
+/// Toy flat-cell extractor emitting a constant grid of ones.
+class ConstantExtractor : public extract::FeatureExtractor {
+ public:
+  ConstantExtractor(int windowCellsX, int windowCellsY)
+      : FeatureExtractor("constant", extract::FeatureLayout::kFlatCell, 1,
+                         windowCellsX, windowCellsY) {}
+
+  hog::CellGrid cellGrid(const vision::Image& img) override {
+    hog::CellGrid grid;
+    grid.cellsX = img.width() / 8;
+    grid.cellsY = img.height() / 8;
+    grid.bins = 1;
+    grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY,
+                     1.0f);
+    return grid;
+  }
+
+  extract::ExtractorInfo info() const override { return {}; }
+};
+
+TEST(ResourceBudget, PaperNumbers) {
+  const ResourceBudget budget;
+  EXPECT_EQ(budget.cellsPerWindow(), 128);
+  EXPECT_EQ(budget.parrotExtractorCores(), 1024);  // 8 cores x 128 cells
+  EXPECT_EQ(budget.combinedCores(), 3888);         // 1024 + 2864
+}
+
+TEST(Assemblers, FlatCellWindowFromGridFlattens) {
+  hog::CellGrid grid;
+  grid.cellsX = 4;
+  grid.cellsY = 4;
+  grid.bins = 2;
+  grid.data.resize(32);
+  for (std::size_t i = 0; i < grid.data.size(); ++i) {
+    grid.data[i] = static_cast<float>(i);
+  }
+  extract::ExtractorOptions options;
+  options.layout = extract::FeatureLayout::kFlatCell;
+  options.windowCellsX = 2;
+  options.windowCellsY = 2;
+  const auto extractor = extract::makeExtractor("napprox", options);
+  const auto f = extractor->windowFromGrid(grid, 1, 1);
+  ASSERT_EQ(f.size(), 8u);
+  // First cell of the window is grid cell (1,1) = index (1*4+1)*2 = 10.
+  EXPECT_FLOAT_EQ(f[0], 10.0f);
+  EXPECT_FLOAT_EQ(f[1], 11.0f);
+}
+
+TEST(Assemblers, BlockNormWindowFromGridShape) {
+  hog::CellGrid grid;
+  grid.cellsX = 8;
+  grid.cellsY = 16;
+  grid.bins = 18;
+  grid.data.assign(8 * 16 * 18, 1.0f);
+  const auto extractor =
+      extract::makeExtractor("napprox", extract::FeatureLayout::kBlockNorm);
+  EXPECT_EQ(extractor->windowFromGrid(grid, 0, 0).size(),
+            static_cast<std::size_t>(7560));
+}
+
+TEST(Assemblers, WindowFromBlocksMatchesWindowFromGrid) {
+  // The precomputed-block path must be bitwise-identical to the per-window
+  // path for every window position over the level grid.
+  hog::CellGrid grid;
+  grid.cellsX = 6;
+  grid.cellsY = 9;
+  grid.bins = 4;
+  grid.data.resize(static_cast<std::size_t>(6) * 9 * 4);
+  for (std::size_t i = 0; i < grid.data.size(); ++i) {
+    grid.data[i] = static_cast<float>((i * 7) % 23) * 0.25f;
+  }
+  extract::ExtractorOptions options;
+  options.layout = extract::FeatureLayout::kBlockNorm;
+  options.windowCellsX = 3;
+  options.windowCellsY = 4;
+  const auto extractor = extract::makeExtractor("hog", options);
+  const hog::BlockGrid blocks = extractor->prepareBlocks(grid);
+  EXPECT_EQ(blocks.blocksX, 5);
+  EXPECT_EQ(blocks.blocksY, 8);
+  for (int cy = 0; cy + 4 <= grid.cellsY; ++cy) {
+    for (int cx = 0; cx + 3 <= grid.cellsX; ++cx) {
+      const auto fromGrid = extractor->windowFromGrid(grid, cx, cy);
+      const auto fromBlocks = extractor->windowFromBlocks(blocks, cx, cy);
+      ASSERT_EQ(fromGrid.size(), fromBlocks.size());
+      for (std::size_t i = 0; i < fromGrid.size(); ++i) {
+        ASSERT_EQ(fromGrid[i], fromBlocks[i]) << "cx=" << cx << " cy=" << cy
+                                              << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(GridDetector, NullCallablesRejected) {
+  GridDetectorParams params;
+  EXPECT_THROW(GridDetector(params, nullptr,
+                            [](const std::vector<float>&) { return 0.0f; }),
+               std::invalid_argument);
+  EXPECT_THROW(GridDetector(params, std::make_shared<ConstantExtractor>(2, 2),
+                            WindowScorer{}),
+               std::invalid_argument);
+}
+
+TEST(GridDetector, FindsBrightWindowWithToyScorer) {
+  // Toy setting: features are cell means; the scorer fires on bright cells.
+  GridDetectorParams params;
+  params.windowCellsX = 2;
+  params.windowCellsY = 4;
+  params.scoreThreshold = 0.5f;
+  params.pyramid.maxLevels = 1;
+
   auto scorer = [](const std::vector<float>& f) {
     float sum = 0.0f;
     for (float v : f) sum += v;
@@ -89,7 +161,7 @@ TEST(GridDetector, FindsBrightWindowWithToyScorer) {
   for (int y = 16; y < 48; ++y) {
     for (int x = 24; x < 40; ++x) scene.at(x, y) = 0.95f;
   }
-  GridDetector detector(params, extractor, cellFeatureAssembler(2, 4),
+  GridDetector detector(params, std::make_shared<CellMeanExtractor>(2, 4),
                         scorer);
   const auto detections = detector.detect(scene);
   ASSERT_FALSE(detections.empty());
@@ -106,17 +178,8 @@ TEST(GridDetector, RawDetectionsExceedNmsDetections) {
   params.scoreThreshold = -1e9f;
   params.nmsEpsilon = 0.6f;  // adjacent windows overlap by exactly 50%
   params.pyramid.maxLevels = 1;
-  auto extractor = [](const vision::Image& img) {
-    hog::CellGrid grid;
-    grid.cellsX = img.width() / 8;
-    grid.cellsY = img.height() / 8;
-    grid.bins = 1;
-    grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY,
-                     1.0f);
-    return grid;
-  };
   auto scorer = [](const std::vector<float>&) { return 1.0f; };
-  GridDetector detector(params, extractor, cellFeatureAssembler(2, 2),
+  GridDetector detector(params, std::make_shared<ConstantExtractor>(2, 2),
                         scorer);
   vision::Image scene(48, 48, 0.5f);
   EXPECT_GT(detector.detectRaw(scene).size(), detector.detect(scene).size());
@@ -131,17 +194,8 @@ TEST(GridDetector, ThresholdOverrideAtDetectTime) {
   params.windowCellsY = 2;
   params.scoreThreshold = 0.5f;
   params.pyramid.maxLevels = 1;
-  auto extractor = [](const vision::Image& img) {
-    hog::CellGrid grid;
-    grid.cellsX = img.width() / 8;
-    grid.cellsY = img.height() / 8;
-    grid.bins = 1;
-    grid.data.assign(static_cast<std::size_t>(grid.cellsX) * grid.cellsY,
-                     1.0f);
-    return grid;
-  };
   auto scorer = [](const std::vector<float>&) { return 1.0f; };
-  GridDetector detector(params, extractor, cellFeatureAssembler(2, 2),
+  GridDetector detector(params, std::make_shared<ConstantExtractor>(2, 2),
                         scorer);
   vision::Image scene(48, 48, 0.5f);
   const auto atDefault = detector.detectRaw(scene);
@@ -156,7 +210,6 @@ TEST(GridDetector, ThresholdOverrideAtDetectTime) {
 TEST(PartitionedPipeline, TrainsOnExtractedFeatures) {
   // NApprox features + small Eedn head learn to separate synthetic person
   // windows from negatives (a miniature of the Fig. 5 pipeline).
-  napprox::NApproxHog extractor;
   eedn::EednClassifierConfig config;
   config.inputSize = 8 * 16 * 18;
   config.groupInputSize = 126;
@@ -165,9 +218,7 @@ TEST(PartitionedPipeline, TrainsOnExtractedFeatures) {
   config.outputPopulation = 4;
   config.seed = 5;
   PartitionedPipeline pipeline(
-      [&extractor](const vision::Image& w) {
-        return extractor.cellDescriptor(w);
-      },
+      extract::makeExtractor("napprox", extract::FeatureLayout::kFlatCell),
       config);
 
   vision::SyntheticPersonDataset dataset;
@@ -187,8 +238,6 @@ TEST(PartitionedPipeline, TrainsOnExtractedFeatures) {
 TEST(PartitionedPipeline, RejectsNulls) {
   eedn::EednClassifierConfig config;
   config.inputSize = 8;
-  EXPECT_THROW(PartitionedPipeline(WindowExtractorFn{}, config),
-               std::invalid_argument);
   EXPECT_THROW(PartitionedPipeline(
                    std::shared_ptr<extract::FeatureExtractor>{}, config),
                std::invalid_argument);

@@ -9,6 +9,7 @@
 #include "eedn/mapper.hpp"
 #include "eval/detection_eval.hpp"
 #include "eval/stats.hpp"
+#include "extract/registry.hpp"
 #include "hog/hog.hpp"
 #include "napprox/napprox.hpp"
 #include "svm/linear_svm.hpp"
@@ -93,17 +94,18 @@ TEST(Integration, NApproxFeaturesMatchSvmQuality) {
 
 TEST(Integration, DetectorFindsScenePeopleWithSvm) {
   const Dataset data = makeDataset(70, 3, 3);
-  napprox::NApproxHog featureHog;
+  const auto featureHog =
+      extract::makeExtractor("napprox", extract::FeatureLayout::kFlatCell);
 
   // Train an SVM on flat cell features (cheap assembly in the detector).
   std::vector<std::vector<float>> x;
   std::vector<int> y;
   for (const auto& w : data.positives) {
-    x.push_back(featureHog.cellDescriptor(w));
+    x.push_back(featureHog->windowFeatures(w));
     y.push_back(1);
   }
   for (const auto& w : data.negatives) {
-    x.push_back(featureHog.cellDescriptor(w));
+    x.push_back(featureHog->windowFeatures(w));
     y.push_back(-1);
   }
   svm::LinearSvm model;
@@ -112,12 +114,7 @@ TEST(Integration, DetectorFindsScenePeopleWithSvm) {
   core::GridDetectorParams params;
   params.scoreThreshold = 0.0f;
   core::GridDetector detector(
-      params,
-      [&featureHog](const vision::Image& img) {
-        return featureHog.computeCells(img);
-      },
-      core::cellFeatureAssembler(8, 16),
-      [&model](const std::vector<float>& f) {
+      params, featureHog, [&model](const std::vector<float>& f) {
         return static_cast<float>(model.decision(f));
       });
 
@@ -137,15 +134,16 @@ TEST(Integration, MissRateCurveImprovesWithBetterScores) {
   // Sanity link between classifier quality and the evaluation curve: a
   // random scorer yields a worse log-average miss rate than the SVM.
   const Dataset data = makeDataset(60, 2, 4);
-  napprox::NApproxHog featureHog;
+  const auto featureHog =
+      extract::makeExtractor("napprox", extract::FeatureLayout::kFlatCell);
   std::vector<std::vector<float>> x;
   std::vector<int> y;
   for (const auto& w : data.positives) {
-    x.push_back(featureHog.cellDescriptor(w));
+    x.push_back(featureHog->windowFeatures(w));
     y.push_back(1);
   }
   for (const auto& w : data.negatives) {
-    x.push_back(featureHog.cellDescriptor(w));
+    x.push_back(featureHog->windowFeatures(w));
     y.push_back(-1);
   }
   svm::LinearSvm model;
@@ -156,12 +154,7 @@ TEST(Integration, MissRateCurveImprovesWithBetterScores) {
     core::GridDetectorParams params;
     params.scoreThreshold = -1e9f;
     core::GridDetector detector(
-        params,
-        [&featureHog](const vision::Image& img) {
-          return featureHog.computeCells(img);
-        },
-        core::cellFeatureAssembler(8, 16),
-        [&](const std::vector<float>& f) {
+        params, featureHog, [&](const std::vector<float>& f) {
           return random ? static_cast<float>(noiseRng.uniform(-1, 1))
                         : static_cast<float>(model.decision(f));
         });

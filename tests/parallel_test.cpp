@@ -14,6 +14,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/detector.hpp"
+#include "extract/registry.hpp"
 #include "hog/hog.hpp"
 #include "nn/conv2d.hpp"
 #include "tn/network.hpp"
@@ -183,14 +184,12 @@ TEST(ParallelDeterminism, GridDetectorIdenticalAcrossThreadCounts) {
   vision::SyntheticPersonDataset synth;
   Rng rng(31);
   const vision::Image scene = synth.scene(rng, 224, 224, 2).image;
-  const auto hog = std::make_shared<hog::HogExtractor>();
   core::GridDetectorParams params;
   params.scoreThreshold = -1e9f;  // keep every window's score
   params.pyramid.maxLevels = 3;
   const core::GridDetector detector(
       params,
-      [hog](const vision::Image& img) { return hog->computeCells(img); },
-      core::blockFeatureAssembler(hog::HogParams{}, 8, 16),
+      extract::makeExtractor("hog", extract::FeatureLayout::kBlockNorm),
       [](const std::vector<float>& f) {
         return std::accumulate(f.begin(), f.end(), 0.0f);
       });
