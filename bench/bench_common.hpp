@@ -8,14 +8,34 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/detector.hpp"
 #include "eval/detection_eval.hpp"
+#include "hog/cell_kernels.hpp"
+#include "obs/provenance.hpp"
 #include "vision/synth.hpp"
 
 namespace pcnn::bench {
+
+/// Run provenance every bench writer shares: the process-wide fields from
+/// obs::provenance() plus the hog layer's resolved kernel dispatch. One
+/// helper instead of each bench duplicating its own subset of
+/// thread/SIMD fields (BENCH_detect.json used to hand-roll them).
+inline std::string provenanceJson() {
+  const std::vector<std::pair<std::string, std::string>> extras = {
+      {"kernel_dispatch",
+       hog::kernels::kindName(hog::kernels::activeKind())},
+      {"simd_level", hog::kernels::simdLevel()}};
+  return obs::provenanceJson(obs::provenance(), extras);
+}
+
+/// Prints the provenance line benches emit before their rows.
+inline void printProvenance() {
+  std::printf("provenance: %s\n", provenanceJson().c_str());
+}
 
 /// Standard synthetic dataset sizes used across benches.
 struct BenchDataset {

@@ -14,15 +14,15 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/detector.hpp"
 #include "extract/registry.hpp"
-#include "hog/cell_kernels.hpp"
 #include "hog/hog.hpp"
+#include "obs/obs.hpp"
 #include "vision/sliding_window.hpp"
 #include "vision/synth.hpp"
 
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
   const int sceneW = 640, sceneH = 480;
 
+  bench::printProvenance();
   vision::SyntheticPersonDataset dataset;
   Rng rng(42);
   const vision::Image scene = dataset.scene(rng, sceneW, sceneH, 2).image;
@@ -154,9 +155,7 @@ int main(int argc, char** argv) {
                "  \"window_px\": [64, 128],\n"
                "  \"windows_scanned\": %ld,\n"
                "  \"repeats\": %d,\n"
-               "  \"kernel_dispatch\": \"%s\",\n"
-               "  \"simd_level\": \"%s\",\n"
-               "  \"hardware_threads\": %u,\n"
+               "  \"provenance\": %s,\n"
                "  \"legacy_per_window_1t_ms\": %.2f,\n"
                "  \"cached_grid_1t_ms\": %.2f,\n"
                "  \"cached_grid_2t_ms\": %.2f,\n"
@@ -168,9 +167,7 @@ int main(int argc, char** argv) {
                "  \"extractor_windows_scanned\": %ld,\n"
                "  \"extractors\": {",
                sceneW, sceneH, numWindows, repeats,
-               hog::kernels::kindName(hog::kernels::activeKind()),
-               hog::kernels::simdLevel(),
-               std::thread::hardware_concurrency(), legacyMs, cachedMs[0],
+               bench::provenanceJson().c_str(), legacyMs, cachedMs[0],
                cachedMs[1], cachedMs[2], legacyMs / cachedMs[0],
                legacyMs / cachedMs[1], legacyMs / cachedMs[2], smallW, smallH,
                smallWindows);
@@ -181,5 +178,20 @@ int main(int argc, char** argv) {
   std::fprintf(out, "\n  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", outPath.c_str());
+
+  // With PCNN_TRACE / PCNN_METRICS set, the run's spans and counter
+  // snapshot land next to the bench output (they would also be written at
+  // exit; doing it here makes the paths visible in the bench log).
+  if (!obs::configuredTracePath().empty() ||
+      !obs::configuredMetricsPath().empty()) {
+    obs::writeConfiguredReports();
+    std::printf("obs: trace=%s metrics=%s\n",
+                obs::configuredTracePath().empty()
+                    ? "(off)"
+                    : obs::configuredTracePath().c_str(),
+                obs::configuredMetricsPath().empty()
+                    ? "(off)"
+                    : obs::configuredMetricsPath().c_str());
+  }
   return 0;
 }

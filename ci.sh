@@ -20,4 +20,40 @@ ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j"$(nproc)"
 PCNN_SIMD=off ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure \
   -j"$(nproc)"
 
-echo "ci.sh: build + tests (incl. scalar-dispatch fast re-run) passed"
+# Observability smoke: a traced detection run must produce valid, non-empty
+# Chrome-trace and metrics JSON with the spans/counters the layer promises,
+# and a run without the env vars must produce no report files at all.
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+PD_BIN="$(cd "$BUILD_DIR" && pwd)/examples/pedestrian_detection"
+PR_BIN="$(cd "$BUILD_DIR" && pwd)/examples/power_report"
+PCNN_TRACE="$OBS_DIR/trace.json" PCNN_METRICS="$OBS_DIR/metrics.json" \
+  "$PD_BIN" 1 7 hog >/dev/null
+python3 - "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = {e["name"] for e in trace["traceEvents"]}
+assert trace["traceEvents"], "trace has no events"
+for name in ("detect.pyramid", "detect.cellGrid", "detect.scan"):
+    assert name in events, f"missing span {name}: {sorted(events)}"
+metrics = json.load(open(sys.argv[2]))
+assert metrics["counters"].get("windows_scanned", 0) > 0, metrics["counters"]
+print("obs smoke: trace+metrics JSON valid "
+      f"({len(trace['traceEvents'])} events, "
+      f"{metrics['counters']['windows_scanned']} windows scanned)")
+EOF
+PCNN_METRICS="$OBS_DIR/tn_metrics.json" "$PR_BIN" >/dev/null
+python3 - "$OBS_DIR/tn_metrics.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+assert counters.get("tn.spikes", 0) > 0, counters
+assert counters.get("tn.ticks", 0) > 0, counters
+print(f"obs smoke: tn counters non-zero (spikes={counters['tn.spikes']})")
+EOF
+# Disabled mode: no env vars -> no report files may appear.
+(cd "$OBS_DIR" && "$PD_BIN" 1 7 hog >/dev/null)
+LEFTOVER="$(find "$OBS_DIR" -name '*.json' ! -name trace.json \
+  ! -name metrics.json ! -name tn_metrics.json)"
+test -z "$LEFTOVER" || { echo "unexpected obs output: $LEFTOVER"; exit 1; }
+
+echo "ci.sh: build + tests (incl. scalar-dispatch fast re-run + obs smoke) passed"

@@ -17,6 +17,7 @@
 #include "core/detector.hpp"
 #include "eval/detection_eval.hpp"
 #include "extract/registry.hpp"
+#include "obs/obs.hpp"
 #include "svm/linear_svm.hpp"
 #include "svm/mining.hpp"
 #include "vision/pgm.hpp"
@@ -113,6 +114,20 @@ int main(int argc, char** argv) {
   }
   for (const std::string& name : extract::ExtractorRegistry::instance().names()) {
     runExtractor(name, numScenes, seed);
+  }
+
+  // With PCNN_TRACE / PCNN_METRICS set, the whole run's spans and counters
+  // are exported here (and again at exit, harmlessly overwriting).
+  if (!obs::configuredTracePath().empty() ||
+      !obs::configuredMetricsPath().empty()) {
+    obs::writeConfiguredReports();
+    std::printf("\nobs: trace=%s metrics=%s\n",
+                obs::configuredTracePath().empty()
+                    ? "(off)"
+                    : obs::configuredTracePath().c_str(),
+                obs::configuredMetricsPath().empty()
+                    ? "(off)"
+                    : obs::configuredMetricsPath().c_str());
   }
   return 0;
 }

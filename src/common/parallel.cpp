@@ -8,8 +8,25 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace pcnn {
 namespace {
+
+/// Pool instruments, registered once. Counters cost one relaxed branch
+/// when metrics are off; the clock is only read while they are on.
+struct PoolMetrics {
+  obs::Counter& jobs = obs::counter("pool.jobs");
+  obs::Counter& inlineJobs = obs::counter("pool.inline_jobs");
+  obs::Counter& chunks = obs::counter("pool.chunks");
+  obs::Counter& busyUs = obs::counter("pool.busy_us");
+  obs::LatencyHistogram& jobUs = obs::histogram("pool.job_us");
+  obs::LatencyHistogram& queueUs = obs::histogram("pool.queue_us");
+  static PoolMetrics& instance() {
+    static PoolMetrics m;
+    return m;
+  }
+};
 
 int defaultThreadCount() {
   if (const char* env = std::getenv("PCNN_NUM_THREADS")) {
@@ -54,9 +71,28 @@ class ThreadPool {
     // single-threaded configuration both run inline: correct, deterministic
     // and deadlock-free.
     if (insideJob_ || numChunks == 1 || workers_.empty()) {
-      for (long c = 0; c < numChunks; ++c) chunk(c);
+      PoolMetrics& metrics = PoolMetrics::instance();
+      metrics.inlineJobs.add();
+      metrics.chunks.add(numChunks);
+      if (obs::metricsEnabled()) {
+        const double t0 = obs::nowMicros();
+        for (long c = 0; c < numChunks; ++c) chunk(c);
+        const double elapsed = obs::nowMicros() - t0;
+        metrics.jobUs.record(elapsed);
+        metrics.busyUs.add(static_cast<long>(elapsed));
+      } else {
+        for (long c = 0; c < numChunks; ++c) chunk(c);
+      }
       return;
     }
+    PoolMetrics& metrics = PoolMetrics::instance();
+    metrics.jobs.add();
+    metrics.chunks.add(numChunks);
+    const bool measure = obs::metricsEnabled();
+    const double t0 = measure ? obs::nowMicros() : 0.0;
+    jobStartUs_.store(measure ? static_cast<long>(t0) : -1,
+                      std::memory_order_relaxed);
+    PCNN_SPAN_ARG("pool.job", "chunks", numChunks);
     std::exception_ptr firstError;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -84,6 +120,7 @@ class ThreadPool {
       jobChunk_ = nullptr;
       jobError_ = nullptr;
     }
+    if (measure) metrics.jobUs.record(obs::nowMicros() - t0);
     if (firstError) std::rethrow_exception(firstError);
   }
 
@@ -107,14 +144,34 @@ class ThreadPool {
   }
 
   void drainChunks() {
+    bool firstClaim = true;
     while (true) {
       const long c = nextChunk_.fetch_add(1, std::memory_order_acquire);
       if (c >= jobSize_.load(std::memory_order_relaxed)) return;
+      // Queue latency (job publish -> this thread's first claim) and busy
+      // time per chunk; both only measured while metrics are on, and the
+      // job-start stamp doubles as the job's measurement flag so a toggle
+      // mid-job cannot record a nonsense latency.
+      const long jobStart = jobStartUs_.load(std::memory_order_relaxed);
+      const bool measure = jobStart >= 0 && obs::metricsEnabled();
+      double claimUs = 0.0;
+      if (measure) {
+        claimUs = obs::nowMicros();
+        if (firstClaim) {
+          PoolMetrics::instance().queueUs.record(
+              claimUs - static_cast<double>(jobStart));
+          firstClaim = false;
+        }
+      }
       try {
         (*jobChunk_)(c);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (jobError_ && !*jobError_) *jobError_ = std::current_exception();
+      }
+      if (measure) {
+        PoolMetrics::instance().busyUs.add(
+            static_cast<long>(obs::nowMicros() - claimUs));
       }
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last chunk: release the caller blocked in run().
@@ -146,6 +203,8 @@ class ThreadPool {
   std::atomic<long> jobSize_{0};
   std::atomic<long> nextChunk_{0};
   std::atomic<long> pending_{0};
+  /// Current job's publish time in whole microseconds (-1 = unmeasured).
+  std::atomic<long> jobStartUs_{-1};
 };
 
 thread_local bool ThreadPool::insideJob_ = false;

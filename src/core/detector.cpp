@@ -4,8 +4,25 @@
 #include <utility>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace pcnn::core {
+
+namespace {
+
+/// Scan-stage instruments shared by every detector instance.
+struct DetectMetrics {
+  obs::Counter& windowsScanned = obs::counter("windows_scanned");
+  obs::Counter& pyramidLevels = obs::counter("pyramid_levels");
+  obs::Counter& gridCacheHits = obs::counter("grid_cache_hits");
+  obs::Counter& scenes = obs::counter("detect.scenes");
+  static DetectMetrics& instance() {
+    static DetectMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 GridDetector::GridDetector(const GridDetectorParams& params,
                            std::shared_ptr<extract::FeatureExtractor> extractor,
@@ -16,6 +33,8 @@ GridDetector::GridDetector(const GridDetectorParams& params,
   if (!featureExtractor_ || !scorer_) {
     throw std::invalid_argument("GridDetector: null extractor or scorer");
   }
+  cellGridUs_ = &obs::histogram("extract." + featureExtractor_->name() +
+                                ".cell_grid_us");
   params_.cellSize = featureExtractor_->cellSize();
   params_.windowCellsX = featureExtractor_->windowCellsX();
   params_.windowCellsY = featureExtractor_->windowCellsY();
@@ -28,16 +47,27 @@ std::vector<vision::Detection> GridDetector::detectRaw(
 
 std::vector<vision::Detection> GridDetector::detectRaw(
     const vision::Image& scene, float scoreThreshold) const {
+  PCNN_SPAN("detect.detectRaw");
+  DetectMetrics& metrics = DetectMetrics::instance();
+  metrics.scenes.add();
   std::vector<vision::Detection> detections;
   vision::PyramidParams pp = params_.pyramid;
   pp.minWidth = params_.windowCellsX * params_.cellSize;
   pp.minHeight = params_.windowCellsY * params_.cellSize;
-  const auto levels = vision::buildPyramid(scene, pp);
+  std::vector<vision::PyramidLevel> levels;
+  {
+    PCNN_SPAN("detect.pyramid");
+    levels = vision::buildPyramid(scene, pp);
+  }
+  metrics.pyramidLevels.add(static_cast<long>(levels.size()));
 
   const bool blockPath =
       featureExtractor_->layout() == extract::FeatureLayout::kBlockNorm;
 
+  long levelIndex = -1;
   for (const vision::PyramidLevel& level : levels) {
+    ++levelIndex;
+    PCNN_SPAN_ARG("detect.level", "level", levelIndex);
     // The grid is extracted once per level (extractors may be stateful, so
     // this stays on the calling thread); every window over the level then
     // shares it. Block-norm extractors also normalize every block exactly
@@ -47,12 +77,27 @@ std::vector<vision::Detection> GridDetector::detectRaw(
     // each collecting into its own bucket, and buckets are concatenated in
     // row order afterwards so the output is identical to the sequential
     // scan for any thread count.
-    const hog::CellGrid grid = featureExtractor_->cellGrid(level.image);
-    const hog::BlockGrid blocks =
-        blockPath ? featureExtractor_->prepareBlocks(grid) : hog::BlockGrid{};
+    hog::CellGrid grid;
+    {
+      PCNN_SPAN("detect.cellGrid");
+      obs::ScopedTimer timer(cellGridUs());
+      grid = featureExtractor_->cellGrid(level.image);
+    }
+    hog::BlockGrid blocks;
+    if (blockPath) {
+      PCNN_SPAN("detect.blockGrid");
+      blocks = featureExtractor_->prepareBlocks(grid);
+    }
     const int maxCy = grid.cellsY - params_.windowCellsY;
     const int maxCx = grid.cellsX - params_.windowCellsX;
     if (maxCy < 0 || maxCx < 0) continue;
+    // Every window on this level slices the one cached grid instead of
+    // recomputing its cells -- each is one grid-cache hit.
+    const long levelWindows =
+        static_cast<long>(maxCy + 1) * static_cast<long>(maxCx + 1);
+    metrics.windowsScanned.add(levelWindows);
+    metrics.gridCacheHits.add(levelWindows);
+    PCNN_SPAN_ARG("detect.scan", "windows", levelWindows);
     std::vector<std::vector<vision::Detection>> rows(
         static_cast<std::size_t>(maxCy) + 1);
     auto scanRow = [&](long cy) {
@@ -100,8 +145,9 @@ std::vector<vision::Detection> GridDetector::detect(
 
 std::vector<vision::Detection> GridDetector::detect(
     const vision::Image& scene, float scoreThreshold) const {
-  return vision::nonMaximumSuppression(detectRaw(scene, scoreThreshold),
-                                       params_.nmsEpsilon);
+  std::vector<vision::Detection> raw = detectRaw(scene, scoreThreshold);
+  PCNN_SPAN_ARG("detect.nms", "candidates", raw.size());
+  return vision::nonMaximumSuppression(std::move(raw), params_.nmsEpsilon);
 }
 
 }  // namespace pcnn::core

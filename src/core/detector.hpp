@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "extract/extractor.hpp"
+#include "obs/obs.hpp"
 #include "hog/hog.hpp"
 #include "vision/image.hpp"
 #include "vision/nms.hpp"
@@ -68,9 +69,15 @@ class GridDetector {
   }
 
  private:
+  /// Per-backend cell-grid latency histogram
+  /// ("extract.<backend>.cell_grid_us"), resolved once at construction so
+  /// the per-level hot path never touches the metrics registry lock.
+  obs::LatencyHistogram& cellGridUs() const { return *cellGridUs_; }
+
   GridDetectorParams params_;
   std::shared_ptr<extract::FeatureExtractor> featureExtractor_;
   WindowScorer scorer_;
+  obs::LatencyHistogram* cellGridUs_;
 };
 
 }  // namespace pcnn::core

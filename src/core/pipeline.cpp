@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace pcnn::core {
 
 PartitionedPipeline::PartitionedPipeline(
@@ -17,6 +19,7 @@ PartitionedPipeline::PartitionedPipeline(
 
 std::vector<std::vector<float>> PartitionedPipeline::extractAll(
     const std::vector<vision::Image>& windows) const {
+  PCNN_SPAN_ARG("pipeline.extract", "windows", windows.size());
   auto features = featureExtractor_->batchFeatures(windows);
   if (features.size() != windows.size()) {
     throw std::logic_error(
@@ -34,6 +37,7 @@ float PartitionedPipeline::trainClassifier(
   eedn::BinaryDataset data;
   data.labels = labels;
   data.features = extractAll(windows);
+  PCNN_SPAN_ARG("pipeline.trainClassifier", "epochs", epochs);
   float loss = 0.0f;
   for (int epoch = 0; epoch < epochs; ++epoch) {
     loss = classifier_->trainEpoch(data, learningRate, momentum, batchSize);

@@ -203,6 +203,7 @@ std::vector<int> MappedEedn::forwardSpikes(const std::vector<int>& input) {
   }
 
   const tn::RunResult result = network_.run(static_cast<long>(depth()));
+  lastRun_ = result;
 
   // Decode final-stage spikes (they fire at tick depth-1).
   std::vector<int> out(static_cast<std::size_t>(outputSize_), 0);

@@ -49,6 +49,10 @@ class MappedEedn {
   int coreCount() const { return network_.coreCount(); }
   tn::Network& network() { return network_; }
 
+  /// Spike statistics of the most recent forwardSpikes() (for measured
+  /// energy/power reports; see tn::estimateEnergy).
+  const tn::RunResult& lastRun() const { return lastRun_; }
+
  private:
   friend class TnMapper;
 
@@ -66,6 +70,7 @@ class MappedEedn {
   };
 
   tn::Network network_{12345};
+  tn::RunResult lastRun_;
   std::vector<Stage> stages_;
   std::vector<int> stageCopies_;  ///< physical copies per logical neuron
   int inputSize_ = 0;

@@ -81,6 +81,7 @@ std::vector<float> NApproxBackend::windowFeatures(
 std::vector<std::vector<float>> NApproxBackend::batchFeatures(
     const std::vector<vision::Image>& windows) {
   if (layout() == FeatureLayout::kFlatCell) {
+    BatchScope scope(*this, windows.size());
     return model_.cellDescriptorBatch(windows);
   }
   return FeatureExtractor::batchFeatures(windows);
@@ -159,6 +160,7 @@ std::vector<float> ParrotBackend::windowFeatures(const vision::Image& window) {
 
 std::vector<std::vector<float>> ParrotBackend::batchFeatures(
     const std::vector<vision::Image>& windows) {
+  BatchScope scope(*this, windows.size());
   // The parrot's own batch path pre-draws one coding seed per window, so
   // the batch is deterministic for any thread count. The block layout
   // reshapes each flat result back into its cell grid and runs the shared

@@ -44,6 +44,15 @@ FeatureExtractor::FeatureExtractor(std::string name, FeatureLayout layout,
       windowCellsY_ <= 0) {
     throw std::invalid_argument("FeatureExtractor: invalid geometry");
   }
+  batchUs_ = &obs::histogram("extract." + name_ + ".batch_us");
+}
+
+FeatureExtractor::BatchScope::BatchScope(FeatureExtractor& extractor,
+                                         std::size_t windows)
+    : span_("extract.batch", "windows", static_cast<long>(windows)),
+      timer_(*extractor.batchUs_) {
+  static obs::Counter& extracted = obs::counter("extract.windows");
+  extracted.add(static_cast<long>(windows));
 }
 
 int FeatureExtractor::featureDim() const {
@@ -106,6 +115,7 @@ std::vector<float> FeatureExtractor::windowFeatures(
 
 std::vector<std::vector<float>> FeatureExtractor::batchFeatures(
     const std::vector<vision::Image>& windows) {
+  BatchScope scope(*this, windows.size());
   std::vector<std::vector<float>> out(windows.size());
   if (statelessExtraction()) {
     parallelFor(0, static_cast<long>(windows.size()), [&](long i) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hog/hog.hpp"
+#include "obs/obs.hpp"
 #include "power/power.hpp"
 #include "vision/image.hpp"
 
@@ -145,6 +146,19 @@ class FeatureExtractor {
   FeatureExtractor(std::string name, FeatureLayout layout, int bins,
                    int windowCellsX, int windowCellsY, int cellSize = 8);
 
+  /// RAII instrumentation for one batchFeatures call: a trace span plus
+  /// the backend's "extract.<name>.batch_us" latency histogram and the
+  /// global "extract.windows" counter. Backends overriding batchFeatures
+  /// open one at entry so every implementation reports identically.
+  class BatchScope {
+   public:
+    BatchScope(FeatureExtractor& extractor, std::size_t windows);
+
+   private:
+    obs::Span span_;
+    obs::ScopedTimer timer_;
+  };
+
  private:
   std::string name_;
   FeatureLayout layout_;
@@ -153,6 +167,8 @@ class FeatureExtractor {
   int windowCellsX_;
   int windowCellsY_;
   hog::HogExtractor blockAssembler_;  ///< block slicing for kBlockNorm
+  /// Resolved once at construction; see BatchScope.
+  obs::LatencyHistogram* batchUs_;
 };
 
 }  // namespace pcnn::extract

@@ -6,6 +6,8 @@
 #include <limits>
 #include <string>
 
+#include "obs/obs.hpp"
+
 // Compiled with -fno-math-errno (see src/hog/CMakeLists.txt) so sqrtf
 // lowers to the sqrt instruction instead of a libm call, which is what
 // lets the float row pass vectorize.
@@ -202,6 +204,16 @@ Kind activeKind() {
 
 const char* kindName(Kind kind) {
   return kind == Kind::kScalar ? "scalar" : "batched";
+}
+
+void recordDispatch(Kind kind) {
+  static obs::Counter& batched = obs::counter("kernel.grids_batched");
+  static obs::Counter& scalar = obs::counter("kernel.grids_scalar");
+  (kind == Kind::kBatched ? batched : scalar).add();
+  if (obs::metricsEnabled()) {
+    obs::setTag("kernel_dispatch", kindName(kind));
+    obs::setTag("simd_level", simdLevel());
+  }
 }
 
 const char* simdLevel() {

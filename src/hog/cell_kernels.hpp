@@ -51,6 +51,13 @@ Kind activeKind();
 /// "scalar" or "batched".
 const char* kindName(Kind kind);
 
+/// Observability hook called once per computed grid: bumps the per-path
+/// grid counter ("kernel.grids_batched" / "kernel.grids_scalar") and keeps
+/// the "kernel_dispatch" / "simd_level" snapshot tags current, so every
+/// metrics report carries the dispatch path that actually ran. A few
+/// relaxed branches when metrics are off.
+void recordDispatch(Kind kind);
+
 /// Best instruction set the *CPU* reports for the cloned row passes:
 /// "avx512", "avx2", "sse4.2", "sse2" or "generic" (non-x86 builds). The
 /// batched kernels run everywhere; this is what the ifunc resolver has to

@@ -103,6 +103,7 @@ FixedPointHog::IntCellGrid FixedPointHog::computeCells(
   if (kind == kernels::Kind::kBatched && !kernels::fixedBatchedFits(*this)) {
     kind = kernels::Kind::kScalar;
   }
+  kernels::recordDispatch(kind);
 
   // Cell rows write disjoint histogram slices: safe to scan in parallel
   // (both kernels are integer-exact, so chunking never changes results).

@@ -6,6 +6,7 @@
 
 #include "common/parallel.hpp"
 #include "hog/cell_kernels.hpp"
+#include "obs/obs.hpp"
 
 namespace pcnn::hog {
 
@@ -42,6 +43,7 @@ CellGrid HogExtractor::computeCells(const vision::Image& img) const {
   if (grid.cellsX <= 0 || grid.cellsY <= 0) return grid;
   const GradientField field = computeGradients(img);
   const kernels::Kind kind = kernels::activeKind();
+  kernels::recordDispatch(kind);
   // Each cell row writes a disjoint slice of grid.data, so row blocks can
   // run on any thread without changing the result; the grain amortizes
   // pool dispatch and the batched kernel's row-buffer allocation.
@@ -135,6 +137,8 @@ BlockGrid HogExtractor::blockGridFromCells(const CellGrid& grid) const {
   }
   blocks.data.resize(static_cast<std::size_t>(blocks.blocksX) *
                      blocks.blocksY * blocks.blockLen);
+  static obs::Counter& blocksNormalized = obs::counter("blocks_normalized");
+  blocksNormalized.add(static_cast<long>(blocks.blocksX) * blocks.blocksY);
   // Block rows write disjoint output rows; assembleBlock only reads the
   // grid, so chunk boundaries cannot change any value.
   parallelForChunked(

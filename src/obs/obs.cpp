@@ -1,0 +1,485 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace pcnn::obs {
+
+namespace detail {
+std::atomic<bool> traceOn{false};
+std::atomic<bool> metricsOn{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const Clock::time_point kProcessStart = Clock::now();
+
+/// One recorded span, Chrome trace_event "ph":"X" complete-event shaped.
+struct TraceEvent {
+  const char* name;
+  const char* argKey;  ///< nullptr = no args
+  long argValue;
+  double tsUs;
+  double durUs;
+  int tid;
+};
+
+/// Per-thread span buffer. The owner thread appends under the buffer's own
+/// mutex (uncontended except while an export drains); at thread exit the
+/// events move to the global retired list so nothing is lost.
+struct ThreadBuffer;
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> live;
+  std::vector<TraceEvent> retired;
+  std::atomic<int> nextTid{1};
+  std::atomic<long> dropped{0};
+
+  static TraceRegistry& instance() {
+    static TraceRegistry* r = new TraceRegistry();  // never destroyed:
+    return *r;  // thread buffers may retire during static destruction
+  }
+};
+
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  int tid;
+  /// Cap per thread so a forgotten PCNN_TRACE on a long service run cannot
+  /// grow without bound; overflow is counted, not silently swallowed.
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  ThreadBuffer() {
+    auto& reg = TraceRegistry::instance();
+    tid = reg.nextTid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.live.push_back(this);
+  }
+
+  ~ThreadBuffer() {
+    auto& reg = TraceRegistry::instance();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.retired.insert(reg.retired.end(), events.begin(), events.end());
+    reg.live.erase(std::find(reg.live.begin(), reg.live.end(), this));
+  }
+
+  void push(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (events.size() >= kMaxEvents) {
+      TraceRegistry::instance().dropped.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return;
+    }
+    events.push_back(e);
+  }
+};
+
+ThreadBuffer& threadBuffer() {
+  static thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+/// Counter / histogram / tag registries. Pointers handed out stay valid
+/// forever (values are heap-allocated, the maps are never destroyed).
+struct MetricsStore {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
+  std::map<std::string, std::string> tags;
+
+  static MetricsStore& instance() {
+    static MetricsStore* store = new MetricsStore();
+    return *store;
+  }
+};
+
+struct ExportConfig {
+  std::mutex mutex;
+  std::string tracePath;
+  std::string metricsPath;
+
+  static ExportConfig& instance() {
+    static ExportConfig* config = new ExportConfig();
+    return *config;
+  }
+};
+
+bool envFalse(const char* value) {
+  if (!value) return false;
+  std::string v(value);
+  for (char& c : v)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return v == "off" || v == "0" || v == "false";
+}
+
+void appendJsonEscaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendNumber(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+bool writeStringToFile(const std::string& path, const std::string& body) {
+  if (path == "stderr" || path == "-") {
+    std::fputs(body.c_str(), stderr);
+    std::fputc('\n', stderr);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+void atExitExport() { writeConfiguredReports(); }
+
+/// Reads the environment once per process load, so a binary run with
+/// PCNN_TRACE / PCNN_METRICS needs no code changes to produce reports.
+struct EnvInitializer {
+  EnvInitializer() { configureFromEnv(); }
+};
+const EnvInitializer kEnvInitializer;
+
+}  // namespace
+
+double nowMicros() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   kProcessStart)
+      .count();
+}
+
+void setTraceEnabled(bool on) {
+  detail::traceOn.store(kCompiledIn && on, std::memory_order_relaxed);
+}
+
+void setMetricsEnabled(bool on) {
+  detail::metricsOn.store(kCompiledIn && on, std::memory_order_relaxed);
+}
+
+void configureFromEnv() {
+  const bool masterOff = envFalse(std::getenv("PCNN_OBS"));
+  const char* trace = std::getenv("PCNN_TRACE");
+  const char* metrics = std::getenv("PCNN_METRICS");
+  auto& config = ExportConfig::instance();
+  bool anyConfigured = false;
+  {
+    std::lock_guard<std::mutex> lock(config.mutex);
+    config.tracePath = (!masterOff && trace && *trace) ? trace : "";
+    config.metricsPath = (!masterOff && metrics && *metrics) ? metrics : "";
+    anyConfigured = !config.tracePath.empty() || !config.metricsPath.empty();
+  }
+  setTraceEnabled(!masterOff && trace && *trace);
+  setMetricsEnabled(!masterOff && metrics && *metrics);
+  if (anyConfigured) {
+    static bool atExitRegistered = false;
+    static std::mutex registerMutex;
+    std::lock_guard<std::mutex> lock(registerMutex);
+    if (!atExitRegistered) {
+      std::atexit(atExitExport);
+      atExitRegistered = true;
+    }
+  }
+}
+
+std::string configuredTracePath() {
+  auto& config = ExportConfig::instance();
+  std::lock_guard<std::mutex> lock(config.mutex);
+  return config.tracePath;
+}
+
+std::string configuredMetricsPath() {
+  auto& config = ExportConfig::instance();
+  std::lock_guard<std::mutex> lock(config.mutex);
+  return config.metricsPath;
+}
+
+// --------------------------------------------------------------------------
+// Counters / histograms / tags
+
+Counter& counter(const std::string& name) {
+  auto& store = MetricsStore::instance();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  auto& slot = store.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+LatencyHistogram& histogram(const std::string& name) {
+  auto& store = MetricsStore::instance();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  auto& slot = store.histograms[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+void setTag(const std::string& name, const std::string& value) {
+  if (!metricsEnabled()) return;
+  auto& store = MetricsStore::instance();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  store.tags[name] = value;
+}
+
+void LatencyHistogram::record(double us) {
+  if (!metricsEnabled()) return;
+  if (us < 0.0) us = 0.0;
+  const auto nanos = static_cast<long long>(us * 1e3);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sumNanos_.fetch_add(nanos, std::memory_order_relaxed);
+  long long seen = minNanos_.load(std::memory_order_relaxed);
+  while ((seen < 0 || nanos < seen) &&
+         !minNanos_.compare_exchange_weak(seen, nanos,
+                                          std::memory_order_relaxed)) {
+  }
+  seen = maxNanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !maxNanos_.compare_exchange_weak(seen, nanos,
+                                          std::memory_order_relaxed)) {
+  }
+  // Bucket i holds samples in [2^i, 2^(i+1)) us; sub-microsecond samples
+  // land in bucket 0.
+  int bucket = 0;
+  for (auto u = static_cast<unsigned long>(us); u > 1; u >>= 1) ++bucket;
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::minMicros() const {
+  const long long nanos = minNanos_.load(std::memory_order_relaxed);
+  return nanos < 0 ? 0.0 : static_cast<double>(nanos) * 1e-3;
+}
+
+double LatencyHistogram::maxMicros() const {
+  return static_cast<double>(maxNanos_.load(std::memory_order_relaxed)) *
+         1e-3;
+}
+
+void LatencyHistogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sumNanos_.store(0, std::memory_order_relaxed);
+  minNanos_.store(-1, std::memory_order_relaxed);
+  maxNanos_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsSnapshot snapshot() {
+  MetricsSnapshot snap;
+  auto& store = MetricsStore::instance();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  for (const auto& [name, c] : store.counters) {
+    if (c->value() != 0) snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, h] : store.histograms) {
+    if (h->count() == 0) continue;
+    HistogramStats stats;
+    stats.name = name;
+    stats.count = h->count();
+    stats.sumUs = h->sumMicros();
+    stats.minUs = h->minMicros();
+    stats.maxUs = h->maxMicros();
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      if (h->bucket(i) != 0) {
+        stats.buckets.emplace_back(static_cast<double>(1ul << (i + 1)),
+                                   h->bucket(i));
+      }
+    }
+    snap.histograms.push_back(std::move(stats));
+  }
+  for (const auto& [name, value] : store.tags) {
+    snap.tags.emplace_back(name, value);
+  }
+  return snap;
+}
+
+std::string snapshotJson() {
+  const MetricsSnapshot snap = snapshot();
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i ? ",\n    \"" : "\n    \"";
+    appendJsonEscaped(out, snap.counters[i].first.c_str());
+    out += "\": " + std::to_string(snap.counters[i].second);
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"tags\": {";
+  for (std::size_t i = 0; i < snap.tags.size(); ++i) {
+    out += i ? ",\n    \"" : "\n    \"";
+    appendJsonEscaped(out, snap.tags[i].first.c_str());
+    out += "\": \"";
+    appendJsonEscaped(out, snap.tags[i].second.c_str());
+    out += "\"";
+  }
+  out += snap.tags.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramStats& h = snap.histograms[i];
+    out += i ? ",\n    \"" : "\n    \"";
+    appendJsonEscaped(out, h.name.c_str());
+    out += "\": {\"count\": " + std::to_string(h.count) + ", \"sum_us\": ";
+    appendNumber(out, h.sumUs);
+    out += ", \"min_us\": ";
+    appendNumber(out, h.minUs);
+    out += ", \"max_us\": ";
+    appendNumber(out, h.maxUs);
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) out += ", ";
+      out += "[";
+      appendNumber(out, h.buckets[b].first);
+      out += ", " + std::to_string(h.buckets[b].second) + "]";
+    }
+    out += "]}";
+  }
+  out += snap.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void resetMetrics() {
+  auto& store = MetricsStore::instance();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  for (auto& [name, c] : store.counters) c->reset();
+  for (auto& [name, h] : store.histograms) h->reset();
+  store.tags.clear();
+}
+
+// --------------------------------------------------------------------------
+// Spans
+
+Span::Span(const char* name, const char* argKey, long argValue)
+    : name_(name),
+      argKey_(argKey),
+      argValue_(argValue),
+      startUs_(traceEnabled() ? nowMicros() : -1.0) {}
+
+Span::~Span() {
+  if (startUs_ < 0.0) return;
+  TraceEvent e;
+  e.name = name_;
+  e.argKey = argKey_;
+  e.argValue = argValue_;
+  e.tsUs = startUs_;
+  e.durUs = nowMicros() - startUs_;
+  ThreadBuffer& buffer = threadBuffer();
+  e.tid = buffer.tid;
+  buffer.push(e);
+}
+
+namespace {
+
+void collectEvents(std::vector<TraceEvent>& out) {
+  auto& reg = TraceRegistry::instance();
+  std::lock_guard<std::mutex> regLock(reg.mutex);
+  out = reg.retired;
+  for (ThreadBuffer* buffer : reg.live) {
+    std::lock_guard<std::mutex> bufLock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+}
+
+}  // namespace
+
+std::string traceJson() {
+  std::vector<TraceEvent> events;
+  collectEvents(events);
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += i ? ",\n  " : "\n  ";
+    out += "{\"name\": \"";
+    appendJsonEscaped(out, e.name);
+    out += "\", \"cat\": \"pcnn\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           std::to_string(e.tid) + ", \"ts\": ";
+    appendNumber(out, e.tsUs);
+    out += ", \"dur\": ";
+    appendNumber(out, e.durUs);
+    if (e.argKey) {
+      out += ", \"args\": {\"";
+      appendJsonEscaped(out, e.argKey);
+      out += "\": " + std::to_string(e.argValue) + "}";
+    }
+    out += "}";
+  }
+  out += events.empty() ? "]" : "\n]";
+  const long dropped =
+      TraceRegistry::instance().dropped.load(std::memory_order_relaxed);
+  out += ", \"displayTimeUnit\": \"ms\"";
+  if (dropped > 0) {
+    out += ", \"pcnnDroppedEvents\": " + std::to_string(dropped);
+  }
+  out += "}\n";
+  return out;
+}
+
+long traceEventCount() {
+  std::vector<TraceEvent> events;
+  collectEvents(events);
+  return static_cast<long>(events.size());
+}
+
+void clearTrace() {
+  auto& reg = TraceRegistry::instance();
+  std::lock_guard<std::mutex> regLock(reg.mutex);
+  reg.retired.clear();
+  for (ThreadBuffer* buffer : reg.live) {
+    std::lock_guard<std::mutex> bufLock(buffer->mutex);
+    buffer->events.clear();
+  }
+  reg.dropped.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------------------
+// Export
+
+bool writeTrace(const std::string& path) {
+  return writeStringToFile(path, traceJson());
+}
+
+bool writeMetrics(const std::string& path) {
+  return writeStringToFile(path, snapshotJson());
+}
+
+void writeConfiguredReports() {
+  const std::string trace = configuredTracePath();
+  const std::string metrics = configuredMetricsPath();
+  if (!trace.empty()) writeTrace(trace);
+  if (!metrics.empty()) writeMetrics(metrics);
+}
+
+}  // namespace pcnn::obs

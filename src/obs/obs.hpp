@@ -1,0 +1,243 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcnn::obs {
+
+/// Pipeline-wide observability layer: scoped trace spans (Chrome
+/// trace_event JSON), counters, latency histograms, and string tags,
+/// shared by every subsystem so all perf work reports against the same
+/// instruments.
+///
+/// Gating, designed so instrumentation can live permanently in hot paths:
+///  - compile time: configuring with -DPCNN_OBS=OFF defines
+///    PCNN_OBS_DISABLED for the whole tree; the macros expand to nothing
+///    and the inline fast paths fold to constants. The library still
+///    links, snapshot() is empty, every call is a no-op.
+///  - runtime: PCNN_TRACE=<path> turns on span recording (exported to
+///    <path> at exit), PCNN_METRICS=<path|stderr> turns on counters and
+///    histograms (snapshot written at exit). PCNN_OBS=off is a master
+///    kill switch overriding both. With neither variable set, the entire
+///    layer costs one relaxed atomic load + predictable branch per
+///    instrumentation site -- no clock reads, no stores.
+///
+/// Threading: counters and histograms are lock-free atomics after a
+/// mutex-protected first lookup (hot sites cache the reference in a
+/// function-local static). Spans record into per-thread buffers, so
+/// worker threads never contend; buffers are drained under a registry
+/// lock at export time.
+
+#ifdef PCNN_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+namespace detail {
+/// Runtime switches, inlined into every call site. Relaxed is enough:
+/// observing a toggle late loses at most a few events, never corrupts.
+extern std::atomic<bool> traceOn;
+extern std::atomic<bool> metricsOn;
+}  // namespace detail
+
+inline bool traceEnabled() {
+  return kCompiledIn && detail::traceOn.load(std::memory_order_relaxed);
+}
+inline bool metricsEnabled() {
+  return kCompiledIn && detail::metricsOn.load(std::memory_order_relaxed);
+}
+
+/// Programmatic toggles (tests, benches). Enabling metrics/tracing that
+/// the env did not request does not register an at-exit export.
+void setTraceEnabled(bool on);
+void setMetricsEnabled(bool on);
+
+/// Re-reads PCNN_TRACE / PCNN_METRICS / PCNN_OBS and reconfigures the
+/// switches and export paths. Called once automatically during static
+/// initialization of any binary linking the library; call again after
+/// changing the environment to make the new values take effect.
+void configureFromEnv();
+
+/// Export paths currently configured from the environment ("" = none).
+std::string configuredTracePath();
+std::string configuredMetricsPath();
+
+/// Microseconds since process start (steady clock).
+double nowMicros();
+
+// --------------------------------------------------------------------------
+// Counters
+
+/// A named monotonic counter. add() is safe from any thread and nearly
+/// free while metrics are off.
+class Counter {
+ public:
+  void add(long n = 1) {
+    if (!metricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  long value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> value_{0};
+};
+
+/// Registry lookup (registers on first use). The reference stays valid for
+/// the process lifetime; hot call sites should cache it:
+///   static obs::Counter& c = obs::counter("windows_scanned");
+Counter& counter(const std::string& name);
+
+// --------------------------------------------------------------------------
+// Latency histograms
+
+/// Log2-bucketed latency histogram over microseconds, with count / sum /
+/// min / max. record() is lock-free.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 32;  ///< bucket i: [2^i, 2^(i+1)) us
+
+  void record(double us);
+
+  long count() const { return count_.load(std::memory_order_relaxed); }
+  double sumMicros() const {
+    return static_cast<double>(sumNanos_.load(std::memory_order_relaxed)) *
+           1e-3;
+  }
+  double minMicros() const;
+  double maxMicros() const;
+  long bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<long> count_{0};
+  std::atomic<long long> sumNanos_{0};
+  std::atomic<long long> minNanos_{-1};  ///< -1 = no samples yet
+  std::atomic<long long> maxNanos_{0};
+  std::atomic<long> buckets_[kBuckets] = {};
+};
+
+LatencyHistogram& histogram(const std::string& name);
+
+/// RAII timer recording its scope's wall time into a histogram on
+/// destruction. No clock read while metrics are off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram& h)
+      : hist_(metricsEnabled() ? &h : nullptr),
+        startUs_(hist_ ? nowMicros() : 0.0) {}
+  ~ScopedTimer() {
+    if (hist_) hist_->record(nowMicros() - startUs_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  double startUs_;
+};
+
+// --------------------------------------------------------------------------
+// Tags (string-valued metrics: dispatch path, SIMD level, ...)
+
+void setTag(const std::string& name, const std::string& value);
+
+// --------------------------------------------------------------------------
+// Snapshot
+
+struct HistogramStats {
+  std::string name;
+  long count = 0;
+  double sumUs = 0.0;
+  double minUs = 0.0;
+  double maxUs = 0.0;
+  std::vector<std::pair<double, long>> buckets;  ///< (upper bound us, count)
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, long>> counters;  ///< nonzero only
+  std::vector<HistogramStats> histograms;              ///< nonempty only
+  std::vector<std::pair<std::string, std::string>> tags;
+  bool empty() const {
+    return counters.empty() && histograms.empty() && tags.empty();
+  }
+};
+
+/// Current values of every nonzero counter / nonempty histogram / tag.
+MetricsSnapshot snapshot();
+/// snapshot() rendered as a JSON object.
+std::string snapshotJson();
+/// Zeroes all counters and histograms and clears tags.
+void resetMetrics();
+
+// --------------------------------------------------------------------------
+// Trace spans
+
+/// RAII span. `name` (and `argKey`) must have static storage duration --
+/// pass string literals. Spans may nest freely and may be opened on any
+/// thread; each thread records into its own buffer. When tracing is off
+/// construction reads no clock.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(name, nullptr, 0) {}
+  Span(const char* name, const char* argKey, long argValue);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* argKey_;
+  long argValue_;
+  double startUs_;  ///< < 0 = inactive (tracing was off at entry)
+};
+
+/// All recorded events as Chrome trace_event JSON ("traceEvents" array of
+/// "ph":"X" complete events); loadable in chrome://tracing or Perfetto.
+std::string traceJson();
+/// Number of span events currently buffered across all threads.
+long traceEventCount();
+/// Discards all buffered events.
+void clearTrace();
+
+// --------------------------------------------------------------------------
+// Export
+
+/// Writes traceJson() to `path`. Returns false on I/O failure.
+bool writeTrace(const std::string& path);
+/// Writes snapshotJson() to `path` ("stderr" or "-" writes to stderr).
+bool writeMetrics(const std::string& path);
+/// Writes whatever PCNN_TRACE / PCNN_METRICS requested (no-op when unset).
+/// Also runs automatically at process exit, so ad-hoc runs need no code.
+void writeConfiguredReports();
+
+}  // namespace pcnn::obs
+
+// ---------------------------------------------------------------------------
+// Macros: the only interface hot code should use for spans, so a
+// PCNN_OBS=OFF build removes the objects entirely.
+
+#ifdef PCNN_OBS_DISABLED
+#define PCNN_SPAN(name) \
+  do {                  \
+  } while (0)
+#define PCNN_SPAN_ARG(name, key, value) \
+  do {                                  \
+  } while (0)
+#else
+#define PCNN_OBS_CONCAT2(a, b) a##b
+#define PCNN_OBS_CONCAT(a, b) PCNN_OBS_CONCAT2(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define PCNN_SPAN(name) \
+  ::pcnn::obs::Span PCNN_OBS_CONCAT(pcnnObsSpan_, __LINE__)(name)
+/// Same, attaching one integer argument (shown in the trace viewer).
+#define PCNN_SPAN_ARG(name, key, value)                        \
+  ::pcnn::obs::Span PCNN_OBS_CONCAT(pcnnObsSpan_, __LINE__)(   \
+      name, key, static_cast<long>(value))
+#endif

@@ -1,0 +1,68 @@
+#include "obs/provenance.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+#ifndef PCNN_SOURCE_DIR
+#define PCNN_SOURCE_DIR "."
+#endif
+
+namespace pcnn::obs {
+
+namespace {
+
+std::string envOrUnset(const char* name) {
+  const char* value = std::getenv(name);
+  return value && *value ? value : "unset";
+}
+
+std::string gitShortSha() {
+  // popen rather than a configure-time bake: the SHA tracks the checkout,
+  // not the last cmake run. Failure (no git, not a repo) is expected on
+  // deployed hosts and degrades to "unknown".
+  std::FILE* pipe = ::popen(
+      "git -C \"" PCNN_SOURCE_DIR "\" rev-parse --short HEAD 2>/dev/null",
+      "r");
+  if (!pipe) return "unknown";
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, pipe);
+  ::pclose(pipe);
+  std::string sha(buf, n);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+}  // namespace
+
+Provenance provenance() {
+  Provenance p;
+  p.gitSha = gitShortSha();
+  p.hardwareThreads = std::thread::hardware_concurrency();
+  p.simdEnv = envOrUnset("PCNN_SIMD");
+  p.numThreadsEnv = envOrUnset("PCNN_NUM_THREADS");
+  p.obsBuild = kCompiledIn ? "on" : "off";
+  return p;
+}
+
+std::string provenanceJson(
+    const Provenance& p,
+    const std::vector<std::pair<std::string, std::string>>& extra) {
+  std::string out = "{";
+  out += "\"git_sha\": \"" + p.gitSha + "\"";
+  out += ", \"hardware_threads\": " + std::to_string(p.hardwareThreads);
+  out += ", \"simd_env\": \"" + p.simdEnv + "\"";
+  out += ", \"num_threads_env\": \"" + p.numThreadsEnv + "\"";
+  out += ", \"obs_build\": \"" + p.obsBuild + "\"";
+  for (const auto& [key, value] : extra) {
+    out += ", \"" + key + "\": \"" + value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pcnn::obs

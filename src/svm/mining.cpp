@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace pcnn::svm {
 
 MiningResult trainWithHardNegatives(
@@ -88,9 +90,11 @@ MiningResult trainWithHardNegatives(
 
   MiningResult result;
   for (int round = 0; round < params.rounds; ++round) {
+    PCNN_SPAN_ARG("mining.round", "round", round);
     int minedThisRound = 0;
     for (const vision::Image& scene : negativeScenes) {
       int minedInScene = 0;
+      long windowsInScene = 0;
       vision::forEachWindowOnGrid(
           scene, params.scan, extractor.cellSize(),
           [&extractor](const vision::Image& img) {
@@ -98,6 +102,7 @@ MiningResult trainWithHardNegatives(
           },
           [&](const vision::Image&, const hog::CellGrid& grid, int cx0,
               int cy0, const vision::Rect&, const vision::Rect&) {
+            ++windowsInScene;
             if (minedInScene >= params.maxMinedPerScene) return;
             std::vector<float> f = extractor.windowFromGrid(grid, cx0, cy0);
             if (svm.decision(f) > params.mineThreshold) {
@@ -106,6 +111,14 @@ MiningResult trainWithHardNegatives(
               ++minedInScene;
             }
           });
+      // Mining shares one cached grid per pyramid level exactly like the
+      // detector scan, so its windows count as grid-cache hits too.
+      static obs::Counter& windowsScanned = obs::counter("windows_scanned");
+      static obs::Counter& gridCacheHits = obs::counter("grid_cache_hits");
+      static obs::Counter& mined = obs::counter("mining.hard_negatives");
+      windowsScanned.add(windowsInScene);
+      gridCacheHits.add(windowsInScene);
+      mined.add(minedInScene);
       minedThisRound += minedInScene;
     }
     result.minedNegatives += minedThisRound;

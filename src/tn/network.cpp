@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace pcnn::tn {
 
@@ -50,7 +51,9 @@ void Network::scheduleInput(long tick, int coreIndex, int axon) {
 }
 
 RunResult Network::run(long ticks) {
+  PCNN_SPAN_ARG("tn.run", "ticks", ticks);
   RunResult result;
+  result.coreSpikes.assign(static_cast<std::size_t>(coreCount()), 0);
   for (long step = 0; step < ticks; ++step) {
     // Move due overflow events into the ring.
     for (std::size_t i = 0; i < overflow_.size();) {
@@ -87,6 +90,8 @@ RunResult Network::run(long ticks) {
     for (int c = 0; c < coreCount(); ++c) {
       const auto& fired = firedScratch_[static_cast<std::size_t>(c)];
       result.totalSpikes += static_cast<long>(fired.size());
+      result.coreSpikes[static_cast<std::size_t>(c)] +=
+          static_cast<long>(fired.size());
       for (int n : fired) {
         const NeuronConfig& cfg = cores_[c]->neuron(n);
         if (cfg.recordOutput) {
@@ -106,6 +111,17 @@ RunResult Network::run(long ticks) {
     ++now_;
   }
   result.ticksRun = ticks;
+  // Domain telemetry: spike and tick totals across every simulated network
+  // in the process, so a detect/report run can surface measured activity
+  // next to the analytic Table-2 numbers.
+  static obs::Counter& spikeCounter = obs::counter("tn.spikes");
+  static obs::Counter& tickCounter = obs::counter("tn.ticks");
+  static obs::Counter& coreTickCounter = obs::counter("tn.core_ticks");
+  static obs::Counter& runCounter = obs::counter("tn.runs");
+  spikeCounter.add(result.totalSpikes);
+  tickCounter.add(ticks);
+  coreTickCounter.add(ticks * coreCount());
+  runCounter.add();
   return result;
 }
 

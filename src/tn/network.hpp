@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -14,6 +15,23 @@ struct RunResult {
   std::vector<OutputSpike> outputSpikes;  ///< spikes of record-flagged neurons
   long totalSpikes = 0;                   ///< all spikes fired by all cores
   long ticksRun = 0;
+  /// Spikes fired per core over this run (indexed by core). This is the
+  /// measured activity the event-driven energy model consumes, as opposed
+  /// to the provisioned-core analytic model of Table 2.
+  std::vector<long> coreSpikes;
+
+  /// Merges another run's statistics (outputSpikes are not concatenated;
+  /// this aggregates activity across e.g. one run per extracted cell).
+  void accumulate(const RunResult& other) {
+    totalSpikes += other.totalSpikes;
+    ticksRun += other.ticksRun;
+    if (coreSpikes.size() < other.coreSpikes.size()) {
+      coreSpikes.resize(other.coreSpikes.size(), 0);
+    }
+    for (std::size_t c = 0; c < other.coreSpikes.size(); ++c) {
+      coreSpikes[c] += other.coreSpikes[c];
+    }
+  }
 };
 
 /// A network of neurosynaptic cores with inter-core spike routing.

@@ -1,0 +1,430 @@
+// Observability layer: counter thread safety under the pool, span nesting
+// round-tripped through the Chrome trace JSON it exports, disabled-mode
+// no-op behaviour, and PCNN_TRACE / PCNN_METRICS / PCNN_OBS env gating.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "obs/obs.hpp"
+
+namespace pcnn {
+namespace {
+
+/// Saves and restores the runtime obs switches plus the metric/trace
+/// stores, so each test starts clean and leaves no global residue.
+class ObsStateGuard {
+ public:
+  ObsStateGuard()
+      : traceWas_(obs::traceEnabled()), metricsWas_(obs::metricsEnabled()) {
+    obs::resetMetrics();
+    obs::clearTrace();
+  }
+  ~ObsStateGuard() {
+    obs::resetMetrics();
+    obs::clearTrace();
+    obs::setTraceEnabled(traceWas_);
+    obs::setMetricsEnabled(metricsWas_);
+  }
+
+ private:
+  bool traceWas_;
+  bool metricsWas_;
+};
+
+// --- A minimal JSON reader, enough to parse back what obs exports --------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  /// Parses the whole document; false on any syntax error or trailing
+  /// garbage.
+  bool parse(JsonValue& out) {
+    pos_ = 0;
+    if (!parseValue(out)) return false;
+    skipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseString(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // codepoint value irrelevant to these tests
+            out += '?';
+            break;
+          default:
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parseValue(JsonValue& out) {
+    skipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::kObject;
+      skipWs();
+      if (consume('}')) return true;
+      while (true) {
+        std::string key;
+        JsonValue value;
+        if (!parseString(key) || !consume(':') || !parseValue(value)) {
+          return false;
+        }
+        out.object.emplace_back(std::move(key), std::move(value));
+        if (consume('}')) return true;
+        if (!consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::kArray;
+      skipWs();
+      if (consume(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!parseValue(value)) return false;
+        out.array.push_back(std::move(value));
+        if (consume(']')) return true;
+        if (!consume(',')) return false;
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::kString;
+      return parseString(out.str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.kind = JsonValue::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.kind = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out.kind = JsonValue::kNull;
+      pos_ += 4;
+      return true;
+    }
+    // Number.
+    char* end = nullptr;
+    out.kind = JsonValue::kNumber;
+    out.number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- Counters & histograms ------------------------------------------------
+
+TEST(ObsCounters, ThreadSafeUnderParallelFor) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setMetricsEnabled(true);
+
+  obs::Counter& hits = obs::counter("test.parallel_hits");
+  obs::LatencyHistogram& lat = obs::histogram("test.parallel_us");
+  const long n = 20000;
+  double expectedSum = 0.0;
+  for (long i = 0; i < n; ++i) expectedSum += static_cast<double>(i % 7) + 1.0;
+  setThreadCount(4);
+  parallelFor(0, n, [&](long i) {
+    hits.add();
+    lat.record(static_cast<double>(i % 7) + 1.0);
+  });
+  setThreadCount(1);
+
+  EXPECT_EQ(hits.value(), n);
+  EXPECT_EQ(lat.count(), n);
+  EXPECT_DOUBLE_EQ(lat.minMicros(), 1.0);
+  EXPECT_DOUBLE_EQ(lat.maxMicros(), 7.0);
+  EXPECT_NEAR(lat.sumMicros(), expectedSum, 1.0);
+}
+
+TEST(ObsCounters, SnapshotReportsCountersHistogramsAndTags) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setMetricsEnabled(true);
+
+  obs::counter("test.snapshot_counter").add(42);
+  obs::histogram("test.snapshot_us").record(3.0);
+  obs::setTag("test.tag", "value");
+
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  bool sawCounter = false, sawHist = false, sawTag = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.snapshot_counter") {
+      sawCounter = true;
+      EXPECT_EQ(value, 42);
+    }
+  }
+  for (const auto& hist : snap.histograms) {
+    if (hist.name == "test.snapshot_us") {
+      sawHist = true;
+      EXPECT_EQ(hist.count, 1);
+    }
+  }
+  for (const auto& [name, value] : snap.tags) {
+    if (name == "test.tag") {
+      sawTag = true;
+      EXPECT_EQ(value, "value");
+    }
+  }
+  EXPECT_TRUE(sawCounter);
+  EXPECT_TRUE(sawHist);
+  EXPECT_TRUE(sawTag);
+
+  // The JSON rendering of the same snapshot must parse back.
+  JsonValue doc;
+  EXPECT_TRUE(JsonReader(obs::snapshotJson()).parse(doc));
+  ASSERT_EQ(doc.kind, JsonValue::kObject);
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* counter = counters->find("test.snapshot_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->number, 42.0);
+}
+
+// --- Trace spans ----------------------------------------------------------
+
+TEST(ObsSpans, NestingProducesWellFormedContainedTraceEvents) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setTraceEnabled(true);
+
+  {
+    PCNN_SPAN("test.outer");
+    {
+      PCNN_SPAN_ARG("test.inner", "item", 7);
+      volatile long sink = 0;
+      for (long i = 0; i < 10000; ++i) sink = sink + i;
+    }
+  }
+  EXPECT_EQ(obs::traceEventCount(), 2);
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(obs::traceJson()).parse(doc));
+  ASSERT_EQ(doc.kind, JsonValue::kObject);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+  ASSERT_EQ(events->array.size(), 2u);
+
+  const JsonValue* outer = nullptr;
+  const JsonValue* inner = nullptr;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* name = event.find("name");
+    ASSERT_NE(name, nullptr);
+    const JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->str, "X");  // complete events
+    if (name->str == "test.outer") outer = &event;
+    if (name->str == "test.inner") inner = &event;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+
+  // The inner span's interval must nest inside the outer's.
+  const double outerTs = outer->find("ts")->number;
+  const double outerEnd = outerTs + outer->find("dur")->number;
+  const double innerTs = inner->find("ts")->number;
+  const double innerEnd = innerTs + inner->find("dur")->number;
+  const double slack = 0.01;  // exported at microsecond precision
+  EXPECT_GE(innerTs + slack, outerTs);
+  EXPECT_LE(innerEnd, outerEnd + slack);
+
+  // Both spans ran on this thread, so they share a tid.
+  EXPECT_DOUBLE_EQ(outer->find("tid")->number, inner->find("tid")->number);
+  // The span argument survives the export.
+  const JsonValue* args = inner->find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_NE(args->find("item"), nullptr);
+  EXPECT_DOUBLE_EQ(args->find("item")->number, 7.0);
+}
+
+TEST(ObsSpans, SpansFromPoolThreadsAllExported) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setTraceEnabled(true);
+
+  setThreadCount(4);
+  parallelFor(0, 64, [](long) { PCNN_SPAN("test.pool_span"); });
+  setThreadCount(1);
+
+  // The pool itself emits a "pool.job" span around the parallelFor, so
+  // count only our spans: all 64 must survive the per-thread buffers.
+  EXPECT_GE(obs::traceEventCount(), 64);
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(obs::traceJson()).parse(doc));
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  long poolSpans = 0;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* name = event.find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->str == "test.pool_span") ++poolSpans;
+  }
+  EXPECT_EQ(poolSpans, 64);
+}
+
+// --- Disabled mode --------------------------------------------------------
+
+TEST(ObsDisabled, RecordsNothingAndSnapshotIsEmpty) {
+  ObsStateGuard guard;
+  obs::setTraceEnabled(false);
+  obs::setMetricsEnabled(false);
+
+  obs::counter("test.disabled_counter").add(5);
+  obs::histogram("test.disabled_us").record(1.0);
+  obs::setTag("test.disabled_tag", "x");
+  {
+    PCNN_SPAN("test.disabled_span");
+  }
+
+  EXPECT_TRUE(obs::snapshot().empty());
+  EXPECT_EQ(obs::traceEventCount(), 0);
+
+  // The empty exports are still valid JSON documents.
+  JsonValue metrics;
+  EXPECT_TRUE(JsonReader(obs::snapshotJson()).parse(metrics));
+  JsonValue trace;
+  ASSERT_TRUE(JsonReader(obs::traceJson()).parse(trace));
+  const JsonValue* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array.empty());
+}
+
+// --- Environment gating ---------------------------------------------------
+
+TEST(ObsEnv, GatingRoundTripsThroughConfigureFromEnv) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  const std::string tracePath = testing::TempDir() + "obs_env_trace.json";
+
+  ::setenv("PCNN_TRACE", tracePath.c_str(), 1);
+  ::setenv("PCNN_METRICS", "stderr", 1);
+  ::unsetenv("PCNN_OBS");
+  obs::configureFromEnv();
+  EXPECT_TRUE(obs::traceEnabled());
+  EXPECT_TRUE(obs::metricsEnabled());
+  EXPECT_EQ(obs::configuredTracePath(), tracePath);
+  EXPECT_EQ(obs::configuredMetricsPath(), "stderr");
+
+  // PCNN_OBS=off is a master kill switch over both.
+  ::setenv("PCNN_OBS", "off", 1);
+  obs::configureFromEnv();
+  EXPECT_FALSE(obs::traceEnabled());
+  EXPECT_FALSE(obs::metricsEnabled());
+  EXPECT_EQ(obs::configuredTracePath(), "");
+  EXPECT_EQ(obs::configuredMetricsPath(), "");
+
+  // Clearing the environment turns everything back off cleanly.
+  ::unsetenv("PCNN_TRACE");
+  ::unsetenv("PCNN_METRICS");
+  ::unsetenv("PCNN_OBS");
+  obs::configureFromEnv();
+  EXPECT_FALSE(obs::traceEnabled());
+  EXPECT_FALSE(obs::metricsEnabled());
+  EXPECT_EQ(obs::configuredTracePath(), "");
+  EXPECT_EQ(obs::configuredMetricsPath(), "");
+}
+
+TEST(ObsExport, WriteTraceProducesParsableFile) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setTraceEnabled(true);
+  {
+    PCNN_SPAN("test.file_span");
+  }
+  const std::string path = testing::TempDir() + "obs_write_trace.json";
+  ASSERT_TRUE(obs::writeTrace(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(text).parse(doc));
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->array.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pcnn
