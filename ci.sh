@@ -20,6 +20,17 @@ ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j"$(nproc)"
 PCNN_SIMD=off ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure \
   -j"$(nproc)"
 
+# ASan + UBSan tree over the fast label (PCNN_SANITIZE=ON skippable for
+# quick local iterations: PCNN_SANITIZE=OFF ./ci.sh). The fault-injection
+# and corrupt-file regression tests are in this label on purpose -- they
+# feed the deserializers and the simulator deliberately hostile input, so
+# they run memory- and UB-checked on every CI pass.
+if [[ "${PCNN_SANITIZE:-ON}" == "ON" ]]; then
+  cmake -B "$BUILD_DIR-asan" -S . -DPCNN_WERROR=ON -DPCNN_SANITIZE=ON
+  cmake --build "$BUILD_DIR-asan" -j"$(nproc)"
+  ctest --test-dir "$BUILD_DIR-asan" -L fast --output-on-failure -j"$(nproc)"
+fi
+
 # Observability smoke: a traced detection run must produce valid, non-empty
 # Chrome-trace and metrics JSON with the spans/counters the layer promises,
 # and a run without the env vars must produce no report files at all.
@@ -56,4 +67,4 @@ LEFTOVER="$(find "$OBS_DIR" -name '*.json' ! -name trace.json \
   ! -name metrics.json ! -name tn_metrics.json)"
 test -z "$LEFTOVER" || { echo "unexpected obs output: $LEFTOVER"; exit 1; }
 
-echo "ci.sh: build + tests (incl. scalar-dispatch fast re-run + obs smoke) passed"
+echo "ci.sh: build + tests (incl. scalar-dispatch + sanitizer fast re-runs + obs smoke) passed"

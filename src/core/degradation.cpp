@@ -1,0 +1,60 @@
+#include "core/degradation.hpp"
+
+namespace pcnn::core {
+
+void DegradationReport::addSkip(int level, long windowsLostAtLevel,
+                                Status status) {
+  ++levelsSkipped;
+  windowsLost += windowsLostAtLevel;
+  if (skips.size() < kMaxSkips) {
+    skips.push_back({level, windowsLostAtLevel, std::move(status)});
+  }
+}
+
+void DegradationReport::merge(const DegradationReport& other) {
+  faults.droppedSpikes += other.faults.droppedSpikes;
+  faults.deadCoreDrops += other.faults.deadCoreDrops;
+  faults.stuckOnSpikes += other.faults.stuckOnSpikes;
+  faults.stuckOffSuppressed += other.faults.stuckOffSuppressed;
+  faults.weightFlips += other.faults.weightFlips;
+  levelsSkipped += other.levelsSkipped;
+  windowsLost += other.windowsLost;
+  for (const LevelSkip& skip : other.skips) {
+    if (skips.size() >= kMaxSkips) break;
+    skips.push_back(skip);
+  }
+}
+
+std::string DegradationReport::summary() const {
+  if (!degraded()) return "healthy";
+  std::string out = "degraded:";
+  if (levelsSkipped > 0) {
+    out += ' ';
+    out += std::to_string(levelsSkipped);
+    out += levelsSkipped == 1 ? " level skipped," : " levels skipped,";
+  }
+  if (windowsLost > 0) {
+    out += ' ';
+    out += std::to_string(windowsLost);
+    out += " windows lost,";
+  }
+  out += ' ';
+  out += std::to_string(faults.total());
+  out += " fault events";
+  if (faults.total() > 0) {
+    out += " (drops=";
+    out += std::to_string(faults.droppedSpikes);
+    out += " dead=";
+    out += std::to_string(faults.deadCoreDrops);
+    out += " stuck_on=";
+    out += std::to_string(faults.stuckOnSpikes);
+    out += " stuck_off=";
+    out += std::to_string(faults.stuckOffSuppressed);
+    out += " flips=";
+    out += std::to_string(faults.weightFlips);
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace pcnn::core

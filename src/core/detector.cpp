@@ -16,11 +16,25 @@ struct DetectMetrics {
   obs::Counter& pyramidLevels = obs::counter("pyramid_levels");
   obs::Counter& gridCacheHits = obs::counter("grid_cache_hits");
   obs::Counter& scenes = obs::counter("detect.scenes");
+  obs::Counter& levelsDegraded = obs::counter("detect.level.degraded");
+  obs::Counter& windowsLost = obs::counter("detect.windows_lost");
   static DetectMetrics& instance() {
     static DetectMetrics m;
     return m;
   }
 };
+
+/// Windows a level image would contribute, estimated from its dimensions
+/// (used when the level's grid never materialized).
+long expectedLevelWindows(const vision::Image& image,
+                          const GridDetectorParams& params) {
+  const int cellsX = image.width() / params.cellSize;
+  const int cellsY = image.height() / params.cellSize;
+  const long spanX = cellsX - params.windowCellsX + 1;
+  const long spanY = cellsY - params.windowCellsY + 1;
+  if (spanX <= 0 || spanY <= 0) return 0;
+  return spanX * spanY;
+}
 
 }  // namespace
 
@@ -47,9 +61,17 @@ std::vector<vision::Detection> GridDetector::detectRaw(
 
 std::vector<vision::Detection> GridDetector::detectRaw(
     const vision::Image& scene, float scoreThreshold) const {
+  return detectRaw(scene, scoreThreshold, nullptr);
+}
+
+std::vector<vision::Detection> GridDetector::detectRaw(
+    const vision::Image& scene, float scoreThreshold,
+    DegradationReport* report) const {
   PCNN_SPAN("detect.detectRaw");
   DetectMetrics& metrics = DetectMetrics::instance();
   metrics.scenes.add();
+  const tn::FaultCounts faultsBefore =
+      report != nullptr ? tn::globalFaultCounts() : tn::FaultCounts{};
   std::vector<vision::Detection> detections;
   vision::PyramidParams pp = params_.pyramid;
   pp.minWidth = params_.windowCellsX * params_.cellSize;
@@ -77,16 +99,39 @@ std::vector<vision::Detection> GridDetector::detectRaw(
     // each collecting into its own bucket, and buckets are concatenated in
     // row order afterwards so the output is identical to the sequential
     // scan for any thread count.
+    // A level whose grid cannot be produced -- a backend failure, a
+    // poisoned image, a simulator fault -- degrades the scene rather than
+    // aborting it: the level is skipped, accounted, and the scan goes on.
+    auto skipLevel = [&](Status status) {
+      PCNN_SPAN_ARG("detect.level.degraded", "level", levelIndex);
+      metrics.levelsDegraded.add();
+      const long lost = expectedLevelWindows(level.image, params_);
+      if (lost > 0) metrics.windowsLost.add(lost);
+      if (report != nullptr) {
+        report->addSkip(static_cast<int>(levelIndex), lost, std::move(status));
+      }
+    };
     hog::CellGrid grid;
     {
       PCNN_SPAN("detect.cellGrid");
       obs::ScopedTimer timer(cellGridUs());
-      grid = featureExtractor_->cellGrid(level.image);
+      StatusOr<hog::CellGrid> gridOr =
+          featureExtractor_->tryCellGrid(level.image);
+      if (!gridOr.ok()) {
+        skipLevel(gridOr.status());
+        continue;
+      }
+      grid = std::move(gridOr).value();
     }
     hog::BlockGrid blocks;
     if (blockPath) {
       PCNN_SPAN("detect.blockGrid");
-      blocks = featureExtractor_->prepareBlocks(grid);
+      try {
+        blocks = featureExtractor_->prepareBlocks(grid);
+      } catch (const std::exception& e) {
+        skipLevel(Status::Internal(std::string("prepareBlocks: ") + e.what()));
+        continue;
+      }
     }
     const int maxCy = grid.cellsY - params_.windowCellsY;
     const int maxCx = grid.cellsX - params_.windowCellsX;
@@ -100,16 +145,28 @@ std::vector<vision::Detection> GridDetector::detectRaw(
     PCNN_SPAN_ARG("detect.scan", "windows", levelWindows);
     std::vector<std::vector<vision::Detection>> rows(
         static_cast<std::size_t>(maxCy) + 1);
+    // Per-row loss tallies: rows are scanned concurrently, so each row
+    // counts its own dropped windows and the tallies are summed after the
+    // barrier -- deterministic for any thread count.
+    std::vector<long> rowWindowsLost(static_cast<std::size_t>(maxCy) + 1, 0);
     auto scanRow = [&](long cy) {
       std::vector<vision::Detection>& row =
           rows[static_cast<std::size_t>(cy)];
       for (int cx = 0; cx <= maxCx; ++cx) {
-        const std::vector<float> features =
-            blockPath ? featureExtractor_->windowFromBlocks(
-                            blocks, cx, static_cast<int>(cy))
-                      : featureExtractor_->windowFromGrid(
-                            grid, cx, static_cast<int>(cy));
-        const float score = scorer_(features);
+        float score;
+        try {
+          const std::vector<float> features =
+              blockPath ? featureExtractor_->windowFromBlocks(
+                              blocks, cx, static_cast<int>(cy))
+                        : featureExtractor_->windowFromGrid(
+                              grid, cx, static_cast<int>(cy));
+          score = scorer_(features);
+        } catch (const std::exception&) {
+          // One window's feature assembly or scoring failing loses that
+          // window only; the rest of the row keeps scanning.
+          ++rowWindowsLost[static_cast<std::size_t>(cy)];
+          continue;
+        }
         if (score < scoreThreshold) continue;
         vision::Detection det;
         det.score = score;
@@ -134,6 +191,15 @@ std::vector<vision::Detection> GridDetector::detectRaw(
     for (const auto& row : rows) {
       detections.insert(detections.end(), row.begin(), row.end());
     }
+    long levelWindowsLost = 0;
+    for (long lost : rowWindowsLost) levelWindowsLost += lost;
+    if (levelWindowsLost > 0) {
+      metrics.windowsLost.add(levelWindowsLost);
+      if (report != nullptr) report->windowsLost += levelWindowsLost;
+    }
+  }
+  if (report != nullptr) {
+    report->faults = tn::globalFaultCounts() - faultsBefore;
   }
   return detections;
 }
@@ -145,7 +211,14 @@ std::vector<vision::Detection> GridDetector::detect(
 
 std::vector<vision::Detection> GridDetector::detect(
     const vision::Image& scene, float scoreThreshold) const {
-  std::vector<vision::Detection> raw = detectRaw(scene, scoreThreshold);
+  return detect(scene, scoreThreshold, nullptr);
+}
+
+std::vector<vision::Detection> GridDetector::detect(
+    const vision::Image& scene, float scoreThreshold,
+    DegradationReport* report) const {
+  std::vector<vision::Detection> raw =
+      detectRaw(scene, scoreThreshold, report);
   PCNN_SPAN_ARG("detect.nms", "candidates", raw.size());
   return vision::nonMaximumSuppression(std::move(raw), params_.nmsEpsilon);
 }

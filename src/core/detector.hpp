@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/degradation.hpp"
 #include "extract/extractor.hpp"
 #include "obs/obs.hpp"
 #include "hog/hog.hpp"
@@ -57,10 +58,23 @@ class GridDetector {
   std::vector<vision::Detection> detect(const vision::Image& scene,
                                         float scoreThreshold) const;
 
+  /// Same, additionally filling `report` with what the scan had to give
+  /// up: a pyramid level whose grid the extractor cannot produce is
+  /// skipped (emitting a "detect.level.degraded" span and counter) instead
+  /// of aborting the scene, individual windows whose feature assembly or
+  /// scoring throws are dropped, and simulator fault activity during the
+  /// call is attributed. `report` may be null.
+  std::vector<vision::Detection> detect(const vision::Image& scene,
+                                        float scoreThreshold,
+                                        DegradationReport* report) const;
+
   /// Same but without NMS (for threshold sweeps in the evaluation).
   std::vector<vision::Detection> detectRaw(const vision::Image& scene) const;
   std::vector<vision::Detection> detectRaw(const vision::Image& scene,
                                            float scoreThreshold) const;
+  std::vector<vision::Detection> detectRaw(const vision::Image& scene,
+                                           float scoreThreshold,
+                                           DegradationReport* report) const;
 
   const GridDetectorParams& params() const { return params_; }
 

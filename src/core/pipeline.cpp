@@ -1,9 +1,11 @@
 #include "core/pipeline.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "tn/faults.hpp"
 
 namespace pcnn::core {
 
@@ -60,6 +62,57 @@ double PartitionedPipeline::evalAccuracy(
     if (predicted == (labels[i] > 0 ? 1 : -1)) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(windows.size());
+}
+
+std::vector<float> PartitionedPipeline::scoreAllDegraded(
+    const std::vector<vision::Image>& windows,
+    DegradationReport* report) const {
+  PCNN_SPAN_ARG("pipeline.scoreAllDegraded", "windows", windows.size());
+  const tn::FaultCounts faultsBefore =
+      report != nullptr ? tn::globalFaultCounts() : tn::FaultCounts{};
+  constexpr float kLost = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> scores(windows.size(), kLost);
+  long lost = 0;
+  bool batchOk = false;
+  try {
+    const auto features = featureExtractor_->batchFeatures(windows);
+    if (features.size() == windows.size()) {
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        scores[i] = classifier_->score(features[i]);
+      }
+      batchOk = true;
+    }
+  } catch (const std::exception&) {
+    // Fall through to the per-window path below.
+  }
+  if (!batchOk) {
+    // The batch path failed somewhere; re-run window by window so only the
+    // windows that actually fail are lost. Sequential on purpose: the
+    // extractor may be stateful, and the fallback is the degraded path.
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      StatusOr<std::vector<float>> featuresOr =
+          featureExtractor_->tryWindowFeatures(windows[i]);
+      if (!featuresOr.ok()) {
+        ++lost;
+        continue;
+      }
+      try {
+        scores[i] = classifier_->score(*featuresOr);
+      } catch (const std::exception&) {
+        ++lost;
+      }
+    }
+  }
+  if (lost > 0) {
+    static obs::Counter& lostWindows =
+        obs::counter("pipeline.windows_lost");
+    lostWindows.add(lost);
+  }
+  if (report != nullptr) {
+    report->windowsLost += lost;
+    report->faults = tn::globalFaultCounts() - faultsBefore;
+  }
+  return scores;
 }
 
 parrot::ParrotHog trainParrotStage(const parrot::ParrotConfig& config,

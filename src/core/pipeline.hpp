@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/degradation.hpp"
 #include "eedn/classifier.hpp"
 #include "extract/extractor.hpp"
 #include "parrot/parrot.hpp"
@@ -63,6 +64,17 @@ class PartitionedPipeline {
   }
   double evalAccuracy(const std::vector<vision::Image>& windows,
                       const std::vector<int>& labels) const;
+
+  /// Graceful whole-batch scoring: tries the extractor's native batch path
+  /// first, and if anything in it fails, falls back to scoring windows one
+  /// by one so a single poisoned window (or a simulator fault mid-batch)
+  /// loses only itself. A lost window scores quiet NaN at its position --
+  /// the output always has windows.size() entries in input order. When
+  /// `report` is non-null it receives the lost-window count and the
+  /// simulator fault activity observed during the call.
+  std::vector<float> scoreAllDegraded(
+      const std::vector<vision::Image>& windows,
+      DegradationReport* report = nullptr) const;
 
   std::vector<float> features(const vision::Image& window) const {
     return featureExtractor_->windowFeatures(window);

@@ -1,5 +1,6 @@
 #include "eedn/serialize.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -20,19 +21,30 @@ void saveTrinary(const TrinaryDense& layer, std::ostream& out) {
   out << '\n';
 }
 
-void loadTrinary(TrinaryDense& layer, std::istream& in) {
+Status loadTrinary(TrinaryDense& layer, std::istream& in) {
   std::string tag;
   int inSize = 0, outSize = 0;
   if (!(in >> tag >> inSize >> outSize) || tag != "TrinaryDense" ||
       inSize != layer.inputSize() || outSize != layer.outputSize()) {
-    throw std::runtime_error("loadNetwork: TrinaryDense shape mismatch");
+    return Status::DataLoss("loadNetwork: TrinaryDense shape mismatch");
   }
   for (float& w : layer.hiddenWeights()) {
-    if (!(in >> w)) throw std::runtime_error("loadNetwork: truncated weights");
+    if (!(in >> w)) {
+      return Status::DataLoss("loadNetwork: truncated weights");
+    }
+    if (!std::isfinite(w)) {
+      return Status::OutOfRange("loadNetwork: non-finite weight");
+    }
   }
   for (float& b : layer.biases()) {
-    if (!(in >> b)) throw std::runtime_error("loadNetwork: truncated biases");
+    if (!(in >> b)) {
+      return Status::DataLoss("loadNetwork: truncated biases");
+    }
+    if (!std::isfinite(b)) {
+      return Status::OutOfRange("loadNetwork: non-finite bias");
+    }
   }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -62,26 +74,29 @@ void saveNetwork(const nn::Sequential& net, std::ostream& out) {
   if (!out) throw std::runtime_error("saveNetwork: write failure");
 }
 
-void loadNetwork(nn::Sequential& net, std::istream& in) {
+Status tryLoadNetwork(nn::Sequential& net, std::istream& in) {
   std::string magic;
   std::size_t layerCount = 0;
   if (!(in >> magic >> layerCount) || magic != "pcnn-eedn-v1" ||
       layerCount != net.layerCount()) {
-    throw std::runtime_error("loadNetwork: bad header or layer count");
+    return Status::DataLoss("loadNetwork: bad header or layer count");
   }
   for (std::size_t i = 0; i < net.layerCount(); ++i) {
     nn::Layer& layer = net.layer(i);
     if (auto* td = dynamic_cast<TrinaryDense*>(&layer)) {
-      loadTrinary(*td, in);
+      if (Status status = loadTrinary(*td, in); !status.ok()) return status;
     } else if (auto* pd = dynamic_cast<PartitionedDense*>(&layer)) {
       std::string tag;
       int groups = 0;
       if (!(in >> tag >> groups) || tag != "PartitionedDense" ||
           groups != pd->groupCount()) {
-        throw std::runtime_error("loadNetwork: PartitionedDense mismatch");
+        return Status::DataLoss("loadNetwork: PartitionedDense mismatch");
       }
       for (int g = 0; g < groups; ++g) {
-        loadTrinary(pd->mutableGroupLayer(g), in);
+        if (Status status = loadTrinary(pd->mutableGroupLayer(g), in);
+            !status.ok()) {
+          return status;
+        }
       }
     } else if (dynamic_cast<SpikingThreshold*>(&layer) != nullptr) {
       std::string tag;
@@ -89,12 +104,19 @@ void loadNetwork(nn::Sequential& net, std::istream& in) {
       float width = 0.0f;
       if (!(in >> tag >> size >> width) || tag != "SpikingThreshold" ||
           size != layer.inputSize()) {
-        throw std::runtime_error("loadNetwork: SpikingThreshold mismatch");
+        return Status::DataLoss("loadNetwork: SpikingThreshold mismatch");
       }
     } else {
-      throw std::invalid_argument(
+      return Status::InvalidArgument(
           "loadNetwork: unsupported layer type in Eedn network");
     }
+  }
+  return Status::Ok();
+}
+
+void loadNetwork(nn::Sequential& net, std::istream& in) {
+  if (Status status = tryLoadNetwork(net, in); !status.ok()) {
+    throw std::runtime_error(status.toString());
   }
 }
 
@@ -104,10 +126,18 @@ void saveNetworkFile(const nn::Sequential& net, const std::string& path) {
   saveNetwork(net, out);
 }
 
-void loadNetworkFile(nn::Sequential& net, const std::string& path) {
+Status tryLoadNetworkFile(nn::Sequential& net, const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("loadNetworkFile: cannot open " + path);
-  loadNetwork(net, in);
+  if (!in) {
+    return Status::Unavailable("loadNetworkFile: cannot open " + path);
+  }
+  return tryLoadNetwork(net, in);
+}
+
+void loadNetworkFile(nn::Sequential& net, const std::string& path) {
+  if (Status status = tryLoadNetworkFile(net, path); !status.ok()) {
+    throw std::runtime_error(status.toString());
+  }
 }
 
 }  // namespace pcnn::eedn

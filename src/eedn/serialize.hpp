@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hpp"
 #include "nn/sequential.hpp"
 
 namespace pcnn::eedn {
@@ -18,10 +19,23 @@ namespace pcnn::eedn {
 /// can resume after a round trip, not just the trinarized deployment
 /// values.
 void saveNetwork(const nn::Sequential& net, std::ostream& out);
+
+/// Bounds-checked load into a pre-built network: every layer tag, shape
+/// and group count is validated against the target structure, truncation
+/// yields kDataLoss and a non-finite stored weight yields kOutOfRange.
+/// On failure the network may be partially overwritten (layers parsed
+/// before the error keep the loaded values) -- reload or rebuild before
+/// using it.
+Status tryLoadNetwork(nn::Sequential& net, std::istream& in);
+
+/// Legacy wrapper over tryLoadNetwork; throws std::runtime_error carrying
+/// the status text on any failure.
 void loadNetwork(nn::Sequential& net, std::istream& in);
 
-/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+/// Convenience file wrappers. tryLoadNetworkFile reports an unopenable
+/// path as kUnavailable; the legacy forms throw std::runtime_error.
 void saveNetworkFile(const nn::Sequential& net, const std::string& path);
+Status tryLoadNetworkFile(nn::Sequential& net, const std::string& path);
 void loadNetworkFile(nn::Sequential& net, const std::string& path);
 
 }  // namespace pcnn::eedn

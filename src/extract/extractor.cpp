@@ -113,6 +113,73 @@ std::vector<float> FeatureExtractor::windowFeatures(
   return windowFromGrid(cellGrid(window), 0, 0);
 }
 
+namespace {
+
+/// Maps an escaping exception to the closest StatusCode; backends signal
+/// caller errors with std::invalid_argument / std::out_of_range and
+/// anything else (including simulator faults) lands in kInternal.
+Status statusFromException(const std::string& where) {
+  try {
+    throw;  // rethrow the in-flight exception
+  } catch (const std::invalid_argument& e) {
+    return Status::InvalidArgument(where + ": " + e.what());
+  } catch (const std::out_of_range& e) {
+    return Status::OutOfRange(where + ": " + e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(where + ": " + e.what());
+  } catch (...) {
+    return Status::Internal(where + ": unknown exception");
+  }
+}
+
+obs::Counter& extractFailures() {
+  static obs::Counter& failures = obs::counter("extract.failures");
+  return failures;
+}
+
+}  // namespace
+
+StatusOr<hog::CellGrid> FeatureExtractor::tryCellGrid(
+    const vision::Image& image) {
+  if (image.empty()) {
+    extractFailures().add();
+    return Status::InvalidArgument("tryCellGrid(" + name_ + "): empty image");
+  }
+  if (image.width() < cellSize_ || image.height() < cellSize_) {
+    extractFailures().add();
+    return Status::InvalidArgument(
+        "tryCellGrid(" + name_ + "): image " + std::to_string(image.width()) +
+        "x" + std::to_string(image.height()) + " smaller than one " +
+        std::to_string(cellSize_) + "px cell");
+  }
+  try {
+    return cellGrid(image);
+  } catch (...) {
+    extractFailures().add();
+    return statusFromException("tryCellGrid(" + name_ + ")");
+  }
+}
+
+StatusOr<std::vector<float>> FeatureExtractor::tryWindowFeatures(
+    const vision::Image& window) {
+  if (window.width() < windowCellsX_ * cellSize_ ||
+      window.height() < windowCellsY_ * cellSize_) {
+    extractFailures().add();
+    return Status::InvalidArgument(
+        "tryWindowFeatures(" + name_ + "): window " +
+        std::to_string(window.width()) + "x" +
+        std::to_string(window.height()) + " smaller than the " +
+        std::to_string(windowCellsX_ * cellSize_) + "x" +
+        std::to_string(windowCellsY_ * cellSize_) + " detection window");
+  }
+  try {
+    return windowFeatures(window);
+  } catch (...) {
+    extractFailures().add();
+    return statusFromException("tryWindowFeatures(" + name_ + ")");
+  }
+}
+
 std::vector<std::vector<float>> FeatureExtractor::batchFeatures(
     const std::vector<vision::Image>& windows) {
   BatchScope scope(*this, windows.size());

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "hog/hog.hpp"
 #include "obs/obs.hpp"
 #include "power/power.hpp"
@@ -83,6 +84,17 @@ class FeatureExtractor {
   /// Per-cell histogram grid of a whole (pyramid-level) image. Computed
   /// once per level and sliced by every window over it.
   virtual hog::CellGrid cellGrid(const vision::Image& image) = 0;
+
+  /// Graceful variant of cellGrid: validates the input and converts any
+  /// backend failure (a poisoned level image, a simulator fault taking the
+  /// cell computation down) into a typed Status instead of an exception,
+  /// so consumers like GridDetector can skip the level and keep the scene.
+  /// Failures count into the "extract.failures" obs counter. The failure
+  /// unit is one grid -- i.e. every cell of one pyramid level.
+  StatusOr<hog::CellGrid> tryCellGrid(const vision::Image& image);
+
+  /// Graceful variant of windowFeatures with the same contract.
+  StatusOr<std::vector<float>> tryWindowFeatures(const vision::Image& window);
 
   /// Features of the window whose top-left cell is (cx0, cy0), sliced out
   /// of a cached grid. Bitwise-identical to extracting the same window's

@@ -26,9 +26,31 @@ int parseSpikes(const std::string& variant) {
   return digits.empty() ? -1 : value;
 }
 
+/// The spec grammar of the built-in backends, appended to every rejection
+/// so a typo'd CLI flag tells the user what would have been accepted.
+const char* specGrammar() {
+  return "known specs: hog, fixedpoint, napprox[:fp|:<N>spike], "
+         "parrot[:exact|:<N>spike], with N a power of two in 1..64 "
+         "(e.g. \"parrot:32spike\")";
+}
+
 [[noreturn]] void badVariant(const std::string& spec) {
   throw std::invalid_argument("ExtractorRegistry: unknown variant in \"" +
-                              spec + "\"");
+                              spec + "\"; " + specGrammar());
+}
+
+/// Every spike-coded deployment in the paper uses a power-of-two window
+/// (Table 2: 64/32/4/1; Fig. 6: 32..1), and the corelet builders assume
+/// one -- so "parrot:9spike" is a malformed spec, not a new operating
+/// point.
+void checkSpikeCount(const std::string& spec, int spikes) {
+  const bool powerOfTwo = spikes > 0 && (spikes & (spikes - 1)) == 0;
+  if (!powerOfTwo || spikes > 64) {
+    throw std::invalid_argument(
+        "ExtractorRegistry: spike count " + std::to_string(spikes) +
+        " in \"" + spec + "\" must be a power of two in 1..64; " +
+        specGrammar());
+  }
 }
 
 }  // namespace
@@ -68,6 +90,7 @@ ExtractorRegistry::ExtractorRegistry() {
     }
     const int spikes = parseSpikes(variant);
     if (spikes <= 0) badVariant(spec);
+    checkSpikeCount(spec, spikes);
     napprox::QuantizedParams quant;
     quant.spikeWindow = spikes;
     return std::make_shared<QuantizedNApproxBackend>(
@@ -84,6 +107,7 @@ ExtractorRegistry::ExtractorRegistry() {
     } else {
       const int spikes = parseSpikes(variant);
       if (spikes <= 0) badVariant(spec);
+      checkSpikeCount(spec, spikes);
       config.inputSpikes = spikes;
     }
     return std::make_shared<ParrotBackend>(spec, options.layout, config,
@@ -115,10 +139,27 @@ std::shared_ptr<FeatureExtractor> ExtractorRegistry::create(
       colon == std::string::npos ? "" : spec.substr(colon + 1);
   const auto it = factories_.find(base);
   if (it == factories_.end()) {
+    std::string registered;
+    for (const auto& [name, factory] : factories_) {
+      if (!registered.empty()) registered += ", ";
+      registered += name;
+    }
     throw std::invalid_argument("ExtractorRegistry: unknown extractor \"" +
-                                base + "\"");
+                                base + "\" (registered: " + registered +
+                                "); " + specGrammar());
   }
   return it->second(spec, variant, options);
+}
+
+StatusOr<std::shared_ptr<FeatureExtractor>> ExtractorRegistry::tryCreate(
+    const std::string& spec, const ExtractorOptions& options) const {
+  try {
+    return create(spec, options);
+  } catch (const std::invalid_argument& e) {
+    return Status::InvalidArgument(e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ExtractorRegistry: ") + e.what());
+  }
 }
 
 std::shared_ptr<FeatureExtractor> makeExtractor(const std::string& spec,

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "extract/extractor.hpp"
 
 namespace pcnn::extract {
@@ -56,6 +57,15 @@ class ExtractorRegistry {
   /// Constructs an extractor from a spec string. Throws
   /// std::invalid_argument for unknown base names or variants.
   std::shared_ptr<FeatureExtractor> create(
+      const std::string& spec, const ExtractorOptions& options = {}) const;
+
+  /// Graceful variant of create: a malformed spec ("parrot:9spike" -- the
+  /// spike count must be a power of two -- or an unknown base) yields
+  /// kInvalidArgument whose message names the offending spec, lists the
+  /// registered backends and spells out the accepted grammar, instead of
+  /// an exception. Spec strings often arrive from CLI flags and config
+  /// files, so this is the validation point for untrusted input.
+  StatusOr<std::shared_ptr<FeatureExtractor>> tryCreate(
       const std::string& spec, const ExtractorOptions& options = {}) const;
 
  private:

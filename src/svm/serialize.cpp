@@ -20,25 +20,48 @@ void saveModel(const LinearSvm& model, std::ostream& out) {
   if (!out) throw std::runtime_error("saveModel: write failure");
 }
 
-LinearSvm loadModel(std::istream& in) {
+namespace {
+
+/// The largest weight vector a model file may declare. Far beyond any real
+/// descriptor (the block-norm HoG window is 3780 doubles) but small enough
+/// that a corrupt dimension field cannot force an absurd allocation.
+constexpr std::size_t kMaxModelDim = std::size_t{1} << 26;
+
+}  // namespace
+
+StatusOr<LinearSvm> tryLoadModel(std::istream& in) {
   std::string magic;
   std::size_t dim = 0;
   if (!(in >> magic >> dim) || magic != "pcnn-svm-v1") {
-    throw std::runtime_error("loadModel: bad header");
+    return Status::DataLoss("loadModel: bad header (expected pcnn-svm-v1)");
+  }
+  if (dim == 0 || dim > kMaxModelDim) {
+    return Status::OutOfRange("loadModel: weight dimension " +
+                              std::to_string(dim) + " outside 1.." +
+                              std::to_string(kMaxModelDim));
   }
   SvmParams params;
   if (!(in >> params.C >> params.biasScale)) {
-    throw std::runtime_error("loadModel: bad params");
+    return Status::DataLoss("loadModel: bad params");
   }
   double bias = 0.0;
-  if (!(in >> bias)) throw std::runtime_error("loadModel: bad bias");
+  if (!(in >> bias)) return Status::DataLoss("loadModel: bad bias");
   std::vector<double> weights(dim);
   for (double& w : weights) {
-    if (!(in >> w)) throw std::runtime_error("loadModel: truncated weights");
+    if (!(in >> w)) {
+      return Status::DataLoss("loadModel: truncated weights (expected " +
+                              std::to_string(dim) + ")");
+    }
   }
   LinearSvm model(params);
   model.setModel(std::move(weights), bias);
   return model;
+}
+
+LinearSvm loadModel(std::istream& in) {
+  StatusOr<LinearSvm> loaded = tryLoadModel(in);
+  if (!loaded.ok()) throw std::runtime_error(loaded.status().toString());
+  return std::move(loaded).value();
 }
 
 void saveModelFile(const LinearSvm& model, const std::string& path) {
@@ -47,10 +70,18 @@ void saveModelFile(const LinearSvm& model, const std::string& path) {
   saveModel(model, out);
 }
 
-LinearSvm loadModelFile(const std::string& path) {
+StatusOr<LinearSvm> tryLoadModelFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("loadModelFile: cannot open " + path);
-  return loadModel(in);
+  if (!in) {
+    return Status::Unavailable("loadModelFile: cannot open " + path);
+  }
+  return tryLoadModel(in);
+}
+
+LinearSvm loadModelFile(const std::string& path) {
+  StatusOr<LinearSvm> loaded = tryLoadModelFile(path);
+  if (!loaded.ok()) throw std::runtime_error(loaded.status().toString());
+  return std::move(loaded).value();
 }
 
 }  // namespace pcnn::svm

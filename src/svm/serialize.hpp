@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hpp"
 #include "svm/linear_svm.hpp"
 
 namespace pcnn::svm {
@@ -11,10 +12,21 @@ namespace pcnn::svm {
 /// training parameters are stored for provenance but a loaded model is
 /// inference-only until retrained.
 void saveModel(const LinearSvm& model, std::ostream& out);
+
+/// Bounds-checked load: a corrupt stream yields kDataLoss, and a header
+/// declaring an implausibly large weight vector yields kOutOfRange before
+/// anything is allocated (a damaged dimension field would otherwise
+/// request an arbitrary allocation).
+StatusOr<LinearSvm> tryLoadModel(std::istream& in);
+
+/// Legacy wrapper over tryLoadModel; throws std::runtime_error carrying
+/// the status text on any failure.
 LinearSvm loadModel(std::istream& in);
 
-/// File wrappers; throw std::runtime_error on I/O failure.
+/// File wrappers. tryLoadModelFile reports an unopenable path as
+/// kUnavailable; the legacy forms throw std::runtime_error.
 void saveModelFile(const LinearSvm& model, const std::string& path);
+StatusOr<LinearSvm> tryLoadModelFile(const std::string& path);
 LinearSvm loadModelFile(const std::string& path);
 
 }  // namespace pcnn::svm

@@ -1,0 +1,344 @@
+#include "tn/faults.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/obs.hpp"
+#include "tn/network.hpp"
+
+namespace pcnn::tn {
+
+namespace {
+
+/// Process-wide fault tallies (always on; see FaultCounts doc).
+std::atomic<long> gDropped{0};
+std::atomic<long> gDeadDrops{0};
+std::atomic<long> gStuckOn{0};
+std::atomic<long> gStuckOff{0};
+std::atomic<long> gFlips{0};
+
+/// Stream-separation constants so the selection, flip, and drop RNGs never
+/// correlate even though they share plan.seed.
+constexpr std::uint64_t kSelectStream = 0xdeadc0de5e1ec7ULL;
+constexpr std::uint64_t kDropStream = 0xd50bab1e57a7e5ULL;
+constexpr std::uint64_t kFlipStream = 0xb17f11b5f1a6edULL;
+
+bool parseDouble(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+bool parseNonNegativeLong(const std::string& text, long long& out) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  char* end = nullptr;
+  out = std::strtoll(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size();
+}
+
+std::string formatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultPlan::toString() const {
+  std::string out;
+  auto append = [&out](const std::string& piece) {
+    if (!out.empty()) out += ',';
+    out += piece;
+  };
+  if (spikeDropProb > 0.0) append("drop=" + formatDouble(spikeDropProb));
+  if (deadCores > 0) append("dead_cores=" + std::to_string(deadCores));
+  if (stuckOnNeurons > 0) append("stuck_on=" + std::to_string(stuckOnNeurons));
+  if (stuckOffNeurons > 0) {
+    append("stuck_off=" + std::to_string(stuckOffNeurons));
+  }
+  if (weightFlipProb > 0.0) {
+    append("weight_flip=" + formatDouble(weightFlipProb));
+  }
+  append("seed=" + std::to_string(seed));
+  return out;
+}
+
+StatusOr<FaultPlan> parseFaultPlan(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) {
+    return Status::InvalidArgument("parseFaultPlan: empty spec");
+  }
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          "parseFaultPlan: token \"" + token +
+          "\" is not key=value (keys: drop, dead_cores, stuck_on, "
+          "stuck_off, weight_flip, seed)");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "drop" || key == "weight_flip") {
+      double p = 0.0;
+      if (!parseDouble(value, p) || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("parseFaultPlan: " + key + "=\"" +
+                                       value +
+                                       "\" is not a probability in [0, 1]");
+      }
+      (key == "drop" ? plan.spikeDropProb : plan.weightFlipProb) = p;
+    } else if (key == "dead_cores" || key == "stuck_on" ||
+               key == "stuck_off") {
+      long long n = 0;
+      if (!parseNonNegativeLong(value, n) || n > 1'000'000) {
+        return Status::InvalidArgument("parseFaultPlan: " + key + "=\"" +
+                                       value +
+                                       "\" is not a count in [0, 1000000]");
+      }
+      if (key == "dead_cores") {
+        plan.deadCores = static_cast<int>(n);
+      } else if (key == "stuck_on") {
+        plan.stuckOnNeurons = static_cast<int>(n);
+      } else {
+        plan.stuckOffNeurons = static_cast<int>(n);
+      }
+    } else if (key == "seed") {
+      long long s = 0;
+      if (!parseNonNegativeLong(value, s)) {
+        return Status::InvalidArgument("parseFaultPlan: seed=\"" + value +
+                                       "\" is not a non-negative integer");
+      }
+      plan.seed = static_cast<std::uint64_t>(s);
+    } else {
+      return Status::InvalidArgument(
+          "parseFaultPlan: unknown key \"" + key +
+          "\" (keys: drop, dead_cores, stuck_on, stuck_off, weight_flip, "
+          "seed)");
+    }
+  }
+  return plan;
+}
+
+const std::optional<FaultPlan>& envFaultPlan() {
+  static const std::optional<FaultPlan> plan = []() -> std::optional<FaultPlan> {
+    const char* env = std::getenv("PCNN_FAULTS");
+    if (env == nullptr || *env == '\0') return std::nullopt;
+    StatusOr<FaultPlan> parsed = parseFaultPlan(env);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "pcnn: ignoring invalid PCNN_FAULTS: %s\n",
+                   parsed.status().toString().c_str());
+      return std::nullopt;
+    }
+    return parsed.value();
+  }();
+  return plan;
+}
+
+FaultCounts globalFaultCounts() {
+  FaultCounts counts;
+  counts.droppedSpikes = gDropped.load(std::memory_order_relaxed);
+  counts.deadCoreDrops = gDeadDrops.load(std::memory_order_relaxed);
+  counts.stuckOnSpikes = gStuckOn.load(std::memory_order_relaxed);
+  counts.stuckOffSuppressed = gStuckOff.load(std::memory_order_relaxed);
+  counts.weightFlips = gFlips.load(std::memory_order_relaxed);
+  return counts;
+}
+
+FaultModel::FaultModel(const FaultPlan& plan)
+    : plan_(plan),
+      dropRng_(plan.seed ^ kDropStream),
+      obsDropped_(&obs::counter("tn.faults.dropped_spikes")),
+      obsDeadDrops_(&obs::counter("tn.faults.dead_core_drops")),
+      obsStuckOn_(&obs::counter("tn.faults.stuck_on_spikes")),
+      obsStuckOff_(&obs::counter("tn.faults.stuck_off_suppressed")),
+      obsFlips_(&obs::counter("tn.faults.weight_flips")) {
+  obs::counter("tn.faults.plans").add();
+}
+
+void FaultModel::materialize(Network& network) {
+  const int coreCount = network.coreCount();
+  Rng select(plan_.seed ^ kSelectStream);
+
+  // Dead cores: distinct draws over the core range, capped at the network
+  // size. Selection is a pure function of (seed, coreCount).
+  deadCore_.assign(static_cast<std::size_t>(coreCount), 0);
+  int toKill = plan_.deadCores < coreCount ? plan_.deadCores : coreCount;
+  int killed = 0;
+  while (killed < toKill) {
+    const int c = select.uniformInt(0, coreCount - 1);
+    if (deadCore_[static_cast<std::size_t>(c)] == 0) {
+      deadCore_[static_cast<std::size_t>(c)] = 1;
+      ++killed;
+    }
+  }
+
+  // Stuck neurons: distinct (core, neuron) draws restricted to live cores
+  // (a stuck neuron on a dead core would be moot -- the core emits
+  // nothing). Stuck-on and stuck-off draw from the same pool so no neuron
+  // is both.
+  stuckOn_.assign(static_cast<std::size_t>(coreCount), {});
+  stuckOff_.assign(static_cast<std::size_t>(coreCount), {});
+  stuckAny_.assign(static_cast<std::size_t>(coreCount), 0);
+  const long liveCores = coreCount - toKill;
+  const long pool = liveCores * kNeuronsPerCore;
+  auto selectStuck = [&](int want, std::vector<std::vector<int>>& into,
+                         long alreadyTaken) {
+    int taken = 0;
+    const long available = pool - alreadyTaken;
+    const int target = want < available ? want : static_cast<int>(available);
+    while (taken < target) {
+      const int c = select.uniformInt(0, coreCount - 1);
+      if (deadCore_[static_cast<std::size_t>(c)] != 0) continue;
+      const int n = select.uniformInt(0, kNeuronsPerCore - 1);
+      bool used = false;
+      for (int existing : stuckOn_[static_cast<std::size_t>(c)]) {
+        if (existing == n) used = true;
+      }
+      for (int existing : stuckOff_[static_cast<std::size_t>(c)]) {
+        if (existing == n) used = true;
+      }
+      if (used) continue;
+      auto& list = into[static_cast<std::size_t>(c)];
+      list.insert(std::upper_bound(list.begin(), list.end(), n), n);
+      stuckAny_[static_cast<std::size_t>(c)] = 1;
+      ++taken;
+    }
+    return taken;
+  };
+  const int onTaken = liveCores > 0 ? selectStuck(plan_.stuckOnNeurons,
+                                                  stuckOn_, 0)
+                                    : 0;
+  if (liveCores > 0) selectStuck(plan_.stuckOffNeurons, stuckOff_, onTaken);
+
+  // Weight bit-flips: destructive, so each core is corrupted at most once
+  // even if the network grows and gets re-materialized. The per-core flip
+  // pattern is seeded by (seed, core) alone, so *when* a core gets flipped
+  // does not change *how*.
+  if (plan_.weightFlipProb > 0.0 && flippedCores_ < coreCount) {
+    applyWeightFlips(network, flippedCores_, coreCount);
+    flippedCores_ = coreCount;
+  }
+
+  materializedCores_ = coreCount;
+}
+
+void FaultModel::applyWeightFlips(Network& network, int firstCore,
+                                  int endCore) {
+  long flips = 0;
+  for (int c = firstCore; c < endCore; ++c) {
+    Rng flipRng(plan_.seed ^ kFlipStream ^
+                (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(c + 1)));
+    Core& core = network.core(c);
+    for (int n = 0; n < kNeuronsPerCore; ++n) {
+      for (int t = 0; t < kAxonTypes; ++t) {
+        if (flipRng.uniform() >= plan_.weightFlipProb) continue;
+        const int bit = flipRng.uniformInt(0, 8);
+        // Flip one bit of the signed 9-bit two's-complement encoding the
+        // chip stores (weights outside that range are already clamped by
+        // the corelet builder).
+        int encoded = core.neuron(n).synapticWeights[t] & 0x1FF;
+        encoded ^= 1 << bit;
+        core.neuron(n).synapticWeights[t] =
+            (encoded & 0x100) != 0 ? encoded - 0x200 : encoded;
+        ++flips;
+      }
+    }
+  }
+  counts_.weightFlips += flips;
+  gFlips.fetch_add(flips, std::memory_order_relaxed);
+  obsFlips_->add(flips);
+}
+
+void FaultModel::countDeadCoreDrop() {
+  ++counts_.deadCoreDrops;
+  gDeadDrops.fetch_add(1, std::memory_order_relaxed);
+  obsDeadDrops_->add();
+}
+
+bool FaultModel::dropDelivery() {
+  if (plan_.spikeDropProb <= 0.0) return false;
+  if (dropRng_.uniform() >= plan_.spikeDropProb) return false;
+  ++counts_.droppedSpikes;
+  gDropped.fetch_add(1, std::memory_order_relaxed);
+  obsDropped_->add();
+  return true;
+}
+
+void FaultModel::applyStuckNeurons(int core, std::vector<int>& fired) {
+  const auto& on = stuckOn_[static_cast<std::size_t>(core)];
+  const auto& off = stuckOff_[static_cast<std::size_t>(core)];
+
+  // Suppress stuck-at-off firings in place (fired is ascending).
+  if (!off.empty() && !fired.empty()) {
+    std::size_t out = 0;
+    long suppressed = 0;
+    for (std::size_t i = 0; i < fired.size(); ++i) {
+      bool stuck = false;
+      for (int n : off) {
+        if (n == fired[i]) {
+          stuck = true;
+          break;
+        }
+      }
+      if (stuck) {
+        ++suppressed;
+      } else {
+        fired[out++] = fired[i];
+      }
+    }
+    fired.resize(out);
+    if (suppressed > 0) {
+      counts_.stuckOffSuppressed += suppressed;
+      gStuckOff.fetch_add(suppressed, std::memory_order_relaxed);
+      obsStuckOff_->add(suppressed);
+    }
+  }
+
+  // Merge stuck-at-on neurons, preserving ascending order; a stuck-on
+  // neuron that genuinely fired this tick emits one spike, not two.
+  if (!on.empty()) {
+    scratch_.clear();
+    scratch_.reserve(fired.size() + on.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    long injected = 0;
+    while (i < fired.size() || j < on.size()) {
+      if (j >= on.size() || (i < fired.size() && fired[i] < on[j])) {
+        scratch_.push_back(fired[i++]);
+      } else if (i >= fired.size() || on[j] < fired[i]) {
+        scratch_.push_back(on[j++]);
+        ++injected;
+      } else {  // equal: fired naturally, counts once
+        scratch_.push_back(fired[i++]);
+        ++j;
+      }
+    }
+    fired.swap(scratch_);
+    if (injected > 0) {
+      counts_.stuckOnSpikes += injected;
+      gStuckOn.fetch_add(injected, std::memory_order_relaxed);
+      obsStuckOn_->add(injected);
+    }
+  }
+}
+
+std::vector<int> FaultModel::deadCoreIndices() const {
+  std::vector<int> out;
+  for (std::size_t c = 0; c < deadCore_.size(); ++c) {
+    if (deadCore_[c] != 0) out.push_back(static_cast<int>(c));
+  }
+  return out;
+}
+
+}  // namespace pcnn::tn

@@ -20,18 +20,10 @@ int resetModeToInt(ResetMode mode) {
   return 0;
 }
 
-ResetMode intToResetMode(int value) {
-  switch (value) {
-    case 0:
-      return ResetMode::kAbsolute;
-    case 1:
-      return ResetMode::kLinear;
-    case 2:
-      return ResetMode::kNone;
-    default:
-      throw std::runtime_error("loadModel: bad reset mode");
-  }
-}
+/// Model files bigger than this many cores are rejected up front -- a
+/// corrupt header would otherwise commit us to allocating an arbitrary
+/// number of 256x256 crossbars before the first real parse error.
+constexpr int kMaxModelCores = 1 << 20;
 
 /// A neuron is worth storing when any field differs from the default.
 bool isDefault(const NeuronConfig& cfg) {
@@ -91,12 +83,17 @@ void saveModel(const Network& network, std::ostream& out) {
   if (!out) throw std::runtime_error("saveModel: write failure");
 }
 
-std::unique_ptr<Network> loadModel(std::istream& in, std::uint64_t seed) {
+StatusOr<std::unique_ptr<Network>> tryLoadModel(std::istream& in,
+                                                std::uint64_t seed) {
   std::string magic;
   int coreCount = 0;
-  if (!(in >> magic >> coreCount) || magic != "pcnn-tn-v1" ||
-      coreCount < 0) {
-    throw std::runtime_error("loadModel: bad header");
+  if (!(in >> magic >> coreCount) || magic != "pcnn-tn-v1") {
+    return Status::DataLoss("loadModel: bad header (expected pcnn-tn-v1)");
+  }
+  if (coreCount < 0 || coreCount > kMaxModelCores) {
+    return Status::OutOfRange("loadModel: core count " +
+                              std::to_string(coreCount) + " outside 0.." +
+                              std::to_string(kMaxModelCores));
   }
   auto network = std::make_unique<Network>(seed);
   for (int c = 0; c < coreCount; ++c) network->addCore();
@@ -107,33 +104,70 @@ std::unique_ptr<Network> loadModel(std::istream& in, std::uint64_t seed) {
     if (tag == "core") {
       if (!(in >> currentCore) || currentCore < 0 ||
           currentCore >= coreCount) {
-        throw std::runtime_error("loadModel: bad core index");
+        return Status::DataLoss("loadModel: bad core index");
       }
     } else if (tag == "axontypes") {
-      if (currentCore < 0) throw std::runtime_error("loadModel: stray tag");
+      if (currentCore < 0) {
+        return Status::DataLoss("loadModel: axontypes outside a core block");
+      }
       Core& core = network->core(currentCore);
       for (int a = 0; a < kAxonsPerCore; ++a) {
         int type = 0;
-        if (!(in >> type)) throw std::runtime_error("loadModel: truncated");
+        if (!(in >> type)) {
+          return Status::DataLoss("loadModel: truncated axon types");
+        }
+        if (type < 0 || type >= kAxonTypes) {
+          return Status::OutOfRange("loadModel: axon type " +
+                                    std::to_string(type) + " outside 0.." +
+                                    std::to_string(kAxonTypes - 1));
+        }
         core.setAxonType(a, type);
       }
     } else if (tag == "conn") {
-      if (currentCore < 0) throw std::runtime_error("loadModel: stray tag");
+      if (currentCore < 0) {
+        return Status::DataLoss("loadModel: conn outside a core block");
+      }
       Core& core = network->core(currentCore);
       int axon = 0, count = 0;
       if (!(in >> axon >> count)) {
-        throw std::runtime_error("loadModel: bad conn row");
+        return Status::DataLoss("loadModel: bad conn row");
+      }
+      if (axon < 0 || axon >= kAxonsPerCore) {
+        return Status::OutOfRange("loadModel: conn axon " +
+                                  std::to_string(axon) + " outside 0.." +
+                                  std::to_string(kAxonsPerCore - 1));
+      }
+      if (count < 0 || count > kNeuronsPerCore) {
+        return Status::OutOfRange("loadModel: conn count " +
+                                  std::to_string(count) + " outside 0.." +
+                                  std::to_string(kNeuronsPerCore));
       }
       for (int i = 0; i < count; ++i) {
         int neuron = 0;
-        if (!(in >> neuron)) throw std::runtime_error("loadModel: truncated");
+        if (!(in >> neuron)) {
+          return Status::DataLoss("loadModel: truncated conn row");
+        }
+        if (neuron < 0 || neuron >= kNeuronsPerCore) {
+          return Status::OutOfRange("loadModel: conn neuron " +
+                                    std::to_string(neuron) + " outside 0.." +
+                                    std::to_string(kNeuronsPerCore - 1));
+        }
         core.setConnection(axon, neuron, true);
       }
     } else if (tag == "neuron") {
-      if (currentCore < 0) throw std::runtime_error("loadModel: stray tag");
+      if (currentCore < 0) {
+        return Status::DataLoss("loadModel: neuron outside a core block");
+      }
       Core& core = network->core(currentCore);
       int index = 0;
-      if (!(in >> index)) throw std::runtime_error("loadModel: bad neuron");
+      if (!(in >> index)) {
+        return Status::DataLoss("loadModel: bad neuron index");
+      }
+      if (index < 0 || index >= kNeuronsPerCore) {
+        return Status::OutOfRange("loadModel: neuron index " +
+                                  std::to_string(index) + " outside 0.." +
+                                  std::to_string(kNeuronsPerCore - 1));
+      }
       NeuronConfig cfg;
       int resetMode = 0, stochastic = 0, record = 0;
       if (!(in >> cfg.synapticWeights[0] >> cfg.synapticWeights[1] >>
@@ -141,19 +175,62 @@ std::unique_ptr<Network> loadModel(std::istream& in, std::uint64_t seed) {
             cfg.threshold >> cfg.resetValue >> resetMode >>
             cfg.floorPotential >> stochastic >> cfg.stochasticMask >>
             cfg.dest.core >> cfg.dest.axon >> cfg.dest.delay >> record)) {
-        throw std::runtime_error("loadModel: truncated neuron");
+        return Status::DataLoss("loadModel: truncated neuron");
       }
-      cfg.resetMode = intToResetMode(resetMode);
+      switch (resetMode) {
+        case 0:
+          cfg.resetMode = ResetMode::kAbsolute;
+          break;
+        case 1:
+          cfg.resetMode = ResetMode::kLinear;
+          break;
+        case 2:
+          cfg.resetMode = ResetMode::kNone;
+          break;
+        default:
+          return Status::OutOfRange("loadModel: reset mode " +
+                                    std::to_string(resetMode) +
+                                    " outside 0..2");
+      }
+      // Destinations route on-chip only when dest.core >= 0; the routed
+      // fields must then hold hardware-legal values or run() would fault
+      // mid-simulation (or write to a core the model never declared).
+      if (cfg.dest.core >= 0) {
+        if (cfg.dest.core >= coreCount) {
+          return Status::OutOfRange(
+              "loadModel: destination core " +
+              std::to_string(cfg.dest.core) + " outside 0.." +
+              std::to_string(coreCount - 1));
+        }
+        if (cfg.dest.axon < 0 || cfg.dest.axon >= kAxonsPerCore) {
+          return Status::OutOfRange("loadModel: destination axon " +
+                                    std::to_string(cfg.dest.axon) +
+                                    " outside 0.." +
+                                    std::to_string(kAxonsPerCore - 1));
+        }
+        if (cfg.dest.delay < 1 || cfg.dest.delay > kMaxDelayTicks) {
+          return Status::OutOfRange("loadModel: destination delay " +
+                                    std::to_string(cfg.dest.delay) +
+                                    " outside 1.." +
+                                    std::to_string(kMaxDelayTicks));
+        }
+      }
       cfg.stochasticThreshold = stochastic != 0;
       cfg.recordOutput = record != 0;
       core.neuron(index) = cfg;
     } else if (tag == "endcore") {
       currentCore = -1;
     } else {
-      throw std::runtime_error("loadModel: unknown tag " + tag);
+      return Status::DataLoss("loadModel: unknown tag " + tag);
     }
   }
   return network;
+}
+
+std::unique_ptr<Network> loadModel(std::istream& in, std::uint64_t seed) {
+  StatusOr<std::unique_ptr<Network>> loaded = tryLoadModel(in, seed);
+  if (!loaded.ok()) throw std::runtime_error(loaded.status().toString());
+  return std::move(loaded).value();
 }
 
 void saveModelFile(const Network& network, const std::string& path) {
@@ -162,11 +239,20 @@ void saveModelFile(const Network& network, const std::string& path) {
   saveModel(network, out);
 }
 
+StatusOr<std::unique_ptr<Network>> tryLoadModelFile(const std::string& path,
+                                                    std::uint64_t seed) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::Unavailable("loadModelFile: cannot open " + path);
+  }
+  return tryLoadModel(in, seed);
+}
+
 std::unique_ptr<Network> loadModelFile(const std::string& path,
                                        std::uint64_t seed) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("loadModelFile: cannot open " + path);
-  return loadModel(in, seed);
+  StatusOr<std::unique_ptr<Network>> loaded = tryLoadModelFile(path, seed);
+  if (!loaded.ok()) throw std::runtime_error(loaded.status().toString());
+  return std::move(loaded).value();
 }
 
 }  // namespace pcnn::tn

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/status.hpp"
 #include "tn/network.hpp"
 
 namespace pcnn::tn {
@@ -17,12 +18,25 @@ namespace pcnn::tn {
 /// tick) is not part of a model file.
 void saveModel(const Network& network, std::ostream& out);
 
-/// Reconstructs a network from a model file; the RNG seed controls the
-/// stochastic-threshold draws of the new instance.
+/// Reconstructs a network from a model file with every field
+/// bounds-checked before it touches a core: core / axon / neuron indices,
+/// axon types, connection counts, reset modes, destinations and delays.
+/// A corrupt or truncated stream yields kDataLoss (structure damaged) or
+/// kOutOfRange (a field outside hardware limits) instead of an exception
+/// or a silently wild write. The RNG seed controls the stochastic-
+/// threshold draws of the new instance.
+StatusOr<std::unique_ptr<Network>> tryLoadModel(std::istream& in,
+                                                std::uint64_t seed = 1);
+
+/// Legacy wrapper over tryLoadModel; throws std::runtime_error carrying
+/// the status text on any failure.
 std::unique_ptr<Network> loadModel(std::istream& in,
                                    std::uint64_t seed = 1);
 
-/// File wrappers; throw std::runtime_error on I/O failure.
+/// File wrappers. tryLoadModelFile reports an unopenable path as
+/// kUnavailable; the legacy forms throw std::runtime_error.
+StatusOr<std::unique_ptr<Network>> tryLoadModelFile(const std::string& path,
+                                                    std::uint64_t seed = 1);
 void saveModelFile(const Network& network, const std::string& path);
 std::unique_ptr<Network> loadModelFile(const std::string& path,
                                        std::uint64_t seed = 1);

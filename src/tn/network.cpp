@@ -9,6 +9,21 @@ namespace pcnn::tn {
 
 Network::Network(std::uint64_t seed) : seed_(seed) {
   queues_.resize(kMaxDelayTicks + 1);
+  // PCNN_FAULTS makes every network in the process fault-injected, so a
+  // whole pipeline can be degraded from the environment without code
+  // changes. Programmatic setFaultPlan/clearFaultPlan override it.
+  if (const std::optional<FaultPlan>& env = envFaultPlan();
+      env.has_value() && env->any()) {
+    faults_ = std::make_unique<FaultModel>(*env);
+  }
+}
+
+void Network::setFaultPlan(const FaultPlan& plan) {
+  if (!plan.any()) {
+    faults_.reset();
+    return;
+  }
+  faults_ = std::make_unique<FaultModel>(plan);
 }
 
 int Network::addCore() {
@@ -54,6 +69,11 @@ RunResult Network::run(long ticks) {
   PCNN_SPAN_ARG("tn.run", "ticks", ticks);
   RunResult result;
   result.coreSpikes.assign(static_cast<std::size_t>(coreCount()), 0);
+  // Realize the fault plan for the final core population (lazy so faults
+  // can be configured before or after corelet construction).
+  if (faults_ && !faults_->materializedFor(coreCount())) {
+    faults_->materialize(*this);
+  }
   for (long step = 0; step < ticks; ++step) {
     // Move due overflow events into the ring.
     for (std::size_t i = 0; i < overflow_.size();) {
@@ -67,11 +87,23 @@ RunResult Network::run(long ticks) {
       }
     }
 
-    // 1. Deliver spikes due this tick.
+    // 1. Deliver spikes due this tick. Fault intercepts live here: a
+    //    delivery to a dead core is discarded (dead-core check first, so
+    //    the drop stream is only consumed for live targets), then the
+    //    per-delivery drop fault fires. Both decisions happen in this
+    //    sequential phase, so the drop stream's consumption order -- and
+    //    therefore the whole degraded run -- is thread-count-independent.
     auto& due = queues_[now_ % (kMaxDelayTicks + 1)];
     for (const PendingSpike& spike : due) {
       if (spike.tick != now_) continue;  // stale slot from a different lap
       if (spike.core >= 0 && spike.core < coreCount()) {
+        if (faults_) {
+          if (faults_->coreDead(spike.core)) {
+            faults_->countDeadCoreDrop();
+            continue;
+          }
+          if (faults_->dropDelivery()) continue;
+        }
         cores_[spike.core]->deliverSpike(spike.axon);
       }
     }
@@ -79,15 +111,21 @@ RunResult Network::run(long ticks) {
 
     // 2. Tick every core concurrently -- exactly what the chip does, every
     //    core stepping in lockstep per 1 ms tick. Each core touches only
-    //    its own state, RNG stream and fired list.
+    //    its own state, RNG stream and fired list. Dead cores never tick.
     parallelFor(0, coreCount(), [&](long c) {
       auto& fired = firedScratch_[static_cast<std::size_t>(c)];
       fired.clear();
+      if (faults_ && faults_->coreDead(static_cast<int>(c))) return;
       cores_[c]->tick(coreRngs_[static_cast<std::size_t>(c)], fired);
     });
     // 3. Route fired spikes sequentially in core order, so recorded
     //    outputs and queue contents are identical for any thread count.
+    //    Stuck-at neurons are applied here, before counting and routing:
+    //    stuck-off firings vanish, stuck-on neurons emit every tick.
     for (int c = 0; c < coreCount(); ++c) {
+      if (faults_ && faults_->hasStuckNeurons(c) && !faults_->coreDead(c)) {
+        faults_->applyStuckNeurons(c, firedScratch_[static_cast<std::size_t>(c)]);
+      }
       const auto& fired = firedScratch_[static_cast<std::size_t>(c)];
       result.totalSpikes += static_cast<long>(fired.size());
       result.coreSpikes[static_cast<std::size_t>(c)] +=

@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "tn/core.hpp"
+#include "tn/faults.hpp"
 
 namespace pcnn::tn {
 
@@ -20,9 +21,17 @@ struct RunResult {
   /// to the provisioned-core analytic model of Table 2.
   std::vector<long> coreSpikes;
 
-  /// Merges another run's statistics (outputSpikes are not concatenated;
-  /// this aggregates activity across e.g. one run per extracted cell).
-  void accumulate(const RunResult& other) {
+  /// Merges another run's statistics. By default outputSpikes are NOT
+  /// concatenated -- the common use aggregates activity across e.g. one
+  /// run per extracted cell, where per-run spikes were already decoded.
+  /// Pass mergeOutputSpikes = true when the recorded spikes themselves are
+  /// the aggregate of interest (fault sweeps, multi-run traces), so
+  /// accumulation cannot silently discard them.
+  void accumulate(const RunResult& other, bool mergeOutputSpikes = false) {
+    if (mergeOutputSpikes) {
+      outputSpikes.insert(outputSpikes.end(), other.outputSpikes.begin(),
+                          other.outputSpikes.end());
+    }
     totalSpikes += other.totalSpikes;
     ticksRun += other.ticksRun;
     if (coreSpikes.size() < other.coreSpikes.size()) {
@@ -70,6 +79,27 @@ class Network {
     return (coreCount() + kCoresPerChip - 1) / kCoresPerChip;
   }
 
+  /// --- fault injection ----------------------------------------------------
+  /// Attaches a fault plan (replacing any active one). A plan with
+  /// any() == false detaches instead, so a zero plan is bitwise-identical
+  /// to a fault-free network. The plan is realized lazily at the next
+  /// run() (and re-realized if cores are added later); see tn/faults.hpp
+  /// for the semantics of each fault class. Networks constructed while
+  /// PCNN_FAULTS is set adopt the environment's plan automatically.
+  void setFaultPlan(const FaultPlan& plan);
+  void clearFaultPlan() { faults_.reset(); }
+  bool faultsActive() const { return faults_ != nullptr; }
+  /// Active plan, or nullptr when fault-free.
+  const FaultPlan* faultPlan() const {
+    return faults_ ? &faults_->plan() : nullptr;
+  }
+  /// Fault events injected into this network so far (zeros when fault-free).
+  FaultCounts faultCounts() const {
+    return faults_ ? faults_->counts() : FaultCounts{};
+  }
+  /// Realized fault model for inspection, or nullptr.
+  const FaultModel* faultModel() const { return faults_.get(); }
+
  private:
   struct PendingSpike {
     long tick;
@@ -90,6 +120,9 @@ class Network {
   long now_ = 0;
   /// Per-core fired-neuron scratch, reused across ticks.
   std::vector<std::vector<int>> firedScratch_;
+  /// Active fault realization; nullptr on the (default) fault-free path,
+  /// which therefore costs one pointer test per run phase.
+  std::unique_ptr<FaultModel> faults_;
 };
 
 }  // namespace pcnn::tn

@@ -1,0 +1,593 @@
+// Fault injection and graceful degradation across the pipeline: the
+// deterministic tn::FaultModel (dead cores, spike drops, stuck neurons,
+// weight bit-flips), the pcnn::Status typed-error layer, hardened
+// deserialization, registry spec validation, and the detector/pipeline
+// degradation paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/status.hpp"
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "eedn/mapper.hpp"
+#include "eedn/serialize.hpp"
+#include "extract/registry.hpp"
+#include "hog/hog.hpp"
+#include "parrot/parrot.hpp"
+#include "svm/serialize.hpp"
+#include "tn/faults.hpp"
+#include "tn/model_io.hpp"
+#include "tn/network.hpp"
+#include "vision/image.hpp"
+
+namespace pcnn {
+namespace {
+
+using tn::Destination;
+using tn::FaultCounts;
+using tn::FaultPlan;
+using tn::Network;
+using tn::RunResult;
+
+// --- FaultPlan parsing ----------------------------------------------------
+
+TEST(FaultPlan, ParsesAndRoundTrips) {
+  const StatusOr<FaultPlan> parsed =
+      tn::parseFaultPlan("drop=0.01,dead_cores=3,seed=7");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->spikeDropProb, 0.01);
+  EXPECT_EQ(parsed->deadCores, 3);
+  EXPECT_EQ(parsed->seed, 7u);
+  EXPECT_TRUE(parsed->any());
+
+  const StatusOr<FaultPlan> reparsed = tn::parseFaultPlan(parsed->toString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_DOUBLE_EQ(reparsed->spikeDropProb, parsed->spikeDropProb);
+  EXPECT_EQ(reparsed->deadCores, parsed->deadCores);
+  EXPECT_EQ(reparsed->seed, parsed->seed);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  const StatusOr<FaultPlan> unknown = tn::parseFaultPlan("wibble=1");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.status().message().find("wibble"), std::string::npos);
+  EXPECT_NE(unknown.status().message().find("dead_cores"),
+            std::string::npos);  // actionable: lists the valid keys
+
+  EXPECT_FALSE(tn::parseFaultPlan("drop=2.0").ok());     // prob > 1
+  EXPECT_FALSE(tn::parseFaultPlan("drop=abc").ok());     // not a number
+  EXPECT_FALSE(tn::parseFaultPlan("dead_cores=-1").ok());
+  EXPECT_FALSE(tn::parseFaultPlan("drop").ok());         // no '='
+  EXPECT_FALSE(tn::parseFaultPlan("").ok());
+}
+
+TEST(FaultPlan, ZeroPlanInjectsNothing) {
+  EXPECT_FALSE(FaultPlan{}.any());
+}
+
+// --- Status / StatusOr ----------------------------------------------------
+
+TEST(Status, CodesAndToString) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().toString(), "OK");
+  const Status bad = Status::DataLoss("truncated");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(bad.toString(), "DATA_LOSS: truncated");
+}
+
+TEST(Status, StatusOrHoldsValueOrError) {
+  StatusOr<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  StatusOr<int> bad = Status::OutOfRange("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_THROW(bad.value(), std::runtime_error);
+}
+
+TEST(Status, StatusOrSupportsMoveOnlyPayloads) {
+  StatusOr<std::unique_ptr<int>> holder = std::make_unique<int>(9);
+  ASSERT_TRUE(holder.ok());
+  std::unique_ptr<int> moved = std::move(holder).value();
+  EXPECT_EQ(*moved, 9);
+}
+
+// --- RunResult ------------------------------------------------------------
+
+TEST(RunResult, AccumulateMergesOutputSpikesOnRequest) {
+  RunResult total;
+  RunResult part;
+  part.totalSpikes = 3;
+  part.ticksRun = 2;
+  part.outputSpikes.push_back({1, 0, 5});
+  total.accumulate(part);  // default: stats only
+  EXPECT_EQ(total.totalSpikes, 3);
+  EXPECT_TRUE(total.outputSpikes.empty());
+  total.accumulate(part, /*mergeOutputSpikes=*/true);
+  ASSERT_EQ(total.outputSpikes.size(), 1u);
+  EXPECT_EQ(total.outputSpikes[0].neuron, 5);
+  EXPECT_EQ(total.totalSpikes, 6);
+}
+
+// --- Fault injection in the simulator -------------------------------------
+
+/// Ring of cores with self-sustaining traffic: axon 0 fires neurons 0..7,
+/// neuron 0 routes to the next core, every neuron is recorded.
+std::unique_ptr<Network> makeRingNetwork(int cores) {
+  auto net = std::make_unique<Network>(7);
+  for (int c = 0; c < cores; ++c) net->addCore();
+  for (int c = 0; c < cores; ++c) {
+    tn::Core& core = net->core(c);
+    for (int n = 0; n < 8; ++n) {
+      core.setConnection(0, n, true);
+      core.neuron(n).synapticWeights = {1, 0, 0, 0};
+      core.neuron(n).threshold = 1;
+      core.neuron(n).recordOutput = true;
+    }
+    core.neuron(0).dest = Destination{(c + 1) % cores, 0, 1};
+  }
+  return net;
+}
+
+void scheduleRingInputs(Network& net, int cores) {
+  for (int t = 0; t < 6; ++t) {
+    for (int c = 0; c < cores; ++c) net.scheduleInput(t, c, 0);
+  }
+}
+
+void expectSameRun(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.totalSpikes, b.totalSpikes);
+  EXPECT_EQ(a.ticksRun, b.ticksRun);
+  ASSERT_EQ(a.coreSpikes.size(), b.coreSpikes.size());
+  for (std::size_t c = 0; c < a.coreSpikes.size(); ++c) {
+    EXPECT_EQ(a.coreSpikes[c], b.coreSpikes[c]) << "core " << c;
+  }
+  ASSERT_EQ(a.outputSpikes.size(), b.outputSpikes.size());
+  for (std::size_t i = 0; i < a.outputSpikes.size(); ++i) {
+    EXPECT_EQ(a.outputSpikes[i].tick, b.outputSpikes[i].tick) << i;
+    EXPECT_EQ(a.outputSpikes[i].core, b.outputSpikes[i].core) << i;
+    EXPECT_EQ(a.outputSpikes[i].neuron, b.outputSpikes[i].neuron) << i;
+  }
+}
+
+TEST(FaultInjection, DegradedRunIsThreadCountInvariant) {
+  FaultPlan plan;
+  plan.spikeDropProb = 0.2;
+  plan.deadCores = 1;
+  plan.stuckOnNeurons = 2;
+  plan.stuckOffNeurons = 2;
+  plan.weightFlipProb = 0.05;
+  plan.seed = 11;
+
+  const int oldThreads = threadCount();
+  auto runWith = [&](int threads) {
+    setThreadCount(threads);
+    auto net = makeRingNetwork(6);
+    net->setFaultPlan(plan);
+    scheduleRingInputs(*net, 6);
+    return net->run(30);
+  };
+  const RunResult single = runWith(1);
+  const RunResult pooled = runWith(4);
+  setThreadCount(oldThreads);
+
+  EXPECT_GT(single.totalSpikes, 0);  // degraded, not dead
+  expectSameRun(single, pooled);
+}
+
+TEST(FaultInjection, SameSeedSamePlanIsBitwiseReproducible) {
+  FaultPlan plan;
+  plan.spikeDropProb = 0.3;
+  plan.deadCores = 2;
+  plan.seed = 23;
+  auto runOnce = [&] {
+    auto net = makeRingNetwork(5);
+    net->setFaultPlan(plan);
+    scheduleRingInputs(*net, 5);
+    return net->run(25);
+  };
+  expectSameRun(runOnce(), runOnce());
+}
+
+TEST(FaultInjection, ZeroFaultPlanIsBitwiseIdenticalToFaultFree) {
+  auto clean = makeRingNetwork(4);
+  auto planned = makeRingNetwork(4);
+  planned->setFaultPlan(FaultPlan{});  // any() == false: never attached
+  EXPECT_FALSE(planned->faultsActive());
+
+  const FaultCounts before = tn::globalFaultCounts();
+  scheduleRingInputs(*clean, 4);
+  scheduleRingInputs(*planned, 4);
+  const RunResult a = clean->run(20);
+  const RunResult b = planned->run(20);
+  const FaultCounts delta = tn::globalFaultCounts() - before;
+
+  expectSameRun(a, b);
+  EXPECT_EQ(delta.total(), 0);
+}
+
+TEST(FaultInjection, DeadCoreNeverFiresAndDropsDeliveries) {
+  FaultPlan plan;
+  plan.deadCores = 1;
+  plan.seed = 3;
+  auto net = makeRingNetwork(4);
+  net->setFaultPlan(plan);
+  scheduleRingInputs(*net, 4);
+  const FaultCounts before = tn::globalFaultCounts();
+  const RunResult result = net->run(20);
+  const FaultCounts delta = tn::globalFaultCounts() - before;
+
+  ASSERT_NE(net->faultModel(), nullptr);
+  const std::vector<int> dead = net->faultModel()->deadCoreIndices();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(result.coreSpikes[static_cast<std::size_t>(dead[0])], 0);
+  EXPECT_GT(delta.deadCoreDrops, 0);
+  for (const auto& spike : result.outputSpikes) {
+    EXPECT_NE(spike.core, dead[0]);
+  }
+}
+
+TEST(FaultInjection, StuckOnNeuronsFireEveryTick) {
+  // A silent core (no inputs, no connections): every spike comes from the
+  // three stuck-at-on neurons, one each per tick.
+  Network net(1);
+  net.addCore();
+  FaultPlan plan;
+  plan.stuckOnNeurons = 3;
+  plan.seed = 5;
+  net.setFaultPlan(plan);
+  const FaultCounts before = tn::globalFaultCounts();
+  const RunResult result = net.run(10);
+  const FaultCounts delta = tn::globalFaultCounts() - before;
+  EXPECT_EQ(result.totalSpikes, 30);
+  EXPECT_EQ(delta.stuckOnSpikes, 30);
+}
+
+TEST(FaultInjection, StuckOffNeuronsAreSuppressed) {
+  // All 256 neurons fire on every input tick; five of them are stuck off.
+  Network net(1);
+  const int c0 = net.addCore();
+  for (int n = 0; n < tn::kNeuronsPerCore; ++n) {
+    net.core(c0).setConnection(0, n, true);
+    net.core(c0).neuron(n).synapticWeights = {1, 0, 0, 0};
+    net.core(c0).neuron(n).threshold = 1;
+  }
+  FaultPlan plan;
+  plan.stuckOffNeurons = 5;
+  plan.seed = 9;
+  net.setFaultPlan(plan);
+  for (int t = 0; t < 10; ++t) net.scheduleInput(t, c0, 0);
+  const FaultCounts before = tn::globalFaultCounts();
+  const RunResult result = net.run(10);
+  const FaultCounts delta = tn::globalFaultCounts() - before;
+  EXPECT_EQ(result.totalSpikes, (tn::kNeuronsPerCore - 5) * 10);
+  EXPECT_EQ(delta.stuckOffSuppressed, 50);
+}
+
+TEST(FaultInjection, WeightFlipsAppliedOncePerCore) {
+  Network net(1);
+  net.addCore();
+  FaultPlan plan;
+  plan.weightFlipProb = 1.0;
+  plan.seed = 17;
+  net.setFaultPlan(plan);
+  const FaultCounts before = tn::globalFaultCounts();
+  net.run(1);  // materializes the plan
+  const FaultCounts afterFirst = tn::globalFaultCounts() - before;
+  EXPECT_EQ(afterFirst.weightFlips,
+            static_cast<long>(tn::kNeuronsPerCore) * tn::kAxonTypes);
+  net.run(1);  // same core population: no re-flip
+  const FaultCounts afterSecond = tn::globalFaultCounts() - before;
+  EXPECT_EQ(afterSecond.weightFlips, afterFirst.weightFlips);
+}
+
+TEST(FaultInjection, SpikeDropDegradesParrotCoreletMonotonically) {
+  // The parrot's Eedn network mapped onto the simulator, fed the same
+  // binarized patches under increasing spike-drop rates. The fault-free
+  // run must agree exactly with the plain-C++ reference; activity must
+  // fall monotonically as the links get lossier.
+  parrot::ParrotHog model;
+  std::vector<std::vector<int>> inputs;
+  for (int p = 0; p < 3; ++p) {
+    std::vector<int> input;
+    for (int i = 0; i < 100; ++i) input.push_back((i + p) % 3 == 0 ? 1 : 0);
+    inputs.push_back(std::move(input));
+  }
+
+  const double rates[] = {0.0, 0.25, 0.9};
+  long spikes[3] = {0, 0, 0};
+  int misses[3] = {0, 0, 0};
+  for (int r = 0; r < 3; ++r) {
+    const auto mapped = eedn::TnMapper::map(model.net());
+    if (rates[r] > 0.0) {
+      FaultPlan plan;
+      plan.spikeDropProb = rates[r];
+      plan.seed = 5;
+      mapped->network().setFaultPlan(plan);
+    }
+    for (const std::vector<int>& input : inputs) {
+      ASSERT_EQ(static_cast<int>(input.size()), mapped->inputSize());
+      const std::vector<int> got = mapped->forwardSpikes(input);
+      const std::vector<int> want = mapped->referenceForward(input);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (got[i] != want[i]) ++misses[r];
+      }
+      spikes[r] += mapped->lastRun().totalSpikes;
+    }
+  }
+  EXPECT_EQ(misses[0], 0);  // fault-free: exact simulator/reference parity
+  EXPECT_GT(misses[2], 0);  // 90% drop visibly corrupts the outputs
+  EXPECT_GE(spikes[0], spikes[1]);
+  EXPECT_GE(spikes[1], spikes[2]);
+  EXPECT_GT(spikes[0], spikes[2]);  // strictly fewer spikes end to end
+}
+
+// --- Hardened deserialization ----------------------------------------------
+
+TEST(ModelIo, RejectsCorruptStreamsWithTypedErrors) {
+  {
+    std::stringstream bad("not-a-model 1");
+    const auto loaded = tn::tryLoadModel(bad);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  }
+  {
+    std::stringstream huge("pcnn-tn-v1 99999999");
+    const auto loaded = tn::tryLoadModel(huge);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+  }
+  {
+    // conn row announces 5 entries but the stream ends after 2.
+    std::stringstream truncated("pcnn-tn-v1 1\ncore 0\nconn 0 5 1 2");
+    const auto loaded = tn::tryLoadModel(truncated);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  }
+  {
+    // neuron index 900 cannot exist on a 256-neuron core.
+    std::stringstream outOfRange("pcnn-tn-v1 1\ncore 0\nconn 0 1 900");
+    const auto loaded = tn::tryLoadModel(outOfRange);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+    EXPECT_NE(loaded.status().message().find("900"), std::string::npos);
+  }
+  {
+    // destination routes to core 5 of a 1-core model.
+    std::stringstream badDest(
+        "pcnn-tn-v1 1\ncore 0\n"
+        "neuron 0 1 0 0 0 0 1 0 0 0 0 0 5 0 1 0");
+    const auto loaded = tn::tryLoadModel(badDest);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+  }
+  // The legacy entry point still throws for existing callers.
+  std::stringstream bad("garbage");
+  EXPECT_THROW(tn::loadModel(bad), std::runtime_error);
+}
+
+TEST(ModelIo, RoundTripSurvivesHardenedLoader) {
+  auto net = makeRingNetwork(2);
+  std::stringstream buffer;
+  tn::saveModel(*net, buffer);
+  const auto loaded = tn::tryLoadModel(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+  EXPECT_EQ((*loaded)->coreCount(), 2);
+}
+
+TEST(SvmSerialize, RejectsHostileHeaders) {
+  {
+    // A corrupt dimension must be rejected before it drives an allocation.
+    std::stringstream huge("pcnn-svm-v1 134217729\n1.0 1.0\n0.5\n");
+    const auto loaded = svm::tryLoadModel(huge);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+  }
+  {
+    std::stringstream truncated("pcnn-svm-v1 4\n1.0 1.0\n0.5\n0.1 0.2");
+    const auto loaded = svm::tryLoadModel(truncated);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  }
+  std::stringstream bad("pcnn-svm-v1 134217729\n1.0 1.0\n0.5\n");
+  EXPECT_THROW(svm::loadModel(bad), std::runtime_error);
+}
+
+TEST(EednSerialize, TruncatedStreamIsTypedDataLoss) {
+  pcnn::Rng rng(31);
+  nn::Sequential net;
+  net.add(std::make_unique<eedn::TrinaryDense>(12, 5, rng));
+  std::stringstream buffer;
+  eedn::saveNetwork(net, buffer);
+  const std::string text = buffer.str();
+
+  pcnn::Rng rng2(32);
+  nn::Sequential target;
+  target.add(std::make_unique<eedn::TrinaryDense>(12, 5, rng2));
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  const Status status = eedn::tryLoadNetwork(target, truncated);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+
+  std::stringstream truncated2(text.substr(0, text.size() / 2));
+  EXPECT_THROW(eedn::loadNetwork(target, truncated2), std::runtime_error);
+
+  // And the intact stream loads cleanly through the typed path.
+  std::stringstream whole(text);
+  EXPECT_TRUE(eedn::tryLoadNetwork(target, whole).ok());
+}
+
+// --- Registry spec validation ----------------------------------------------
+
+TEST(Registry, TryCreateRejectsMalformedSpecsActionably) {
+  auto& registry = extract::ExtractorRegistry::instance();
+  {
+    // 9 is not a power of two: a typo, not a new operating point.
+    const auto made = registry.tryCreate("parrot:9spike");
+    ASSERT_FALSE(made.ok());
+    EXPECT_EQ(made.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(made.status().message().find("power of two"),
+              std::string::npos);
+    EXPECT_NE(made.status().message().find("known specs"),
+              std::string::npos);
+  }
+  {
+    const auto made = registry.tryCreate("warp");
+    ASSERT_FALSE(made.ok());
+    EXPECT_NE(made.status().message().find("registered:"),
+              std::string::npos);
+    EXPECT_NE(made.status().message().find("hog"), std::string::npos);
+  }
+  EXPECT_FALSE(registry.tryCreate("napprox:128spike").ok());  // > 64
+  EXPECT_FALSE(registry.tryCreate("napprox:0spike").ok());
+  EXPECT_THROW(registry.create("parrot:9spike"), std::invalid_argument);
+
+  // Every valid deployment spec still constructs.
+  for (const std::string& spec : extract::table2Specs()) {
+    const auto made = registry.tryCreate(spec);
+    EXPECT_TRUE(made.ok()) << spec << ": " << made.status().toString();
+  }
+}
+
+// --- Graceful degradation in the detector and pipeline ----------------------
+
+/// HoG-backed extractor whose backend "fails" on small pyramid levels --
+/// the deterministic stand-in for a poisoned level or a simulator fault.
+class FlakyExtractor : public extract::FeatureExtractor {
+ public:
+  explicit FlakyExtractor(int failBelowWidth)
+      : FeatureExtractor("flaky", extract::FeatureLayout::kFlatCell, 9, 2, 2),
+        failBelowWidth_(failBelowWidth) {}
+
+  hog::CellGrid cellGrid(const vision::Image& image) override {
+    if (image.width() < failBelowWidth_) {
+      throw std::runtime_error("flaky backend: level poisoned");
+    }
+    return hogRef_.computeCells(image);
+  }
+
+  extract::ExtractorInfo info() const override { return {}; }
+
+ private:
+  int failBelowWidth_;
+  hog::HogExtractor hogRef_;
+};
+
+TEST(GridDetector, SkipsPoisonedLevelsAndReportsDegradation) {
+  core::GridDetectorParams params;
+  params.scoreThreshold = -1e9f;
+  params.pyramid.maxLevels = 4;
+  auto scorer = [](const std::vector<float>&) { return 1.0f; };
+  vision::Image scene(128, 128, 0.5f);
+  for (int y = 0; y < 128; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      scene.at(x, y) = static_cast<float>((x + y) % 17) / 17.0f;
+    }
+  }
+
+  // Levels are 128, ~116, ~105, ~96 wide; the last two fail.
+  core::GridDetector detector(params, std::make_shared<FlakyExtractor>(110),
+                              scorer);
+  core::DegradationReport report;
+  const auto detections = detector.detect(scene, -1e9f, &report);
+  EXPECT_FALSE(detections.empty());  // surviving levels still detect
+  EXPECT_EQ(report.levelsSkipped, 2);
+  EXPECT_GT(report.windowsLost, 0);
+  ASSERT_EQ(report.skips.size(), 2u);
+  EXPECT_FALSE(report.skips[0].status.ok());
+  EXPECT_TRUE(report.degraded());
+  EXPECT_NE(report.summary().find("degraded"), std::string::npos);
+
+  // A healthy detector leaves the report clean.
+  core::GridDetector healthy(params, std::make_shared<FlakyExtractor>(0),
+                             scorer);
+  core::DegradationReport healthyReport;
+  // Pre-NMS, the healthy detector keeps every window the degraded one kept
+  // plus the two recovered levels' worth.
+  const auto healthyRaw = healthy.detectRaw(scene, -1e9f, &healthyReport);
+  const auto degradedRaw = detector.detectRaw(scene, -1e9f, nullptr);
+  EXPECT_GT(healthyRaw.size(), degradedRaw.size());
+  EXPECT_FALSE(healthyReport.degraded());
+  EXPECT_EQ(healthyReport.summary(), "healthy");
+}
+
+/// Extractor that fails on specific "poisoned" windows (bright first
+/// pixel), for the pipeline's per-window degradation path.
+class PoisonableExtractor : public extract::FeatureExtractor {
+ public:
+  PoisonableExtractor()
+      : FeatureExtractor("poisonable", extract::FeatureLayout::kFlatCell, 9,
+                         2, 2) {}
+
+  hog::CellGrid cellGrid(const vision::Image& image) override {
+    if (image.at(0, 0) > 0.9f) {
+      throw std::runtime_error("poisonable backend: window poisoned");
+    }
+    return hogRef_.computeCells(image);
+  }
+
+  extract::ExtractorInfo info() const override { return {}; }
+
+ private:
+  hog::HogExtractor hogRef_;
+};
+
+TEST(PartitionedPipeline, ScoreAllDegradedLosesOnlyPoisonedWindows) {
+  eedn::EednClassifierConfig config;
+  config.inputSize = 2 * 2 * 9;
+  config.groupInputSize = 36;
+  config.outputsPerGroup = 8;
+  config.hiddenWidths = {16};
+  config.outputPopulation = 2;
+  core::PartitionedPipeline pipeline(std::make_shared<PoisonableExtractor>(),
+                                     config);
+
+  std::vector<vision::Image> windows = {vision::Image(16, 16, 0.2f),
+                                        vision::Image(16, 16, 0.95f),
+                                        vision::Image(16, 16, 0.4f)};
+  core::DegradationReport report;
+  const std::vector<float> scores =
+      pipeline.scoreAllDegraded(windows, &report);
+  ASSERT_EQ(scores.size(), windows.size());
+  EXPECT_TRUE(std::isfinite(scores[0]));
+  EXPECT_TRUE(std::isnan(scores[1]));  // poisoned window lost, not fatal
+  EXPECT_TRUE(std::isfinite(scores[2]));
+  EXPECT_EQ(report.windowsLost, 1);
+  EXPECT_TRUE(report.degraded());
+
+  // All-healthy batch: no losses, no degradation.
+  core::DegradationReport cleanReport;
+  const std::vector<float> cleanScores = pipeline.scoreAllDegraded(
+      {vision::Image(16, 16, 0.3f)}, &cleanReport);
+  ASSERT_EQ(cleanScores.size(), 1u);
+  EXPECT_TRUE(std::isfinite(cleanScores[0]));
+  EXPECT_FALSE(cleanReport.degraded());
+}
+
+TEST(FeatureExtractor, TryPathsReturnTypedErrors) {
+  auto extractor = extract::makeExtractor("hog");
+  const auto empty = extractor->tryCellGrid(vision::Image());
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  const auto tiny = extractor->tryWindowFeatures(vision::Image(8, 8, 0.5f));
+  ASSERT_FALSE(tiny.ok());
+  EXPECT_EQ(tiny.status().code(), StatusCode::kInvalidArgument);
+
+  const auto good = extractor->tryCellGrid(vision::Image(64, 128, 0.5f));
+  ASSERT_TRUE(good.ok()) << good.status().toString();
+  EXPECT_EQ(good->cellsX, 8);
+}
+
+}  // namespace
+}  // namespace pcnn
