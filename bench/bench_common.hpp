@@ -16,6 +16,7 @@
 #include "eval/detection_eval.hpp"
 #include "hog/cell_kernels.hpp"
 #include "obs/provenance.hpp"
+#include "tn/engine.hpp"
 #include "vision/synth.hpp"
 
 namespace pcnn::bench {
@@ -28,7 +29,8 @@ inline std::string provenanceJson() {
   const std::vector<std::pair<std::string, std::string>> extras = {
       {"kernel_dispatch",
        hog::kernels::kindName(hog::kernels::activeKind())},
-      {"simd_level", hog::kernels::simdLevel()}};
+      {"simd_level", hog::kernels::simdLevel()},
+      {"tn_engine", tn::engineName(tn::engineFromEnv())}};
   return obs::provenanceJson(obs::provenance(), extras);
 }
 

@@ -199,6 +199,45 @@ void BM_TnNetworkTick(benchmark::State& state) {
 }
 BENCHMARK(BM_TnNetworkTick);
 
+// Dense vs event engine over a sparse workload: 32 cores, input bursts on
+// only 4 of them, cross-core routing with mixed delays, and a quiet tail.
+// The dense engine ticks 32 cores x 64 ticks per run; the event engine
+// only the cores a spike can actually reach each tick.
+void BM_TnRun(benchmark::State& state) {
+  const bool event = state.range(0) != 0;
+  tn::Network net(7);
+  Rng rng(7);
+  for (int c = 0; c < 32; ++c) net.addCore();
+  for (int c = 0; c < 32; ++c) {
+    tn::Core& core = net.core(c);
+    for (int a = 0; a < 256; ++a) core.setAxonType(a, a % 4);
+    for (int i = 0; i < 2048; ++i) {
+      core.setConnection(rng.uniformInt(0, 255), rng.uniformInt(0, 255),
+                         true);
+    }
+    for (int n = 0; n < 256; ++n) {
+      core.neuron(n).synapticWeights = {1, -1, 2, -2};
+      core.neuron(n).threshold = 6;
+      core.neuron(n).resetMode = tn::ResetMode::kLinear;
+      core.neuron(n).floorPotential = -64;
+      if (n % 2 == 0) {
+        core.neuron(n).dest =
+            tn::Destination{(c + 1) % 32, rng.uniformInt(0, 255),
+                            1 + (n % tn::kMaxDelayTicks)};
+      }
+    }
+  }
+  net.setEngine(event ? tn::EngineKind::kEvent : tn::EngineKind::kDense);
+  for (auto _ : state) {
+    net.reset(true);
+    for (int a = 0; a < 32; ++a) net.scheduleInput(0, a % 4, a);
+    benchmark::DoNotOptimize(net.run(64));
+  }
+  state.SetLabel(event ? "event" : "dense");
+  state.SetItemsProcessed(state.iterations() * 64);  // ticks
+}
+BENCHMARK(BM_TnRun)->Arg(0)->Arg(1);
+
 // --- Full-frame detection: legacy per-window recomputation vs cached -----
 // per-level cell grids (GridDetector), across thread counts. Same 640x480
 // synthetic scene, classic HoG block descriptors, 8-px stride.

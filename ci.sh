@@ -20,6 +20,12 @@ ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j"$(nproc)"
 PCNN_SIMD=off ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure \
   -j"$(nproc)"
 
+# And once with the dense TrueNorth reference engine (the default is the
+# event-driven engine), so a regression in either tick loop -- or a parity
+# break between them -- fails CI the same way the SIMD re-run does.
+PCNN_TN_ENGINE=dense ctest --test-dir "$BUILD_DIR" -L fast \
+  --output-on-failure -j"$(nproc)"
+
 # ASan + UBSan tree over the fast label (PCNN_SANITIZE=ON skippable for
 # quick local iterations: PCNN_SANITIZE=OFF ./ci.sh). The fault-injection
 # and corrupt-file regression tests are in this label on purpose -- they
@@ -67,4 +73,4 @@ LEFTOVER="$(find "$OBS_DIR" -name '*.json' ! -name trace.json \
   ! -name metrics.json ! -name tn_metrics.json)"
 test -z "$LEFTOVER" || { echo "unexpected obs output: $LEFTOVER"; exit 1; }
 
-echo "ci.sh: build + tests (incl. scalar-dispatch + sanitizer fast re-runs + obs smoke) passed"
+echo "ci.sh: build + tests (incl. scalar-dispatch + dense-engine + sanitizer fast re-runs + obs smoke) passed"

@@ -1,0 +1,17 @@
+#pragma once
+
+// Shared function-multi-versioning attribute for the library's batched
+// kernels (hog cell rows, tn core ticks, eedn compiled inference).
+//
+// On x86-64 GCC builds, emit a baseline clone plus an AVX2+FMA
+// (x86-64-v3) clone; glibc's ifunc resolver picks per process at load
+// time. The baseline clone still auto-vectorizes at SSE2 width, so
+// non-v3 hosts get batched kernels too. Clang and non-x86 targets get a
+// single clone -- the kernels are plain loops either way, only the
+// vector width changes.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define PCNN_TARGET_CLONES \
+  __attribute__((target_clones("default", "arch=x86-64-v3")))
+#else
+#define PCNN_TARGET_CLONES
+#endif

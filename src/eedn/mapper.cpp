@@ -223,6 +223,19 @@ std::vector<int> MappedEedn::forwardSpikes(const std::vector<int>& input) {
   return out;
 }
 
+std::vector<std::vector<int>> MappedEedn::forwardSpikesBatch(
+    const std::vector<std::vector<int>>& inputs) {
+  std::vector<std::vector<int>> out;
+  out.reserve(inputs.size());
+  tn::RunResult total;
+  for (const std::vector<int>& input : inputs) {
+    out.push_back(forwardSpikes(input));
+    total.accumulate(lastRun_, true);
+  }
+  lastRun_ = std::move(total);
+  return out;
+}
+
 std::vector<int> MappedEedn::referenceForward(
     const std::vector<int>& input) const {
   if (static_cast<int>(input.size()) != inputSize_) {

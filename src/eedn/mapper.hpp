@@ -38,6 +38,15 @@ class MappedEedn {
   /// afterwards so calls are independent.
   std::vector<int> forwardSpikes(const std::vector<int>& input);
 
+  /// forwardSpikes over a batch of inputs, window-major through this one
+  /// network instance: each window reuses the same configured cores (and
+  /// the event engine's warm active-set bookkeeping) instead of paying
+  /// per-call setup. Results are identical to calling forwardSpikes once
+  /// per input; lastRun() afterwards holds the batch's accumulated spike
+  /// statistics (output spikes merged across windows).
+  std::vector<std::vector<int>> forwardSpikesBatch(
+      const std::vector<std::vector<int>>& inputs);
+
   /// Reference semantics of the mapped network computed in plain C++
   /// (trinary weights, integer-rounded biases, hard thresholds). The
   /// simulator run must agree with this exactly.

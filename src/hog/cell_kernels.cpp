@@ -6,21 +6,12 @@
 #include <limits>
 #include <string>
 
+#include "common/target_clones.hpp"
 #include "obs/obs.hpp"
 
 // Compiled with -fno-math-errno (see src/hog/CMakeLists.txt) so sqrtf
 // lowers to the sqrt instruction instead of a libm call, which is what
 // lets the float row pass vectorize.
-
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
-// Emit a baseline clone plus an AVX2+FMA (x86-64-v3) clone; glibc's ifunc
-// resolver picks per process at load time. The baseline clone still
-// auto-vectorizes at SSE2 width, so non-v3 hosts get batched kernels too.
-#define PCNN_TARGET_CLONES \
-  __attribute__((target_clones("default", "arch=x86-64-v3")))
-#else
-#define PCNN_TARGET_CLONES
-#endif
 
 namespace pcnn::hog::kernels {
 namespace {

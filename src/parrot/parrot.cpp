@@ -13,7 +13,21 @@
 namespace pcnn::parrot {
 namespace {
 constexpr int kPatchSize = 100;  // 10x10 input field
+
+/// Reads the 10x10 input field of the cell whose top-left pixel is
+/// (x0, y0), in the same pixel order as cellHistogramWith.
+void gatherPatch(const vision::Image& img, int x0, int y0,
+                 std::vector<float>& patch) {
+  int i = 0;
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      patch[static_cast<std::size_t>(i++)] =
+          img.atClamped(x0 - 1 + x, y0 - 1 + y);
+    }
+  }
 }
+
+}  // namespace
 
 ParrotHog::ParrotHog(const ParrotConfig& config)
     : config_(config), rng_(config.seed), codingRng_(config.seed ^ 0xABCDu) {
@@ -85,6 +99,14 @@ std::vector<float> ParrotHog::inferWith(const std::vector<float>& patch,
   return net_.forward(encodeInputWith(patch, rng), false);
 }
 
+const eedn::CompiledTrinaryNet& ParrotHog::compiledNet() {
+  if (compiledStale_ || !compiled_) {
+    compiled_ = std::make_unique<eedn::CompiledTrinaryNet>(net_);
+    compiledStale_ = false;
+  }
+  return *compiled_;
+}
+
 float ParrotHog::train(const OrientedSampleGenerator& generator,
                        int numSamples, int epochs, float learningRate,
                        float momentum) {
@@ -119,6 +141,7 @@ float ParrotHog::train(const OrientedSampleGenerator& generator,
     lastEpochLoss =
         static_cast<float>(lossSum / static_cast<double>(samples.size()));
   }
+  compiledStale_ = true;  // weights moved; the inference plan is a snapshot
   return lastEpochLoss;
 }
 
@@ -176,16 +199,43 @@ std::vector<float> ParrotHog::cellHistogramWith(const vision::Image& img,
 }
 
 hog::CellGrid ParrotHog::computeCells(const vision::Image& img) {
+  return computeCellsWith(img, codingRng_);
+}
+
+hog::CellGrid ParrotHog::computeCellsWith(const vision::Image& img,
+                                          pcnn::Rng& rng) {
   hog::CellGrid grid;
   grid.cellsX = img.width() / 8;
   grid.cellsY = img.height() / 8;
   grid.bins = config_.bins;
-  grid.data.reserve(static_cast<std::size_t>(grid.cellsX) * grid.cellsY *
-                    grid.bins);
+  const int count = grid.cellsX * grid.cellsY;
+  grid.data.assign(static_cast<std::size_t>(count) * grid.bins, 0.0f);
+  if (count == 0) return grid;
+  const eedn::CompiledTrinaryNet& net = compiledNet();
+
+  // Gather and spike-encode every cell's patch in row-major cell order --
+  // the exact coding-stream draw order of the per-cell path -- into a
+  // feature-major activation plane, then run the whole grid through the
+  // compiled net in one batch.
+  std::vector<float> plane(static_cast<std::size_t>(kPatchSize) * count);
+  std::vector<float> patch(static_cast<std::size_t>(kPatchSize));
+  int cell = 0;
   for (int cy = 0; cy < grid.cellsY; ++cy) {
-    for (int cx = 0; cx < grid.cellsX; ++cx) {
-      const std::vector<float> hist = cellHistogram(img, cx * 8, cy * 8);
-      grid.data.insert(grid.data.end(), hist.begin(), hist.end());
+    for (int cx = 0; cx < grid.cellsX; ++cx, ++cell) {
+      gatherPatch(img, cx * 8, cy * 8, patch);
+      const std::vector<float> coded = encodeInputWith(patch, rng);
+      for (int i = 0; i < kPatchSize; ++i) {
+        plane[static_cast<std::size_t>(i) * count + cell] = coded[i];
+      }
+    }
+  }
+  const std::vector<float> out = net.forwardBatch(plane, count);
+  // The parrot regresses vote counts directly; clamp to the physical range
+  // (a cell casts at most 64 votes) so features match NApprox's scale.
+  for (int c = 0; c < count; ++c) {
+    for (int b = 0; b < grid.bins; ++b) {
+      grid.data[static_cast<std::size_t>(c) * grid.bins + b] = std::clamp(
+          out[static_cast<std::size_t>(b) * count + c], 0.0f, 64.0f);
     }
   }
   return grid;
@@ -203,24 +253,17 @@ std::vector<std::vector<float>> ParrotHog::cellDescriptorBatch(
   // on how the pool schedules the batch.
   std::vector<std::uint64_t> seeds(windows.size());
   for (auto& seed : seeds) seed = codingRng_.nextU64();
+  // Build the compiled plan before fanning out: the pool workers below
+  // only read it.
+  (void)compiledNet();
   std::vector<std::vector<float>> out(windows.size());
   parallelFor(0, static_cast<long>(windows.size()), [&](long i) {
     const auto idx = static_cast<std::size_t>(i);
     pcnn::Rng rng(seeds[idx]);
-    const vision::Image& window = windows[idx];
-    std::vector<float> features;
-    const int cellsX = window.width() / 8;
-    const int cellsY = window.height() / 8;
-    features.reserve(static_cast<std::size_t>(cellsX) * cellsY *
-                     config_.bins);
-    for (int cy = 0; cy < cellsY; ++cy) {
-      for (int cx = 0; cx < cellsX; ++cx) {
-        const std::vector<float> hist =
-            cellHistogramWith(window, cx * 8, cy * 8, rng);
-        features.insert(features.end(), hist.begin(), hist.end());
-      }
-    }
-    out[idx] = std::move(features);
+    // One window-major batch through the compiled net; the grid's data
+    // layout (row-major cells, bins per cell) is exactly the flat feature
+    // vector the per-cell path assembled.
+    out[idx] = std::move(computeCellsWith(windows[idx], rng).data);
   });
   return out;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "eedn/compiled.hpp"
 #include "hog/hog.hpp"
 #include "nn/sequential.hpp"
 #include "parrot/generator.hpp"
@@ -94,7 +95,17 @@ class ParrotHog {
   /// Changes the input spike coding without retraining.
   void setInputSpikes(int spikes) { config_.inputSpikes = spikes; }
 
-  nn::Sequential& net() { return net_; }
+  /// Mutable access invalidates the compiled inference plan (the caller
+  /// may change weights); the next batched inference recompiles.
+  nn::Sequential& net() {
+    compiledStale_ = true;
+    return net_;
+  }
+
+  /// Compiled deployment-weight plan for batched inference. Lazily built;
+  /// bitwise-identical outputs to net().forward(patch, false). Rebuilt
+  /// after train() or any mutable net() access.
+  const eedn::CompiledTrinaryNet& compiledNet();
 
   /// TrueNorth cores per cell for this network when mapped.
   int mappedCoresPerCell() const;
@@ -107,10 +118,14 @@ class ParrotHog {
                                pcnn::Rng& rng);
   std::vector<float> cellHistogramWith(const vision::Image& img, int x0,
                                        int y0, pcnn::Rng& rng);
+  hog::CellGrid computeCellsWith(const vision::Image& img, pcnn::Rng& rng);
   ParrotConfig config_;
   pcnn::Rng rng_;
   pcnn::Rng codingRng_;
   nn::Sequential net_;
+  /// Compiled snapshot of net_'s trinary weights (see compiledNet()).
+  std::unique_ptr<eedn::CompiledTrinaryNet> compiled_;
+  bool compiledStale_ = true;
 };
 
 }  // namespace pcnn::parrot

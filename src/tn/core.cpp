@@ -1,8 +1,36 @@
 #include "tn/core.hpp"
 
+#include <bit>
 #include <stdexcept>
 
+#include "common/target_clones.hpp"
+
 namespace pcnn::tn {
+namespace {
+
+/// Leak + floor clamp + threshold compare over all 256 neurons, emitting
+/// one fire-candidate bit per neuron. Pure contiguous int32 lanes, so both
+/// clones auto-vectorize; the scalar select order matches Core::tick
+/// exactly (leak add, then clamp, then compare).
+PCNN_TARGET_CLONES
+void leakClampThreshold(const std::int32_t* leak, const std::int32_t* floor,
+                        const std::int32_t* threshold, int* pot,
+                        std::uint64_t* fireMask) {
+  for (int word = 0; word < kConnWords; ++word) {
+    std::uint64_t mask = 0;
+    const int base = word * 64;
+    for (int bit = 0; bit < 64; ++bit) {
+      const int n = base + bit;
+      int v = pot[n] + leak[n];
+      v = v < floor[n] ? floor[n] : v;
+      pot[n] = v;
+      mask |= static_cast<std::uint64_t>(v >= threshold[n]) << bit;
+    }
+    fireMask[word] = mask;
+  }
+}
+
+}  // namespace
 
 Core::Core() { pendingAxons_.reserve(kAxonsPerCore); }
 
@@ -25,10 +53,12 @@ void Core::setAxonType(int axon, int type) {
     throw std::invalid_argument("Core: axon type must be 0..3");
   }
   axonTypes_[checkAxon(axon)] = static_cast<std::uint8_t>(type);
+  soaDirty_ = true;
 }
 
 void Core::setConnection(int axon, int neuron, bool connected) {
   conn_[checkAxon(axon)][checkNeuron(neuron)] = connected;
+  soaDirty_ = true;
 }
 
 bool Core::connection(int axon, int neuron) const {
@@ -37,20 +67,12 @@ bool Core::connection(int axon, int neuron) const {
 
 NeuronConfig& Core::neuron(int index) {
   quiescent_ = false;  // caller may mutate the configuration
+  soaDirty_ = true;
   return neurons_[checkNeuron(index)];
 }
 
 const NeuronConfig& Core::neuron(int index) const {
   return neurons_[checkNeuron(index)];
-}
-
-void Core::deliverSpike(int axon) {
-  checkAxon(axon);
-  quiescent_ = false;
-  if (!pendingMask_[axon]) {
-    pendingMask_[axon] = true;
-    pendingAxons_.push_back(axon);
-  }
 }
 
 int Core::potential(int neuron) const { return potentials_[checkNeuron(neuron)]; }
@@ -64,6 +86,60 @@ long Core::synapseCount() const {
   long count = 0;
   for (const auto& row : conn_) count += static_cast<long>(row.count());
   return count;
+}
+
+void Core::compileSoA() {
+  if (!soa_) soa_ = std::make_unique<CoreSoA>();
+  CoreSoA& soa = *soa_;
+  soa.axonTypes = axonTypes_;
+  for (int axon = 0; axon < kAxonsPerCore; ++axon) {
+    const auto& row = conn_[axon];
+    for (int word = 0; word < kConnWords; ++word) {
+      std::uint64_t bits = 0;
+      const int base = word * 64;
+      for (int bit = 0; bit < 64; ++bit) {
+        bits |= static_cast<std::uint64_t>(row[static_cast<std::size_t>(
+                    base + bit)])
+                << bit;
+      }
+      soa.connRows[axon][word] = bits;
+    }
+  }
+  soa.hasDynamics = false;
+  soa.hasStochastic = false;
+  for (int n = 0; n < kNeuronsPerCore; ++n) {
+    const NeuronConfig& cfg = neurons_[n];
+    for (int type = 0; type < kAxonTypes; ++type) {
+      soa.weights[type][n] = cfg.synapticWeights[static_cast<std::size_t>(type)];
+    }
+    soa.leak[n] = cfg.leak;
+    soa.threshold[n] = cfg.threshold;
+    soa.floorPotential[n] = cfg.floorPotential;
+    soa.resetValue[n] = cfg.resetValue;
+    soa.stochasticMask[n] = cfg.stochasticMask;
+    soa.resetMode[n] = static_cast<std::uint8_t>(cfg.resetMode);
+    soa.stochastic[n] = cfg.stochasticThreshold ? 1 : 0;
+    if (cfg.leak != 0 || cfg.stochasticThreshold) soa.hasDynamics = true;
+    if (cfg.stochasticThreshold) soa.hasStochastic = true;
+    // Routed destinations are validated here, once per configuration
+    // change, so the event tick loop needs no range checks at all.
+    if (cfg.dest.core >= 0) {
+      if (cfg.dest.axon < 0 || cfg.dest.axon >= kAxonsPerCore) {
+        throw std::out_of_range("Core: axon index out of range");
+      }
+      if (cfg.dest.delay < 1 || cfg.dest.delay > kMaxDelayTicks) {
+        throw std::logic_error("Network: destination delay out of range");
+      }
+    }
+  }
+}
+
+const CoreSoA& Core::compiled() {
+  if (soaDirty_) {
+    compileSoA();
+    soaDirty_ = false;
+  }
+  return *soa_;
 }
 
 void Core::tick(Rng& rng, std::vector<int>& fired) {
@@ -114,6 +190,92 @@ void Core::tick(Rng& rng, std::vector<int>& fired) {
     }
   }
   quiescent_ = !integrated && !anyDynamics && !anyFired;
+}
+
+void Core::tickSoA(Rng& rng, std::vector<int>& fired) {
+  if (quiescent_ && pendingAxons_.empty()) return;
+  assert(!soaDirty_ && soa_ != nullptr);
+  const CoreSoA& soa = *soa_;
+  const bool integrated = !pendingAxons_.empty();
+
+  // 1. Integration through the weight planes: one contiguous plane per
+  //    spiking axon, touching only connected neurons via the row mask.
+  for (int axon : pendingAxons_) {
+    const std::int32_t* plane = soa.weights[soa.axonTypes[axon]].data();
+    const auto& row = soa.connRows[axon];
+    for (int word = 0; word < kConnWords; ++word) {
+      std::uint64_t bits = row[word];
+      const int base = word * 64;
+      while (bits != 0) {
+        const int n = base + std::countr_zero(bits);
+        bits &= bits - 1;
+        potentials_[n] += plane[n];
+      }
+    }
+  }
+  pendingAxons_.clear();
+  pendingMask_.reset();
+
+  bool anyFired = false;
+  if (!soa.hasStochastic) {
+    // 2a. Deterministic thresholds: leak/clamp/compare all 256 neurons in
+    //     vector lanes, then walk only the fire-candidate bits. The reset
+    //     bookkeeping per fired neuron is identical to the scalar path.
+    std::uint64_t fireMask[kConnWords];
+    leakClampThreshold(soa.leak.data(), soa.floorPotential.data(),
+                       soa.threshold.data(), potentials_.data(), fireMask);
+    for (int word = 0; word < kConnWords; ++word) {
+      std::uint64_t bits = fireMask[word];
+      const int base = word * 64;
+      while (bits != 0) {
+        const int n = base + std::countr_zero(bits);
+        bits &= bits - 1;
+        fired.push_back(n);
+        anyFired = true;
+        ++firedCount_;
+        switch (static_cast<ResetMode>(soa.resetMode[n])) {
+          case ResetMode::kAbsolute:
+            potentials_[n] = soa.resetValue[n];
+            break;
+          case ResetMode::kLinear:
+            potentials_[n] -= soa.threshold[n];
+            break;
+          case ResetMode::kNone:
+            break;
+        }
+      }
+    }
+  } else {
+    // 2b. Stochastic thresholds present: the RNG draw order is part of the
+    //     result, so run the scalar neuron loop (in index order, one draw
+    //     per stochastic neuron) exactly as the dense reference does.
+    for (int n = 0; n < kNeuronsPerCore; ++n) {
+      int& v = potentials_[n];
+      v += soa.leak[n];
+      if (v < soa.floorPotential[n]) v = soa.floorPotential[n];
+
+      int effectiveThreshold = soa.threshold[n];
+      if (soa.stochastic[n] != 0 && soa.stochasticMask[n] > 0) {
+        effectiveThreshold += rng.uniformInt(0, soa.stochasticMask[n]);
+      }
+      if (v >= effectiveThreshold) {
+        fired.push_back(n);
+        anyFired = true;
+        ++firedCount_;
+        switch (static_cast<ResetMode>(soa.resetMode[n])) {
+          case ResetMode::kAbsolute:
+            v = soa.resetValue[n];
+            break;
+          case ResetMode::kLinear:
+            v -= soa.threshold[n];
+            break;
+          case ResetMode::kNone:
+            break;
+        }
+      }
+    }
+  }
+  quiescent_ = !integrated && !soa.hasDynamics && !anyFired;
 }
 
 }  // namespace pcnn::tn

@@ -1,12 +1,48 @@
 #pragma once
 
 #include <bitset>
+#include <cassert>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "tn/types.hpp"
 
 namespace pcnn::tn {
+
+/// Crossbar rows as 64-bit words (256 neurons -> 4 words per axon).
+constexpr int kConnWords = kNeuronsPerCore / 64;
+
+/// Compiled structure-of-arrays image of one core's static configuration,
+/// consumed by the event engine's vectorized tick (Core::tickSoA). Built
+/// lazily from the AoS configuration and invalidated by any configuration
+/// mutation, so the two views can never disagree.
+///
+///  - weights[type][neuron] are per-axon-type weight planes: integrating
+///    one spiking axon walks a single contiguous plane instead of striding
+///    through NeuronConfig records;
+///  - connRows[axon] is the crossbar row as a 256-bit mask, iterated
+///    word-by-word with count-trailing-zeros;
+///  - leak / threshold / floorPotential are contiguous, so one core-tick
+///    leaks, clamps, and thresholds all 256 neurons in vector lanes.
+struct CoreSoA {
+  std::array<std::array<std::uint64_t, kConnWords>, kAxonsPerCore> connRows{};
+  std::array<std::uint8_t, kAxonsPerCore> axonTypes{};
+  std::array<std::array<std::int32_t, kNeuronsPerCore>, kAxonTypes> weights{};
+  alignas(64) std::array<std::int32_t, kNeuronsPerCore> leak{};
+  alignas(64) std::array<std::int32_t, kNeuronsPerCore> threshold{};
+  alignas(64) std::array<std::int32_t, kNeuronsPerCore> floorPotential{};
+  std::array<std::int32_t, kNeuronsPerCore> resetValue{};
+  std::array<std::int32_t, kNeuronsPerCore> stochasticMask{};
+  std::array<std::uint8_t, kNeuronsPerCore> resetMode{};
+  std::array<std::uint8_t, kNeuronsPerCore> stochastic{};
+  /// Any neuron carries leak or a stochastic threshold: the core must tick
+  /// every tick (stochastic cores must draw their RNG stream every tick to
+  /// stay aligned with the dense reference).
+  bool hasDynamics = false;
+  bool hasStochastic = false;
+};
 
 /// One neurosynaptic core: a 256x256 binary crossbar between axons (input
 /// lines) and neurons (output lines). Each axon carries one of four types;
@@ -26,16 +62,45 @@ class Core {
   const NeuronConfig& neuron(int index) const;
 
   /// --- runtime ----------------------------------------------------------
-  /// Marks an axon as carrying a spike for the next tick() call.
-  void deliverSpike(int axon);
+  /// Marks an axon as carrying a spike for the next tick() call. Hot path:
+  /// called per delivered spike per tick, so the axon range is asserted in
+  /// debug builds only -- external inputs are validated at schedule time
+  /// (Network::scheduleInput) and routed destinations at configuration
+  /// compile time (Core::compiled) or fire time (dense engine).
+  void deliverSpike(int axon) {
+    assert(axon >= 0 && axon < kAxonsPerCore);
+    quiescent_ = false;
+    if (!pendingMask_[static_cast<std::size_t>(axon)]) {
+      pendingMask_[static_cast<std::size_t>(axon)] = true;
+      pendingAxons_.push_back(axon);
+    }
+  }
 
   /// Advances one tick: integrates pending axon spikes into membrane
   /// potentials, applies leak, fires neurons at or above threshold, and
   /// appends fired neuron indices to `fired`. Clears the axon buffer.
+  /// This is the scalar reference implementation (dense engine).
   void tick(Rng& rng, std::vector<int>& fired);
+
+  /// Same contract and bitwise-identical results as tick(), implemented
+  /// against the compiled SoA image (event engine). The caller must have
+  /// called compiled() since the last configuration change.
+  void tickSoA(Rng& rng, std::vector<int>& fired);
+
+  /// Compiled SoA image, rebuilt when stale. Validates routed destinations
+  /// (axon range, delay 1..kMaxDelayTicks) so the event tick loop can run
+  /// assert-only.
+  const CoreSoA& compiled();
 
   int potential(int neuron) const;
   void setPotential(int neuron, int value);
+
+  /// True when the previous tick integrated nothing, fired nothing, and no
+  /// neuron carries leak or a stochastic threshold: the core's state can
+  /// only change when a new spike arrives.
+  bool quiescent() const { return quiescent_; }
+  /// True when at least one axon spike awaits the next tick.
+  bool hasPending() const { return !pendingAxons_.empty(); }
 
   /// Total number of spikes this core's neurons have fired since the last
   /// clearActivity() (activity proxy for the dynamic-power model).
@@ -48,6 +113,7 @@ class Core {
  private:
   static int checkAxon(int axon);
   static int checkNeuron(int neuron);
+  void compileSoA();
 
   std::array<std::uint8_t, kAxonsPerCore> axonTypes_{};
   /// conn_[axon] = bitset over neurons connected to that axon.
@@ -57,11 +123,12 @@ class Core {
   std::vector<int> pendingAxons_;
   std::bitset<kAxonsPerCore> pendingMask_;
   long firedCount_ = 0;
-  /// True when the previous tick integrated nothing, fired nothing, and no
-  /// neuron carries leak or a stochastic threshold: the core's state can
-  /// only change when a new spike arrives, so tick() can return
-  /// immediately. Cleared by any configuration or potential mutation.
+  /// See quiescent(). Cleared by any configuration or potential mutation.
   bool quiescent_ = false;
+  /// Lazily compiled SoA image (see CoreSoA); soaDirty_ is set by every
+  /// configuration mutator, including the non-const neuron() accessor.
+  std::unique_ptr<CoreSoA> soa_;
+  bool soaDirty_ = true;
 };
 
 }  // namespace pcnn::tn

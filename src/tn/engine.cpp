@@ -1,0 +1,26 @@
+#include "tn/engine.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace pcnn::tn {
+
+EngineKind engineFromEnv() {
+  static const EngineKind kind = [] {
+    const char* env = std::getenv("PCNN_TN_ENGINE");
+    if (env == nullptr) return EngineKind::kEvent;
+    std::string value(env);
+    for (char& c : value) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return value == "dense" ? EngineKind::kDense : EngineKind::kEvent;
+  }();
+  return kind;
+}
+
+const char* engineName(EngineKind kind) {
+  return kind == EngineKind::kDense ? "dense" : "event";
+}
+
+}  // namespace pcnn::tn

@@ -1,0 +1,30 @@
+#pragma once
+
+namespace pcnn::tn {
+
+/// Which tick-loop implementation a Network uses.
+///
+/// Both engines implement the same synchronous chip semantics and produce
+/// bitwise-identical RunResults (gated by tests/tn_engine_test.cpp):
+///  - kDense: the reference loop -- every core ticks every tick. Simple,
+///    obviously correct, O(cores * ticks).
+///  - kEvent: the event-driven loop -- per tick only cores with pending
+///    axon deliveries, nonzero dynamics (leak / stochastic threshold),
+///    a firing in the previous tick, or stuck-on fault neurons do any
+///    work, tracked via an epoch-stamped dense active set. Cores tick
+///    through a compiled SoA image of their crossbar (see tn/core.hpp).
+enum class EngineKind {
+  kEvent,
+  kDense,
+};
+
+/// Engine selected by the PCNN_TN_ENGINE environment variable: "dense"
+/// (any case) selects the reference engine, anything else -- including
+/// unset -- the event engine. Read once per process, mirroring the
+/// PCNN_SIMD=off precedent.
+EngineKind engineFromEnv();
+
+/// Stable lowercase name ("event" / "dense") for provenance tagging.
+const char* engineName(EngineKind kind);
+
+}  // namespace pcnn::tn

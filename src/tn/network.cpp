@@ -1,13 +1,16 @@
 #include "tn/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/parallel.hpp"
 #include "obs/obs.hpp"
 
 namespace pcnn::tn {
 
-Network::Network(std::uint64_t seed) : seed_(seed) {
+Network::Network(std::uint64_t seed)
+    : seed_(seed), engine_(engineFromEnv()) {
   queues_.resize(kMaxDelayTicks + 1);
   // PCNN_FAULTS makes every network in the process fault-injected, so a
   // whole pipeline can be degraded from the environment without code
@@ -33,6 +36,7 @@ int Network::addCore() {
   // adjacent cores do not get correlated seeds.
   coreRngs_.emplace_back(seed_ + 0x9e3779b97f4a7c15ULL * (index + 1));
   firedScratch_.emplace_back();
+  activeStamp_.push_back(-1);
   return static_cast<int>(cores_.size()) - 1;
 }
 
@@ -54,38 +58,71 @@ void Network::scheduleInput(long tick, int coreIndex, int axon) {
   if (tick < now_) {
     throw std::invalid_argument("Network: input scheduled in the past");
   }
+  if (axon < 0 || axon >= kAxonsPerCore) {
+    throw std::out_of_range("Core: axon index out of range");
+  }
   if (tick - now_ > kMaxDelayTicks) {
     // Far-future inputs are legal for the host environment; the hardware
     // buffers them off-chip. We keep a single ring, so clamp usage: callers
     // schedule at most kMaxDelayTicks ahead per run() step. To stay simple
     // and correct, store far events in an overflow list.
     overflow_.push_back({tick, coreIndex, axon});
+    overflowMin_ = std::min(overflowMin_, tick);
     return;
   }
   queues_[tick % (kMaxDelayTicks + 1)].push_back({tick, coreIndex, axon});
 }
 
+void Network::drainOverflow() {
+  long newMin = kNoOverflow;
+  for (std::size_t i = 0; i < overflow_.size();) {
+    if (overflow_[i].tick - now_ <= kMaxDelayTicks) {
+      queues_[overflow_[i].tick % (kMaxDelayTicks + 1)].push_back(
+          overflow_[i]);
+      overflow_[i] = overflow_.back();
+      overflow_.pop_back();
+    } else {
+      newMin = std::min(newMin, overflow_[i].tick);
+      ++i;
+    }
+  }
+  overflowMin_ = newMin;
+}
+
 RunResult Network::run(long ticks) {
   PCNN_SPAN_ARG("tn.run", "ticks", ticks);
-  RunResult result;
-  result.coreSpikes.assign(static_cast<std::size_t>(coreCount()), 0);
   // Realize the fault plan for the final core population (lazy so faults
   // can be configured before or after corelet construction).
   if (faults_ && !faults_->materializedFor(coreCount())) {
     faults_->materialize(*this);
   }
+  RunResult result =
+      engine_ == EngineKind::kDense ? runDense(ticks) : runEvent(ticks);
+  result.ticksRun = ticks;
+  // Domain telemetry: spike and tick totals across every simulated network
+  // in the process, so a detect/report run can surface measured activity
+  // next to the analytic Table-2 numbers. core_ticks counts the work the
+  // engine actually did: the dense engine ticks every core every tick, the
+  // event engine only its active set (see DESIGN.md 5e).
+  static obs::Counter& spikeCounter = obs::counter("tn.spikes");
+  static obs::Counter& tickCounter = obs::counter("tn.ticks");
+  static obs::Counter& coreTickCounter = obs::counter("tn.core_ticks");
+  static obs::Counter& runCounter = obs::counter("tn.runs");
+  spikeCounter.add(result.totalSpikes);
+  tickCounter.add(ticks);
+  coreTickCounter.add(coreTicksLastRun_);
+  runCounter.add();
+  return result;
+}
+
+RunResult Network::runDense(long ticks) {
+  RunResult result;
+  result.coreSpikes.assign(static_cast<std::size_t>(coreCount()), 0);
+  coreTicksLastRun_ = ticks * coreCount();
   for (long step = 0; step < ticks; ++step) {
-    // Move due overflow events into the ring.
-    for (std::size_t i = 0; i < overflow_.size();) {
-      if (overflow_[i].tick - now_ <= kMaxDelayTicks) {
-        queues_[overflow_[i].tick % (kMaxDelayTicks + 1)].push_back(
-            overflow_[i]);
-        overflow_[i] = overflow_.back();
-        overflow_.pop_back();
-      } else {
-        ++i;
-      }
-    }
+    // Move due overflow events into the ring (no-op scan-free on quiet
+    // ticks thanks to the min-tick track).
+    if (overflowMin_ - now_ <= kMaxDelayTicks) drainOverflow();
 
     // 1. Deliver spikes due this tick. Fault intercepts live here: a
     //    delivery to a dead core is discarded (dead-core check first, so
@@ -131,11 +168,16 @@ RunResult Network::run(long ticks) {
       result.coreSpikes[static_cast<std::size_t>(c)] +=
           static_cast<long>(fired.size());
       for (int n : fired) {
-        const NeuronConfig& cfg = cores_[c]->neuron(n);
+        const NeuronConfig& cfg = std::as_const(*cores_[c]).neuron(n);
         if (cfg.recordOutput) {
           result.outputSpikes.push_back({now_, c, n});
         }
         if (cfg.dest.core >= 0) {
+          // Delivery no longer range-checks (hot path); validate the
+          // routed destination here instead, at fire time.
+          if (cfg.dest.axon < 0 || cfg.dest.axon >= kAxonsPerCore) {
+            throw std::out_of_range("Core: axon index out of range");
+          }
           const int delay = cfg.dest.delay;
           if (delay < 1 || delay > kMaxDelayTicks) {
             throw std::logic_error("Network: destination delay out of range");
@@ -148,30 +190,139 @@ RunResult Network::run(long ticks) {
     }
     ++now_;
   }
-  result.ticksRun = ticks;
-  // Domain telemetry: spike and tick totals across every simulated network
-  // in the process, so a detect/report run can surface measured activity
-  // next to the analytic Table-2 numbers.
-  static obs::Counter& spikeCounter = obs::counter("tn.spikes");
-  static obs::Counter& tickCounter = obs::counter("tn.ticks");
-  static obs::Counter& coreTickCounter = obs::counter("tn.core_ticks");
-  static obs::Counter& runCounter = obs::counter("tn.runs");
-  spikeCounter.add(result.totalSpikes);
-  tickCounter.add(ticks);
-  coreTickCounter.add(ticks * coreCount());
-  runCounter.add();
+  return result;
+}
+
+RunResult Network::runEvent(long ticks) {
+  RunResult result;
+  result.coreSpikes.assign(static_cast<std::size_t>(coreCount()), 0);
+  coreTicksLastRun_ = 0;
+
+  // Compile every core's SoA image up front (no-op when unchanged since
+  // the last run) so destination validation happens here, sequentially,
+  // and the parallel tick phase below runs assert-only.
+  for (auto& corePtr : cores_) (void)corePtr->compiled();
+
+  // Seed the first tick's active set: any core whose state can evolve
+  // without a new delivery this run -- pending axons from direct
+  // deliverSpike() calls, a mutated potential/configuration, leak or
+  // stochastic dynamics, a firing in its previous tick (ResetMode::kNone
+  // re-fire) -- plus cores carrying stuck-at fault neurons, which must
+  // appear in every routing phase. All other cores join the set when a
+  // delivery targets them.
+  for (int c = 0; c < coreCount(); ++c) {
+    if (!cores_[c]->quiescent() || cores_[c]->hasPending() ||
+        (faults_ && faults_->hasStuckNeurons(c))) {
+      activate(now_, c, activeNext_);
+    }
+  }
+
+  for (long step = 0; step < ticks; ++step) {
+    if (overflowMin_ - now_ <= kMaxDelayTicks) drainOverflow();
+
+    activeNow_.swap(activeNext_);
+    activeNext_.clear();
+
+    // 1. Delivery: identical fault-intercept order to the dense engine
+    //    (dead-core check, then the drop stream), in the same sequential
+    //    phase, so degraded runs stay bitwise-identical across engines
+    //    and thread counts. Each live delivery activates its target.
+    auto& due = queues_[now_ % (kMaxDelayTicks + 1)];
+    for (const PendingSpike& spike : due) {
+      if (spike.tick != now_) continue;  // stale slot from a different lap
+      if (spike.core >= 0 && spike.core < coreCount()) {
+        if (faults_) {
+          if (faults_->coreDead(spike.core)) {
+            faults_->countDeadCoreDrop();
+            continue;
+          }
+          if (faults_->dropDelivery()) continue;
+        }
+        cores_[spike.core]->deliverSpike(spike.axon);
+        activate(now_, spike.core, activeNow_);
+      }
+    }
+    due.clear();
+
+    // The routing phase below must visit cores in ascending index order
+    // (recorded-output order, queue push order, and the fault drop
+    // stream's consumption order all depend on it), so sort the active
+    // list; the epoch stamps already guarantee uniqueness.
+    std::sort(activeNow_.begin(), activeNow_.end());
+
+    // 2. Tick only the active set, in parallel. Chunk boundaries are a
+    //    pure function of the (sorted, deduplicated) list, and each core
+    //    touches only its own state, RNG stream and fired list, so the
+    //    result is thread-count-invariant.
+    const long activeCount = static_cast<long>(activeNow_.size());
+    parallelForChunked(
+        0, activeCount, suggestedGrain(activeCount), [&](long lo, long hi) {
+          for (long i = lo; i < hi; ++i) {
+            const int c = activeNow_[static_cast<std::size_t>(i)];
+            auto& fired = firedScratch_[static_cast<std::size_t>(c)];
+            fired.clear();
+            if (faults_ && faults_->coreDead(c)) continue;
+            cores_[c]->tickSoA(coreRngs_[static_cast<std::size_t>(c)], fired);
+          }
+        });
+    coreTicksLastRun_ += activeCount;
+
+    // 3. Route the active set's firings, ascending. Inactive cores have
+    //    empty fired lists and no stuck neurons by construction, so their
+    //    dense-engine contribution is exactly zero. A core stays active
+    //    for the next tick iff its own tick left it non-quiescent
+    //    (integrated, fired, or carries dynamics) or it hosts stuck-at
+    //    neurons; deliveries re-activate the rest.
+    for (const int c : activeNow_) {
+      const bool dead = faults_ && faults_->coreDead(c);
+      if (faults_ && faults_->hasStuckNeurons(c) && !dead) {
+        faults_->applyStuckNeurons(c, firedScratch_[static_cast<std::size_t>(c)]);
+      }
+      const auto& fired = firedScratch_[static_cast<std::size_t>(c)];
+      result.totalSpikes += static_cast<long>(fired.size());
+      result.coreSpikes[static_cast<std::size_t>(c)] +=
+          static_cast<long>(fired.size());
+      for (int n : fired) {
+        const NeuronConfig& cfg = std::as_const(*cores_[c]).neuron(n);
+        if (cfg.recordOutput) {
+          result.outputSpikes.push_back({now_, c, n});
+        }
+        if (cfg.dest.core >= 0) {
+          // Validated at compile time above; assert-only here.
+          assert(cfg.dest.axon >= 0 && cfg.dest.axon < kAxonsPerCore);
+          assert(cfg.dest.delay >= 1 && cfg.dest.delay <= kMaxDelayTicks);
+          const long arrive = now_ + cfg.dest.delay;
+          queues_[arrive % (kMaxDelayTicks + 1)].push_back(
+              {arrive, cfg.dest.core, cfg.dest.axon});
+        }
+      }
+      if (!dead && (!cores_[c]->quiescent() ||
+                    (faults_ && faults_->hasStuckNeurons(c)))) {
+        activate(now_ + 1, c, activeNext_);
+      }
+    }
+    ++now_;
+  }
   return result;
 }
 
 void Network::reset(bool resetTime) {
   for (auto& queue : queues_) queue.clear();
   overflow_.clear();
+  overflowMin_ = kNoOverflow;
   for (auto& corePtr : cores_) {
     for (int n = 0; n < kNeuronsPerCore; ++n) {
       corePtr->setPotential(n, 0);
     }
     corePtr->clearActivity();
   }
+  // Invalidate the event engine's active bookkeeping: stamps may alias
+  // future tick values once the clock rewinds (or pending lists are
+  // cleared), and setPotential above woke every core anyway -- the next
+  // run() re-seeds the set from the quiescent flags.
+  std::fill(activeStamp_.begin(), activeStamp_.end(), -1L);
+  activeNow_.clear();
+  activeNext_.clear();
   if (resetTime) now_ = 0;
 }
 

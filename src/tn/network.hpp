@@ -2,11 +2,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "tn/core.hpp"
+#include "tn/engine.hpp"
 #include "tn/faults.hpp"
 
 namespace pcnn::tn {
@@ -50,6 +52,12 @@ struct RunResult {
 ///     axon buffers (external inputs and routed neuron outputs alike);
 ///  2. every core integrates, leaks, and fires;
 ///  3. fired spikes are enqueued for delivery at tick + delay.
+///
+/// Two engines implement these semantics (see tn/engine.hpp): the dense
+/// reference ticks every core every tick; the event engine ticks only the
+/// active set. Results are bitwise-identical; selection defaults to the
+/// PCNN_TN_ENGINE environment variable and can be overridden per network
+/// with setEngine().
 class Network {
  public:
   explicit Network(std::uint64_t seed = 1);
@@ -62,7 +70,9 @@ class Network {
 
   /// Schedules an external input spike to arrive at `tick` (>= current
   /// tick) on (core, axon). Off-chip input may target any number of axons,
-  /// which is how corelets duplicate an input stream across cores.
+  /// which is how corelets duplicate an input stream across cores. The
+  /// axon index is validated here, once per scheduled spike, so delivery
+  /// itself runs assert-only.
   void scheduleInput(long tick, int coreIndex, int axon);
 
   /// Runs `ticks` ticks from the current time, returning recorded output.
@@ -73,6 +83,12 @@ class Network {
   void reset(bool resetTime = true);
 
   long currentTick() const { return now_; }
+
+  /// Engine selection. The default comes from PCNN_TN_ENGINE at
+  /// construction ("dense" selects the reference engine; anything else,
+  /// including unset, the event engine).
+  void setEngine(EngineKind kind) { engine_ = kind; }
+  EngineKind engine() const { return engine_; }
 
   /// Number of chips needed to host this network.
   int chipCount() const {
@@ -107,6 +123,27 @@ class Network {
     int axon;
   };
 
+  static constexpr long kNoOverflow = std::numeric_limits<long>::max();
+
+  /// Engine bodies. Both set coreTicksLastRun_ (the telemetry honesty gap
+  /// between the engines: dense provisions ticks * coreCount, event counts
+  /// cores actually ticked).
+  RunResult runDense(long ticks);
+  RunResult runEvent(long ticks);
+  /// Moves due overflow events into the delivery ring and recomputes
+  /// overflowMin_. Callers skip the call entirely while
+  /// overflowMin_ - now_ > kMaxDelayTicks, so quiet ticks never scan.
+  void drainOverflow();
+  /// Appends `core` to `list` unless already stamped for `tick` (the O(1)
+  /// epoch-stamped dedup of the event engine's dense active set).
+  void activate(long tick, int core, std::vector<int>& list) {
+    auto& stamp = activeStamp_[static_cast<std::size_t>(core)];
+    if (stamp != tick) {
+      stamp = tick;
+      list.push_back(core);
+    }
+  }
+
   std::uint64_t seed_;
   /// One RNG stream per core (seeded from seed_ and the core index), so
   /// cores can tick concurrently and stochastic thresholds stay
@@ -115,11 +152,21 @@ class Network {
   std::vector<std::unique_ptr<Core>> cores_;
   /// Ring buffer of delivery queues indexed by tick % (kMaxDelayTicks + 1).
   std::vector<std::vector<PendingSpike>> queues_;
-  /// External inputs scheduled further ahead than the ring can hold.
+  /// External inputs scheduled further ahead than the ring can hold, with
+  /// the smallest pending tick tracked so quiet ticks skip the rescan.
   std::vector<PendingSpike> overflow_;
+  long overflowMin_ = kNoOverflow;
   long now_ = 0;
   /// Per-core fired-neuron scratch, reused across ticks.
   std::vector<std::vector<int>> firedScratch_;
+  EngineKind engine_;
+  /// Event-engine active set: cores stamped for the tick they are queued
+  /// to run in (activeStamp_[c] == tick <=> c is in that tick's list).
+  /// activeNext_ carries activation across ticks and across run() calls.
+  std::vector<long> activeStamp_;
+  std::vector<int> activeNow_;
+  std::vector<int> activeNext_;
+  long coreTicksLastRun_ = 0;
   /// Active fault realization; nullptr on the (default) fault-free path,
   /// which therefore costs one pointer test per run phase.
   std::unique_ptr<FaultModel> faults_;

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "eedn/mapper.hpp"
+#include "eedn/trinary.hpp"
+#include "nn/sequential.hpp"
+#include "tn/network.hpp"
+
+// Engine-parity suite: the event-driven engine must produce
+// bitwise-identical RunResults to the dense reference -- same recorded
+// output spikes in the same order, same totals, same per-core counts --
+// for any thread count, with and without fault injection. Every run in
+// this file builds its networks from scratch so the two engines (and any
+// two thread counts) see exactly the same initial state.
+
+namespace {
+
+using pcnn::Rng;
+using pcnn::tn::EngineKind;
+using pcnn::tn::FaultCounts;
+using pcnn::tn::FaultPlan;
+using pcnn::tn::Network;
+using pcnn::tn::ResetMode;
+using pcnn::tn::RunResult;
+
+/// A deliberately mixed network: sparse crossbars, all three reset modes,
+/// cross-core routing with varied delays, and -- on a subset of cores only,
+/// so the active set stays genuinely sparse -- leak dynamics and
+/// stochastic thresholds. Inputs arrive in bursts with quiet gaps, plus
+/// far-future events that exercise the overflow list, plus a pre-run
+/// potential mutation (the "restless start" the event engine must notice
+/// without any delivery).
+void buildMixedNetwork(Network& net, int cores, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int c = 0; c < cores; ++c) net.addCore();
+  for (int c = 0; c < cores; ++c) {
+    pcnn::tn::Core& core = net.core(c);
+    for (int a = 0; a < 64; ++a) {
+      core.setAxonType(a, rng.uniformInt(0, 3));
+      for (int k = 0; k < 4; ++k) {
+        core.setConnection(a, rng.uniformInt(0, 255), true);
+      }
+    }
+    for (int n = 0; n < pcnn::tn::kNeuronsPerCore; ++n) {
+      pcnn::tn::NeuronConfig& cfg = core.neuron(n);
+      for (int t = 0; t < pcnn::tn::kAxonTypes; ++t) {
+        cfg.synapticWeights[static_cast<std::size_t>(t)] =
+            rng.uniformInt(-3, 3);
+      }
+      cfg.threshold = rng.uniformInt(1, 4);
+      cfg.floorPotential = -8;
+      cfg.resetMode = n % 3 == 0   ? ResetMode::kAbsolute
+                      : n % 3 == 1 ? ResetMode::kLinear
+                                   : ResetMode::kNone;
+      if (c % 3 == 0 && n % 16 == 0) cfg.leak = rng.uniformInt(-1, 1);
+      if (c % 4 == 1 && n % 32 == 5) {
+        cfg.stochasticThreshold = true;
+        cfg.stochasticMask = 3;
+      }
+      cfg.recordOutput = n % 8 == 0;
+      if (n % 2 == 0) {
+        cfg.dest = {rng.uniformInt(0, cores - 1), rng.uniformInt(0, 255),
+                    rng.uniformInt(1, pcnn::tn::kMaxDelayTicks)};
+      }
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    net.scheduleInput(rng.uniformInt(0, 12), rng.uniformInt(0, cores - 1),
+                      rng.uniformInt(0, 255));
+  }
+  // Far-future inputs (the overflow list) after a quiet gap.
+  for (int i = 0; i < 20; ++i) {
+    net.scheduleInput(rng.uniformInt(30, 40), rng.uniformInt(0, cores - 1),
+                      rng.uniformInt(0, 255));
+  }
+  net.core(0).setPotential(3, 100);
+}
+
+struct RunOutcome {
+  RunResult result;
+  FaultCounts faults;
+};
+
+RunOutcome runMixed(EngineKind kind, int threads,
+                    const std::optional<FaultPlan>& plan, long ticks = 50) {
+  const int before = pcnn::threadCount();
+  pcnn::setThreadCount(threads);
+  Network net(7);
+  buildMixedNetwork(net, 12, 99);
+  if (plan.has_value()) net.setFaultPlan(*plan);
+  net.setEngine(kind);
+  RunOutcome outcome{net.run(ticks), net.faultCounts()};
+  pcnn::setThreadCount(before);
+  return outcome;
+}
+
+void expectBitwiseEqual(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.totalSpikes, b.totalSpikes);
+  EXPECT_EQ(a.ticksRun, b.ticksRun);
+  EXPECT_EQ(a.coreSpikes, b.coreSpikes);
+  ASSERT_EQ(a.outputSpikes.size(), b.outputSpikes.size());
+  for (std::size_t i = 0; i < a.outputSpikes.size(); ++i) {
+    EXPECT_EQ(a.outputSpikes[i].tick, b.outputSpikes[i].tick) << "spike " << i;
+    EXPECT_EQ(a.outputSpikes[i].core, b.outputSpikes[i].core) << "spike " << i;
+    EXPECT_EQ(a.outputSpikes[i].neuron, b.outputSpikes[i].neuron)
+        << "spike " << i;
+  }
+}
+
+void expectSameFaults(const FaultCounts& a, const FaultCounts& b) {
+  EXPECT_EQ(a.droppedSpikes, b.droppedSpikes);
+  EXPECT_EQ(a.deadCoreDrops, b.deadCoreDrops);
+  EXPECT_EQ(a.stuckOnSpikes, b.stuckOnSpikes);
+  EXPECT_EQ(a.stuckOffSuppressed, b.stuckOffSuppressed);
+  EXPECT_EQ(a.weightFlips, b.weightFlips);
+}
+
+TEST(TnEngineParity, MatchesDenseAcrossThreadCounts) {
+  const RunOutcome dense = runMixed(EngineKind::kDense, 1, std::nullopt);
+  ASSERT_GT(dense.result.totalSpikes, 0);
+  for (int threads : {1, 2, 4}) {
+    const RunOutcome event =
+        runMixed(EngineKind::kEvent, threads, std::nullopt);
+    expectBitwiseEqual(dense.result, event.result);
+  }
+  // The dense engine itself is the thread-invariance reference.
+  const RunOutcome dense4 = runMixed(EngineKind::kDense, 4, std::nullopt);
+  expectBitwiseEqual(dense.result, dense4.result);
+}
+
+TEST(TnEngineParity, MatchesDenseUnderFaultPlan) {
+  FaultPlan plan;
+  plan.spikeDropProb = 0.05;
+  plan.deadCores = 2;
+  plan.stuckOnNeurons = 3;
+  plan.stuckOffNeurons = 3;
+  plan.weightFlipProb = 0.02;
+  plan.seed = 5;
+  const RunOutcome dense = runMixed(EngineKind::kDense, 1, plan);
+  ASSERT_GT(dense.faults.total(), 0);
+  for (int threads : {1, 2, 4}) {
+    const RunOutcome event = runMixed(EngineKind::kEvent, threads, plan);
+    expectBitwiseEqual(dense.result, event.result);
+    expectSameFaults(dense.faults, event.faults);
+  }
+}
+
+TEST(TnEngineParity, ContinuationAcrossRunsAndReset) {
+  for (int threads : {1, 4}) {
+    auto runSplit = [threads](EngineKind kind) {
+      const int before = pcnn::threadCount();
+      pcnn::setThreadCount(threads);
+      Network net(7);
+      buildMixedNetwork(net, 12, 99);
+      net.setEngine(kind);
+      // Two back-to-back runs (the active set must carry over), then a
+      // reset and a fresh schedule (the bookkeeping must clear).
+      RunResult first = net.run(25);
+      first.accumulate(net.run(25), true);
+      net.reset(true);
+      net.scheduleInput(2, 1, 7);
+      net.core(2).setPotential(11, 50);
+      first.accumulate(net.run(10), true);
+      pcnn::setThreadCount(before);
+      return first;
+    };
+    expectBitwiseEqual(runSplit(EngineKind::kDense),
+                       runSplit(EngineKind::kEvent));
+  }
+}
+
+TEST(TnEngineParity, FreeRunningNeuronRefiresWithoutInput) {
+  // A ResetMode::kNone neuron parked above threshold fires every tick with
+  // no deliveries at all; the event engine must keep it active on its own.
+  auto build = [](EngineKind kind) {
+    auto net = std::make_unique<Network>(3);
+    const int c = net->addCore();
+    pcnn::tn::NeuronConfig& cfg = net->core(c).neuron(0);
+    cfg.threshold = 1;
+    cfg.resetMode = ResetMode::kNone;
+    cfg.recordOutput = true;
+    net->core(c).setPotential(0, 5);
+    net->setEngine(kind);
+    return net;
+  };
+  const RunResult dense = build(EngineKind::kDense)->run(20);
+  const RunResult event = build(EngineKind::kEvent)->run(20);
+  EXPECT_EQ(dense.totalSpikes, 20);
+  expectBitwiseEqual(dense, event);
+}
+
+TEST(TnEngineParity, LongQuietGapBeforeOverflowInput) {
+  // Nothing happens for 39 ticks; the event engine's tick loop must do no
+  // per-core work yet still wake for the overflow-delivered input.
+  auto run = [](EngineKind kind) {
+    Network net(11);
+    const int c = net.addCore();
+    net.core(c).setAxonType(0, 0);
+    net.core(c).setConnection(0, 0, true);
+    pcnn::tn::NeuronConfig& cfg = net.core(c).neuron(0);
+    cfg.synapticWeights[0] = 2;
+    cfg.threshold = 1;
+    cfg.recordOutput = true;
+    net.scheduleInput(40, c, 0);
+    net.setEngine(kind);
+    return net.run(60);
+  };
+  const RunResult dense = run(EngineKind::kDense);
+  const RunResult event = run(EngineKind::kEvent);
+  ASSERT_EQ(dense.totalSpikes, 1);
+  ASSERT_EQ(dense.outputSpikes.size(), 1u);
+  EXPECT_EQ(dense.outputSpikes[0].tick, 40);
+  expectBitwiseEqual(dense, event);
+}
+
+TEST(TnEngineParity, MappedEednAgreesWithReferenceOnBothEngines) {
+  Rng rng(17);
+  pcnn::nn::Sequential net;
+  net.add(std::make_unique<pcnn::eedn::TrinaryDense>(8, 10, rng, 0.5f));
+  net.add(std::make_unique<pcnn::eedn::SpikingThreshold>(10, 2.0f));
+  net.add(std::make_unique<pcnn::eedn::TrinaryDense>(10, 4, rng, 0.5f));
+  const auto mapped = pcnn::eedn::TnMapper::map(net);
+
+  std::vector<std::vector<int>> inputs;
+  Rng inputRng(23);
+  for (int k = 0; k < 16; ++k) {
+    std::vector<int> input(8);
+    for (int& v : input) v = inputRng.uniformInt(0, 1);
+    inputs.push_back(std::move(input));
+  }
+  for (const EngineKind kind : {EngineKind::kDense, EngineKind::kEvent}) {
+    mapped->network().setEngine(kind);
+    for (const std::vector<int>& input : inputs) {
+      EXPECT_EQ(mapped->forwardSpikes(input), mapped->referenceForward(input));
+    }
+    // The window-major batch entry returns exactly the per-call results.
+    std::vector<std::vector<int>> expected;
+    for (const std::vector<int>& input : inputs) {
+      expected.push_back(mapped->referenceForward(input));
+    }
+    EXPECT_EQ(mapped->forwardSpikesBatch(inputs), expected);
+  }
+}
+
+TEST(TnEngineParity, ScheduleInputValidatesAxonRange) {
+  Network net(1);
+  const int c = net.addCore();
+  EXPECT_THROW(net.scheduleInput(0, c, -1), std::out_of_range);
+  EXPECT_THROW(net.scheduleInput(0, c, pcnn::tn::kAxonsPerCore),
+               std::out_of_range);
+}
+
+TEST(TnEngineParity, CompiledSoaValidatesRoutedDestinations) {
+  // Destination validation moved to configuration-compile time for the
+  // event engine: a bad delay must still surface as the same error the
+  // dense engine throws at fire time.
+  Network net(1);
+  const int c = net.addCore();
+  pcnn::tn::NeuronConfig& cfg = net.core(c).neuron(0);
+  cfg.threshold = 1;
+  cfg.dest = {c, 0, 0};  // delay below the 1..15 routing range
+  net.setEngine(EngineKind::kEvent);
+  EXPECT_THROW(net.run(1), std::logic_error);
+}
+
+}  // namespace
