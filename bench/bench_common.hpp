@@ -11,10 +11,13 @@
 #include <utility>
 #include <vector>
 
+#include <cstdlib>
+
 #include "common/rng.hpp"
 #include "core/detector.hpp"
 #include "eval/detection_eval.hpp"
 #include "hog/cell_kernels.hpp"
+#include "io/bundle.hpp"
 #include "obs/provenance.hpp"
 #include "tn/engine.hpp"
 #include "vision/synth.hpp"
@@ -25,12 +28,30 @@ namespace pcnn::bench {
 /// obs::provenance() plus the hog layer's resolved kernel dispatch. One
 /// helper instead of each bench duplicating its own subset of
 /// thread/SIMD fields (BENCH_detect.json used to hand-roll them).
+/// With PCNN_BUNDLE set, the bundle's manifest identity (spec + content
+/// hash) is stamped in too, so a bench row can always be traced back to
+/// the exact trained artifact it measured.
 inline std::string provenanceJson() {
-  const std::vector<std::pair<std::string, std::string>> extras = {
+  std::vector<std::pair<std::string, std::string>> extras = {
       {"kernel_dispatch",
        hog::kernels::kindName(hog::kernels::activeKind())},
       {"simd_level", hog::kernels::simdLevel()},
       {"tn_engine", tn::engineName(tn::engineFromEnv())}};
+  if (const char* bundlePath = std::getenv("PCNN_BUNDLE")) {
+    StatusOr<io::Manifest> manifest =
+        io::Bundle::tryLoadManifestFile(bundlePath);
+    if (manifest.ok()) {
+      extras.emplace_back("bundle_spec",
+                          manifest.value().get(io::keys::kSpec, "unknown"));
+      extras.emplace_back(
+          "bundle_hash",
+          manifest.value().get(io::keys::kContentHash, "unrecorded"));
+    } else {
+      // Code name only: provenanceJson does not escape the message text.
+      extras.emplace_back("bundle_error",
+                          statusCodeName(manifest.status().code()));
+    }
+  }
   return obs::provenanceJson(obs::provenance(), extras);
 }
 

@@ -143,6 +143,32 @@ int main(int argc, char** argv) {
                 backendMs[i], extractor->featureDim());
   }
 
+  // (d) Bundle row: with PCNN_BUNDLE set, the same cached-grid scan with
+  // the extractor reloaded from the bundle -- the deployment path, timed
+  // against the in-process constructions above. The manifest identity also
+  // lands in the provenance block (bench::provenanceJson).
+  double bundleMs = -1.0;
+  std::string bundleSpec;
+  if (const char* bundlePath = std::getenv("PCNN_BUNDLE")) {
+    StatusOr<std::shared_ptr<extract::FeatureExtractor>> loaded =
+        extract::ExtractorRegistry::instance().tryLoadBundle(bundlePath);
+    if (loaded.ok()) {
+      bundleSpec = loaded.value()->name();
+      const auto bundleScore = randomScorer(loaded.value()->featureDim());
+      core::GridDetectorParams bp;
+      bp.scoreThreshold = 1e9f;
+      bp.pyramid = smallScan.pyramid;
+      core::GridDetector bundleDetector(bp, loaded.value(), bundleScore);
+      bundleMs = bestOfMs(
+          repeats, [&] { (void)bundleDetector.detectRaw(smallScene).size(); });
+      std::printf("  %-12s %9.1f ms  (bundle-loaded %s)\n", "bundle",
+                  bundleMs, bundleSpec.c_str());
+    } else {
+      std::fprintf(stderr, "PCNN_BUNDLE: %s\n",
+                   loaded.status().toString().c_str());
+    }
+  }
+
   std::FILE* out = std::fopen(outPath.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", outPath.c_str());
@@ -175,7 +201,14 @@ int main(int argc, char** argv) {
     std::fprintf(out, "%s\n    \"%s\": {\"cached_grid_1t_ms\": %.2f}",
                  i == 0 ? "" : ",", names[i].c_str(), backendMs[i]);
   }
-  std::fprintf(out, "\n  }\n}\n");
+  std::fprintf(out, "\n  }");
+  if (bundleMs >= 0.0) {
+    std::fprintf(out,
+                 ",\n  \"bundle\": {\"spec\": \"%s\", "
+                 "\"cached_grid_1t_ms\": %.2f}",
+                 bundleSpec.c_str(), bundleMs);
+  }
+  std::fprintf(out, "\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", outPath.c_str());
 

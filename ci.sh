@@ -26,15 +26,17 @@ PCNN_SIMD=off ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure \
 PCNN_TN_ENGINE=dense ctest --test-dir "$BUILD_DIR" -L fast \
   --output-on-failure -j"$(nproc)"
 
-# ASan + UBSan tree over the fast label (PCNN_SANITIZE=ON skippable for
-# quick local iterations: PCNN_SANITIZE=OFF ./ci.sh). The fault-injection
-# and corrupt-file regression tests are in this label on purpose -- they
-# feed the deserializers and the simulator deliberately hostile input, so
-# they run memory- and UB-checked on every CI pass.
+# ASan + UBSan tree over the fast and bundle labels (PCNN_SANITIZE=ON
+# skippable for quick local iterations: PCNN_SANITIZE=OFF ./ci.sh). The
+# fault-injection, corrupt-file and corrupt-bundle regression tests are in
+# these labels on purpose -- they feed the deserializers and the simulator
+# deliberately hostile input, so they run memory- and UB-checked on every
+# CI pass.
 if [[ "${PCNN_SANITIZE:-ON}" == "ON" ]]; then
   cmake -B "$BUILD_DIR-asan" -S . -DPCNN_WERROR=ON -DPCNN_SANITIZE=ON
   cmake --build "$BUILD_DIR-asan" -j"$(nproc)"
-  ctest --test-dir "$BUILD_DIR-asan" -L fast --output-on-failure -j"$(nproc)"
+  ctest --test-dir "$BUILD_DIR-asan" -L 'fast|bundle' --output-on-failure \
+    -j"$(nproc)"
 fi
 
 # Observability smoke: a traced detection run must produce valid, non-empty
@@ -73,4 +75,16 @@ LEFTOVER="$(find "$OBS_DIR" -name '*.json' ! -name trace.json \
   ! -name metrics.json ! -name tn_metrics.json)"
 test -z "$LEFTOVER" || { echo "unexpected obs output: $LEFTOVER"; exit 1; }
 
-echo "ci.sh: build + tests (incl. scalar-dispatch + dense-engine + sanitizer fast re-runs + obs smoke) passed"
+# Bundle smoke: train a tiny pipeline, pack it into a model bundle, verify
+# its content hash and score parity across two independent loads, then run
+# the detection example against it (the deployment path -- no in-process
+# training). The whole train-once/reload-by-name contract, end to end.
+BUNDLE="$OBS_DIR/smoke.pcnb"
+BT_BIN="$(cd "$BUILD_DIR" && pwd)/examples/bundle_tool"
+"$BT_BIN" pack "$BUNDLE" hog --windows 30 >/dev/null
+"$BT_BIN" inspect "$BUNDLE" >/dev/null
+"$BT_BIN" verify "$BUNDLE"
+PCNN_BUNDLE="$BUNDLE" "$PD_BIN" 1 7 >/dev/null
+echo "bundle smoke: pack + verify + bundle-loaded detection passed"
+
+echo "ci.sh: build + tests (incl. scalar-dispatch + dense-engine + sanitizer fast|bundle re-runs + obs & bundle smoke) passed"

@@ -1,10 +1,14 @@
 #include "core/pipeline.hpp"
 
+#include <cstdio>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "eedn/serialize.hpp"
 #include "obs/obs.hpp"
+#include "obs/provenance.hpp"
 #include "tn/faults.hpp"
 
 namespace pcnn::core {
@@ -113,6 +117,198 @@ std::vector<float> PartitionedPipeline::scoreAllDegraded(
     report->faults = tn::globalFaultCounts() - faultsBefore;
   }
   return scores;
+}
+
+namespace {
+
+/// Manifest keys for the classifier half of a pipeline bundle (the
+/// extractor half uses io::keys via recordExtractorManifest).
+constexpr const char* kKeyInputSize = "classifier_input_size";
+constexpr const char* kKeyGroupInputSize = "classifier_group_input_size";
+constexpr const char* kKeyOutputsPerGroup = "classifier_outputs_per_group";
+constexpr const char* kKeyHiddenWidths = "classifier_hidden_widths";
+constexpr const char* kKeyOutputPopulation = "classifier_output_population";
+constexpr const char* kKeyTau = "classifier_tau";
+constexpr const char* kKeyInputScale = "classifier_input_scale";
+constexpr const char* kKeySeed = "classifier_seed";
+
+/// Shortest float rendering that round-trips through strtod.
+std::string floatField(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string hiddenWidthsField(const std::vector<int>& widths) {
+  std::string out;
+  for (int w : widths) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(w);
+  }
+  return out;
+}
+
+StatusOr<std::vector<int>> parseHiddenWidths(const std::string& field) {
+  std::vector<int> widths;
+  std::string token;
+  std::istringstream in(field);
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    int value = 0;
+    for (char c : token) {
+      if (c < '0' || c > '9') {
+        return Status::OutOfRange(
+            "bundle manifest: unparsable hidden width \"" + token + "\"");
+      }
+      value = value * 10 + (c - '0');
+      if (value > (1 << 20)) {
+        return Status::OutOfRange("bundle manifest: hidden width \"" +
+                                  token + "\" implausibly large");
+      }
+    }
+    widths.push_back(value);
+  }
+  return widths;
+}
+
+Status readIntField(const io::Manifest& manifest, const char* key,
+                    int& out) {
+  if (manifest.find(key) == nullptr) return Status::Ok();
+  StatusOr<long> value = manifest.getInt(key);
+  if (!value.ok()) return value.status();
+  out = static_cast<int>(value.value());
+  return Status::Ok();
+}
+
+Status readFloatField(const io::Manifest& manifest, const char* key,
+                      float& out) {
+  if (manifest.find(key) == nullptr) return Status::Ok();
+  StatusOr<double> value = manifest.getFloat(key);
+  if (!value.ok()) return value.status();
+  out = static_cast<float>(value.value());
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status PartitionedPipeline::packBundle(
+    io::Bundle& bundle, const extract::ExtractorOptions& extractorOptions) {
+  if (Status status = extract::ExtractorRegistry::instance().packExtractor(
+          bundle, *featureExtractor_, extractorOptions);
+      !status.ok()) {
+    return status;
+  }
+
+  const eedn::EednClassifierConfig& config = classifier_->config();
+  io::Manifest& manifest = bundle.manifest();
+  manifest.set(kKeyInputSize, std::to_string(config.inputSize));
+  manifest.set(kKeyGroupInputSize, std::to_string(config.groupInputSize));
+  manifest.set(kKeyOutputsPerGroup, std::to_string(config.outputsPerGroup));
+  manifest.set(kKeyHiddenWidths, hiddenWidthsField(config.hiddenWidths));
+  manifest.set(kKeyOutputPopulation,
+               std::to_string(config.outputPopulation));
+  manifest.set(kKeyTau, floatField(config.tau));
+  manifest.set(kKeyInputScale, floatField(config.inputScale));
+  manifest.set(kKeySeed, std::to_string(config.seed));
+  manifest.set(io::keys::kGitSha, obs::provenance().gitSha);
+
+  std::ostringstream net;
+  const eedn::EednClassifier& classifier = *classifier_;
+  if (Status status = eedn::trySaveNetwork(classifier.net(), net);
+      !status.ok()) {
+    return status;
+  }
+  bundle.setChunk(io::chunks::kEednNetwork, net.str());
+  return Status::Ok();
+}
+
+Status PartitionedPipeline::trySaveBundle(
+    const std::string& path,
+    const extract::ExtractorOptions& extractorOptions) {
+  io::Bundle bundle;
+  if (Status status = packBundle(bundle, extractorOptions); !status.ok()) {
+    return status;
+  }
+  return bundle.trySaveFile(path);
+}
+
+StatusOr<PartitionedPipeline> PartitionedPipeline::tryLoadBundle(
+    const io::Bundle& bundle) {
+  StatusOr<std::shared_ptr<extract::FeatureExtractor>> extractor =
+      extract::ExtractorRegistry::instance().tryLoadExtractor(bundle);
+  if (!extractor.ok()) return extractor.status();
+
+  const io::Manifest& manifest = bundle.manifest();
+  eedn::EednClassifierConfig config;
+  config.inputSize = extractor.value()->featureDim();
+  if (Status s = readIntField(manifest, kKeyInputSize, config.inputSize);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = readIntField(manifest, kKeyGroupInputSize,
+                              config.groupInputSize);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = readIntField(manifest, kKeyOutputsPerGroup,
+                              config.outputsPerGroup);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = readIntField(manifest, kKeyOutputPopulation,
+                              config.outputPopulation);
+      !s.ok()) {
+    return s;
+  }
+  if (const std::string* widths = manifest.find(kKeyHiddenWidths)) {
+    StatusOr<std::vector<int>> parsed = parseHiddenWidths(*widths);
+    if (!parsed.ok()) return parsed.status();
+    config.hiddenWidths = std::move(parsed).value();
+  }
+  if (Status s = readFloatField(manifest, kKeyTau, config.tau); !s.ok()) {
+    return s;
+  }
+  if (Status s = readFloatField(manifest, kKeyInputScale, config.inputScale);
+      !s.ok()) {
+    return s;
+  }
+  if (manifest.find(kKeySeed) != nullptr) {
+    StatusOr<long> seed = manifest.getInt(kKeySeed);
+    if (!seed.ok()) return seed.status();
+    config.seed = static_cast<std::uint64_t>(seed.value());
+  }
+
+  if (config.inputSize != extractor.value()->featureDim()) {
+    return Status::FailedPrecondition(
+        "bundle manifest: classifier input size " +
+        std::to_string(config.inputSize) + " does not match the " +
+        extractor.value()->name() + " extractor's feature dimension " +
+        std::to_string(extractor.value()->featureDim()));
+  }
+
+  try {
+    PartitionedPipeline pipeline(std::move(extractor).value(), config);
+    if (const std::string* net = bundle.chunk(io::chunks::kEednNetwork)) {
+      std::istringstream in(*net);
+      if (Status status =
+              eedn::tryLoadNetwork(pipeline.classifier_->net(), in);
+          !status.ok()) {
+        return status;
+      }
+    }
+    return StatusOr<PartitionedPipeline>(std::move(pipeline));
+  } catch (const std::invalid_argument& e) {
+    return Status::InvalidArgument(std::string("tryLoadBundle: ") + e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("tryLoadBundle: ") + e.what());
+  }
+}
+
+StatusOr<PartitionedPipeline> PartitionedPipeline::tryLoadBundleFile(
+    const std::string& path) {
+  StatusOr<io::Bundle> bundle = io::Bundle::tryLoadFile(path);
+  if (!bundle.ok()) return bundle.status();
+  return tryLoadBundle(bundle.value());
 }
 
 parrot::ParrotHog trainParrotStage(const parrot::ParrotConfig& config,

@@ -7,6 +7,8 @@
 #include "core/degradation.hpp"
 #include "eedn/classifier.hpp"
 #include "extract/extractor.hpp"
+#include "extract/registry.hpp"
+#include "io/bundle.hpp"
 #include "parrot/parrot.hpp"
 #include "vision/image.hpp"
 
@@ -84,6 +86,30 @@ class PartitionedPipeline {
   const std::shared_ptr<extract::FeatureExtractor>& extractor() const {
     return featureExtractor_;
   }
+
+  /// Packs the trained pipeline into a bundle: the manifest records the
+  /// extractor spec + options, the classifier configuration and the build
+  /// provenance (git SHA); the chunks carry the extractor state
+  /// (chunks::kExtractorState) and the trained classifier network
+  /// (chunks::kEednNetwork). `extractorOptions` must be the options the
+  /// extractor was constructed with -- they are not recoverable from the
+  /// built instance (the coding seed is consumed into RNG state).
+  Status packBundle(io::Bundle& bundle,
+                    const extract::ExtractorOptions& extractorOptions);
+
+  /// packBundle + Bundle::trySaveFile.
+  Status trySaveBundle(const std::string& path,
+                       const extract::ExtractorOptions& extractorOptions);
+
+  /// Reconstructs a trained pipeline from a bundle without re-running
+  /// stage A (extractor pretraining) or stage B (classifier training):
+  /// the extractor is rebuilt from the manifest spec + state chunk, the
+  /// classifier from the manifest config + network chunk. A manifest
+  /// whose classifier input size disagrees with the extractor's feature
+  /// dimension is kFailedPrecondition.
+  static StatusOr<PartitionedPipeline> tryLoadBundle(const io::Bundle& bundle);
+  static StatusOr<PartitionedPipeline> tryLoadBundleFile(
+      const std::string& path);
 
  private:
   std::vector<std::vector<float>> extractAll(

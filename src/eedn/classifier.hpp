@@ -71,6 +71,7 @@ class EednClassifier {
   long coreCountEstimate() const;
 
   nn::Sequential& net() { return net_; }
+  const nn::Sequential& net() const { return net_; }
   const EednClassifierConfig& config() const { return config_; }
 
  private:

@@ -4,24 +4,22 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "eedn/partitioned.hpp"
 #include "eedn/trinary.hpp"
+#include "io/io.hpp"
 
 namespace pcnn::eedn {
 namespace {
 
-void saveTrinary(const TrinaryDense& layer, std::ostream& out) {
-  out << "TrinaryDense " << layer.inputSize() << ' ' << layer.outputSize()
-      << '\n';
-  for (float w : layer.hiddenWeights()) out << w << ' ';
-  out << '\n';
-  for (float b : layer.biases()) out << b << ' ';
-  out << '\n';
-}
+constexpr char kMagic[5] = "PEDN";
+constexpr std::uint32_t kVersion = 2;
 
-Status loadTrinary(TrinaryDense& layer, std::istream& in) {
+// --- v1 whitespace-text reader (legacy files; never written anymore) ----
+
+Status loadTrinaryV1(TrinaryDense& layer, std::istream& in) {
   std::string tag;
   int inSize = 0, outSize = 0;
   if (!(in >> tag >> inSize >> outSize) || tag != "TrinaryDense" ||
@@ -47,34 +45,7 @@ Status loadTrinary(TrinaryDense& layer, std::istream& in) {
   return Status::Ok();
 }
 
-}  // namespace
-
-void saveNetwork(const nn::Sequential& net, std::ostream& out) {
-  out.precision(9);  // float max_digits10: exact decimal round trip
-  out << "pcnn-eedn-v1 " << net.layerCount() << '\n';
-  for (std::size_t i = 0; i < net.layerCount(); ++i) {
-    const nn::Layer& layer = net.layer(i);
-    if (const auto* td = dynamic_cast<const TrinaryDense*>(&layer)) {
-      saveTrinary(*td, out);
-    } else if (const auto* pd =
-                   dynamic_cast<const PartitionedDense*>(&layer)) {
-      out << "PartitionedDense " << pd->groupCount() << '\n';
-      for (int g = 0; g < pd->groupCount(); ++g) {
-        saveTrinary(*pd->group(g).layer, out);
-      }
-    } else if (const auto* spike =
-                   dynamic_cast<const SpikingThreshold*>(&layer)) {
-      out << "SpikingThreshold " << spike->inputSize() << ' '
-          << spike->steWidth() << '\n';
-    } else {
-      throw std::invalid_argument(
-          "saveNetwork: unsupported layer type in Eedn network");
-    }
-  }
-  if (!out) throw std::runtime_error("saveNetwork: write failure");
-}
-
-Status tryLoadNetwork(nn::Sequential& net, std::istream& in) {
+Status tryLoadNetworkV1(nn::Sequential& net, std::istream& in) {
   std::string magic;
   std::size_t layerCount = 0;
   if (!(in >> magic >> layerCount) || magic != "pcnn-eedn-v1" ||
@@ -84,7 +55,9 @@ Status tryLoadNetwork(nn::Sequential& net, std::istream& in) {
   for (std::size_t i = 0; i < net.layerCount(); ++i) {
     nn::Layer& layer = net.layer(i);
     if (auto* td = dynamic_cast<TrinaryDense*>(&layer)) {
-      if (Status status = loadTrinary(*td, in); !status.ok()) return status;
+      if (Status status = loadTrinaryV1(*td, in); !status.ok()) {
+        return status;
+      }
     } else if (auto* pd = dynamic_cast<PartitionedDense*>(&layer)) {
       std::string tag;
       int groups = 0;
@@ -93,7 +66,7 @@ Status tryLoadNetwork(nn::Sequential& net, std::istream& in) {
         return Status::DataLoss("loadNetwork: PartitionedDense mismatch");
       }
       for (int g = 0; g < groups; ++g) {
-        if (Status status = loadTrinary(pd->mutableGroupLayer(g), in);
+        if (Status status = loadTrinaryV1(pd->mutableGroupLayer(g), in);
             !status.ok()) {
           return status;
         }
@@ -114,24 +87,213 @@ Status tryLoadNetwork(nn::Sequential& net, std::istream& in) {
   return Status::Ok();
 }
 
-void loadNetwork(nn::Sequential& net, std::istream& in) {
-  if (Status status = tryLoadNetwork(net, in); !status.ok()) {
-    throw std::runtime_error(status.toString());
-  }
+// --- v2 chunked binary over io::Writer/io::Reader ------------------------
+
+void packTrinary(const TrinaryDense& layer, io::Writer& w) {
+  w.u32(static_cast<std::uint32_t>(layer.inputSize()));
+  w.u32(static_cast<std::uint32_t>(layer.outputSize()));
+  for (float weight : layer.hiddenWeights()) w.f32(weight);
+  for (float bias : layer.biases()) w.f32(bias);
 }
 
-void saveNetworkFile(const nn::Sequential& net, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("saveNetworkFile: cannot open " + path);
-  saveNetwork(net, out);
+Status unpackTrinary(TrinaryDense& layer, io::Reader& r) {
+  std::uint32_t inSize = 0, outSize = 0;
+  r.u32(inSize);
+  if (!r.u32(outSize).ok()) return r.status();
+  if (inSize != static_cast<std::uint32_t>(layer.inputSize()) ||
+      outSize != static_cast<std::uint32_t>(layer.outputSize())) {
+    return Status::DataLoss("loadNetwork: TrinaryDense shape mismatch");
+  }
+  for (float& w : layer.hiddenWeights()) {
+    if (!r.f32(w).ok()) {
+      return Status::DataLoss("loadNetwork: truncated weights");
+    }
+    if (!std::isfinite(w)) {
+      return Status::OutOfRange("loadNetwork: non-finite weight");
+    }
+  }
+  for (float& b : layer.biases()) {
+    if (!r.f32(b).ok()) {
+      return Status::DataLoss("loadNetwork: truncated biases");
+    }
+    if (!std::isfinite(b)) {
+      return Status::OutOfRange("loadNetwork: non-finite bias");
+    }
+  }
+  return Status::Ok();
+}
+
+Status tryLoadNetworkV2(nn::Sequential& net, std::istream& in) {
+  io::Reader r(in);
+  if (!r.header(kMagic, kVersion).ok()) return r.status();
+
+  io::Reader::Chunk chunk;
+  bool end = false;
+  if (!r.nextChunk(chunk, end).ok()) return r.status();
+  if (end || chunk.tag != "NETW") {
+    return Status::DataLoss("loadNetwork: missing NETW chunk");
+  }
+  {
+    std::istringstream payload(chunk.payload);
+    io::Reader pr(payload);
+    std::uint32_t layerCount = 0;
+    if (!pr.u32(layerCount).ok()) return pr.status();
+    if (layerCount != net.layerCount()) {
+      return Status::DataLoss("loadNetwork: bad header or layer count");
+    }
+  }
+
+  for (std::size_t i = 0; i < net.layerCount(); ++i) {
+    // One chunk per layer, unknown tags skipped for forward compat.
+    for (;;) {
+      if (!r.nextChunk(chunk, end).ok()) return r.status();
+      if (end) {
+        return Status::DataLoss("loadNetwork: truncated layer sequence");
+      }
+      if (chunk.tag == "TDNS" || chunk.tag == "PDNS" ||
+          chunk.tag == "SPKT") {
+        break;
+      }
+    }
+    std::istringstream payload(chunk.payload);
+    io::Reader pr(payload);
+    nn::Layer& layer = net.layer(i);
+    if (auto* td = dynamic_cast<TrinaryDense*>(&layer)) {
+      if (chunk.tag != "TDNS") {
+        return Status::DataLoss("loadNetwork: TrinaryDense layer mismatch");
+      }
+      if (Status status = unpackTrinary(*td, pr); !status.ok()) {
+        return status;
+      }
+    } else if (auto* pd = dynamic_cast<PartitionedDense*>(&layer)) {
+      if (chunk.tag != "PDNS") {
+        return Status::DataLoss("loadNetwork: PartitionedDense mismatch");
+      }
+      std::uint32_t groups = 0;
+      if (!pr.u32(groups).ok()) return pr.status();
+      if (groups != static_cast<std::uint32_t>(pd->groupCount())) {
+        return Status::DataLoss("loadNetwork: PartitionedDense mismatch");
+      }
+      for (std::uint32_t g = 0; g < groups; ++g) {
+        if (Status status =
+                unpackTrinary(pd->mutableGroupLayer(static_cast<int>(g)), pr);
+            !status.ok()) {
+          return status;
+        }
+      }
+    } else if (dynamic_cast<SpikingThreshold*>(&layer) != nullptr) {
+      if (chunk.tag != "SPKT") {
+        return Status::DataLoss("loadNetwork: SpikingThreshold mismatch");
+      }
+      std::uint32_t size = 0;
+      float width = 0.0f;
+      pr.u32(size);
+      if (!pr.f32(width).ok()) return pr.status();
+      if (size != static_cast<std::uint32_t>(layer.inputSize())) {
+        return Status::DataLoss("loadNetwork: SpikingThreshold mismatch");
+      }
+    } else {
+      return Status::InvalidArgument(
+          "loadNetwork: unsupported layer type in Eedn network");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status trySaveNetwork(const nn::Sequential& net, std::ostream& out) {
+  io::Writer w(out);
+  w.header(kMagic, kVersion);
+  {
+    std::ostringstream payload;
+    io::Writer pw(payload);
+    pw.u32(static_cast<std::uint32_t>(net.layerCount()));
+    w.chunk("NETW", payload.str());
+  }
+  for (std::size_t i = 0; i < net.layerCount(); ++i) {
+    const nn::Layer& layer = net.layer(i);
+    std::ostringstream payload;
+    io::Writer pw(payload);
+    if (const auto* td = dynamic_cast<const TrinaryDense*>(&layer)) {
+      packTrinary(*td, pw);
+      if (!pw.status().ok()) return pw.status();
+      w.chunk("TDNS", payload.str());
+    } else if (const auto* pd =
+                   dynamic_cast<const PartitionedDense*>(&layer)) {
+      pw.u32(static_cast<std::uint32_t>(pd->groupCount()));
+      for (int g = 0; g < pd->groupCount(); ++g) {
+        packTrinary(*pd->group(g).layer, pw);
+      }
+      if (!pw.status().ok()) return pw.status();
+      w.chunk("PDNS", payload.str());
+    } else if (const auto* spike =
+                   dynamic_cast<const SpikingThreshold*>(&layer)) {
+      pw.u32(static_cast<std::uint32_t>(spike->inputSize()));
+      pw.f32(spike->steWidth());
+      if (!pw.status().ok()) return pw.status();
+      w.chunk("SPKT", payload.str());
+    } else {
+      return Status::InvalidArgument(
+          "saveNetwork: unsupported layer type in Eedn network");
+    }
+  }
+  return w.status();
+}
+
+Status trySaveNetworkFile(const nn::Sequential& net,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::Unavailable("saveNetworkFile: cannot open " + path);
+  }
+  return trySaveNetwork(net, out);
+}
+
+Status tryLoadNetwork(nn::Sequential& net, std::istream& in) {
+  if (io::peekMagic(in) == kMagic) return tryLoadNetworkV2(net, in);
+  return tryLoadNetworkV1(net, in);
 }
 
 Status tryLoadNetworkFile(nn::Sequential& net, const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::Unavailable("loadNetworkFile: cannot open " + path);
   }
   return tryLoadNetwork(net, in);
+}
+
+namespace {
+
+/// Legacy save wrappers preserve their historical exception types: an
+/// unsupported layer was always std::invalid_argument, anything else
+/// std::runtime_error.
+void throwForSave(const Status& status) {
+  if (status.code() == StatusCode::kInvalidArgument ||
+      status.code() == StatusCode::kFailedPrecondition) {
+    throw std::invalid_argument(status.message());
+  }
+  throw std::runtime_error(status.toString());
+}
+
+}  // namespace
+
+void saveNetwork(const nn::Sequential& net, std::ostream& out) {
+  if (Status status = trySaveNetwork(net, out); !status.ok()) {
+    throwForSave(status);
+  }
+}
+
+void saveNetworkFile(const nn::Sequential& net, const std::string& path) {
+  if (Status status = trySaveNetworkFile(net, path); !status.ok()) {
+    throwForSave(status);
+  }
+}
+
+void loadNetwork(nn::Sequential& net, std::istream& in) {
+  if (Status status = tryLoadNetwork(net, in); !status.ok()) {
+    throw std::runtime_error(status.toString());
+  }
 }
 
 void loadNetworkFile(nn::Sequential& net, const std::string& path) {

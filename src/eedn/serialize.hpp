@@ -8,17 +8,24 @@
 
 namespace pcnn::eedn {
 
-/// Text serialization of trained Eedn networks (TrinaryDense,
+/// Serialization of trained Eedn networks (TrinaryDense,
 /// PartitionedDense, and SpikingThreshold layers).
 ///
-/// Format: one line per layer header, whitespace-separated numbers for
-/// parameters. The *structure* is not serialized -- loading requires a
-/// network built with the same configuration (the usual
-/// construct-then-load pattern); mismatched shapes throw
-/// std::runtime_error. Hidden (float) weights are stored so that training
-/// can resume after a round trip, not just the trinarized deployment
-/// values.
-void saveNetwork(const nn::Sequential& net, std::ostream& out);
+/// The *structure* is not serialized -- loading requires a network built
+/// with the same configuration (the usual construct-then-load pattern).
+/// Hidden (float) weights are stored so that training can resume after a
+/// round trip, not just the trinarized deployment values.
+///
+/// The current wire format ("PEDN" v2) is a chunked binary container over
+/// the shared io::Writer/io::Reader layer -- one chunk per layer,
+/// bitwise-exact float round trips. The v1 whitespace-text format
+/// ("pcnn-eedn-v1") is still read (the loader sniffs the magic) but no
+/// longer written.
+
+/// Status-returning save: kInvalidArgument for an unsupported layer type,
+/// kDataLoss on write failure.
+Status trySaveNetwork(const nn::Sequential& net, std::ostream& out);
+Status trySaveNetworkFile(const nn::Sequential& net, const std::string& path);
 
 /// Bounds-checked load into a pre-built network: every layer tag, shape
 /// and group count is validated against the target structure, truncation
@@ -27,15 +34,17 @@ void saveNetwork(const nn::Sequential& net, std::ostream& out);
 /// before the error keep the loaded values) -- reload or rebuild before
 /// using it.
 Status tryLoadNetwork(nn::Sequential& net, std::istream& in);
-
-/// Legacy wrapper over tryLoadNetwork; throws std::runtime_error carrying
-/// the status text on any failure.
-void loadNetwork(nn::Sequential& net, std::istream& in);
-
-/// Convenience file wrappers. tryLoadNetworkFile reports an unopenable
-/// path as kUnavailable; the legacy forms throw std::runtime_error.
-void saveNetworkFile(const nn::Sequential& net, const std::string& path);
 Status tryLoadNetworkFile(nn::Sequential& net, const std::string& path);
-void loadNetworkFile(nn::Sequential& net, const std::string& path);
+
+/// Legacy throwing wrappers over the try* variants. The save forms throw
+/// std::invalid_argument for an unsupported layer type and
+/// std::runtime_error on write failure; the load forms throw
+/// std::runtime_error carrying the status text.
+void saveNetwork(const nn::Sequential& net, std::ostream& out);
+void saveNetworkFile(const nn::Sequential& net, const std::string& path);
+[[deprecated("use tryLoadNetwork")]] void loadNetwork(nn::Sequential& net,
+                                                      std::istream& in);
+[[deprecated("use tryLoadNetworkFile")]] void loadNetworkFile(
+    nn::Sequential& net, const std::string& path);
 
 }  // namespace pcnn::eedn

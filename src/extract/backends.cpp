@@ -1,9 +1,12 @@
 #include "extract/backends.hpp"
 
+#include <sstream>
 #include <utility>
 
+#include "eedn/serialize.hpp"
 #include "napprox/corelet.hpp"
 #include "parrot/generator.hpp"
+#include "tn/model_io.hpp"
 
 namespace pcnn::extract {
 
@@ -201,6 +204,92 @@ float ParrotBackend::pretrain(int numSamples, int epochs,
 
 void ParrotBackend::setInputSpikes(int spikes) {
   model_.setInputSpikes(spikes);
+}
+
+Status QuantizedNApproxBackend::saveStateBody(io::Writer& writer) {
+  std::ostringstream payload;
+  io::Writer pw(payload);
+  pw.u32(static_cast<std::uint32_t>(model_.quant().spikeWindow));
+  pw.i32(model_.quant().weightScale);
+  pw.i32(model_.quant().rampLeak);
+  pw.i32(model_.effectiveThreshold());
+  if (!pw.status().ok()) return pw.status();
+  if (Status status = writer.chunk("QNAP", payload.str()); !status.ok()) {
+    return status;
+  }
+
+  napprox::NApproxCorelet corelet(model_);
+  std::ostringstream tnModel;
+  if (Status status = tn::trySaveModel(corelet.network(), tnModel);
+      !status.ok()) {
+    return status;
+  }
+  return writer.chunk("TNMD", tnModel.str());
+}
+
+Status QuantizedNApproxBackend::loadStateBody(
+    const std::vector<io::Reader::Chunk>& chunks) {
+  bool sawParams = false;
+  for (const io::Reader::Chunk& chunk : chunks) {
+    if (chunk.tag == "QNAP") {
+      std::istringstream payload(chunk.payload);
+      io::Reader pr(payload);
+      std::uint32_t spikeWindow = 0;
+      std::int32_t weightScale = 0, rampLeak = 0, threshold = 0;
+      pr.u32(spikeWindow);
+      pr.i32(weightScale);
+      pr.i32(rampLeak);
+      if (!pr.i32(threshold).ok()) return pr.status();
+      if (spikeWindow != static_cast<std::uint32_t>(
+                             model_.quant().spikeWindow) ||
+          weightScale != model_.quant().weightScale ||
+          rampLeak != model_.quant().rampLeak ||
+          threshold != model_.effectiveThreshold()) {
+        return Status::FailedPrecondition(
+            "loadState: quantization point mismatch for \"" + name() + "\"");
+      }
+      sawParams = true;
+    } else if (chunk.tag == "TNMD") {
+      // The stored corelet model must describe the same hardware mapping
+      // this build derives from the quantization point.
+      std::istringstream payload(chunk.payload);
+      StatusOr<std::unique_ptr<tn::Network>> stored =
+          tn::tryLoadModel(payload);
+      if (!stored.ok()) return stored.status();
+      napprox::NApproxCorelet corelet(model_);
+      if (stored.value()->coreCount() != corelet.coreCount()) {
+        return Status::DataLoss(
+            "loadState: stored corelet has " +
+            std::to_string(stored.value()->coreCount()) + " cores, this " +
+            "build maps " + std::to_string(corelet.coreCount()));
+      }
+    }
+  }
+  if (!sawParams) {
+    return Status::DataLoss("loadState: napprox state has no QNAP chunk");
+  }
+  return Status::Ok();
+}
+
+Status ParrotBackend::saveStateBody(io::Writer& writer) {
+  std::ostringstream net;
+  const parrot::ParrotHog& model = model_;
+  if (Status status = eedn::trySaveNetwork(model.net(), net); !status.ok()) {
+    return status;
+  }
+  return writer.chunk("EEDN", net.str());
+}
+
+Status ParrotBackend::loadStateBody(
+    const std::vector<io::Reader::Chunk>& chunks) {
+  for (const io::Reader::Chunk& chunk : chunks) {
+    if (chunk.tag != "EEDN") continue;
+    std::istringstream payload(chunk.payload);
+    // net() marks the compiled inference plan stale, so the next batch
+    // recompiles from the loaded weights.
+    return eedn::tryLoadNetwork(model_.net(), payload);
+  }
+  return Status::DataLoss("loadState: parrot state has no EEDN chunk");
 }
 
 }  // namespace pcnn::extract

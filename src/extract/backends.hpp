@@ -84,6 +84,14 @@ class QuantizedNApproxBackend final : public FeatureExtractor {
 
   const napprox::QuantizedNApproxHog& model() const { return model_; }
 
+ protected:
+  /// Persists the quantization point plus the compiled NApprox corelet's
+  /// TrueNorth model (the deployable artifact); loading re-derives both
+  /// and verifies the stored copy matches -- a bundle compiled by another
+  /// build must describe the same hardware mapping.
+  Status saveStateBody(io::Writer& writer) override;
+  Status loadStateBody(const std::vector<io::Reader::Chunk>& chunks) override;
+
  private:
   napprox::QuantizedNApproxHog model_;
 };
@@ -110,8 +118,15 @@ class ParrotBackend final : public FeatureExtractor {
   float pretrain(int numSamples, int epochs, float learningRate) override;
   void setInputSpikes(int spikes) override;
   bool statelessExtraction() const override { return false; }
+  bool hasTrainedState() const override { return true; }
 
   parrot::ParrotHog& parrot() { return model_; }
+
+ protected:
+  /// Persists the trained Eedn cell network (an embedded "PEDN" stream),
+  /// so a loaded Parrot skips stage-A pretraining entirely.
+  Status saveStateBody(io::Writer& writer) override;
+  Status loadStateBody(const std::vector<io::Reader::Chunk>& chunks) override;
 
  private:
   parrot::ParrotHog model_;

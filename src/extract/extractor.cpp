@@ -1,5 +1,7 @@
 #include "extract/extractor.hpp"
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -195,6 +197,106 @@ std::vector<std::vector<float>> FeatureExtractor::batchFeatures(
     }
   }
   return out;
+}
+
+namespace {
+
+constexpr char kStateMagic[5] = "PXST";
+constexpr std::uint32_t kStateVersion = 1;
+
+std::uint8_t layoutCode(FeatureLayout layout) {
+  return layout == FeatureLayout::kBlockNorm ? 1 : 0;
+}
+
+}  // namespace
+
+Status FeatureExtractor::trySaveState(std::ostream& out) {
+  io::Writer w(out);
+  w.header(kStateMagic, kStateVersion);
+  {
+    std::ostringstream payload;
+    io::Writer pw(payload);
+    pw.str(name_);
+    pw.u8(layoutCode(layout_));
+    pw.u32(static_cast<std::uint32_t>(bins_));
+    pw.u32(static_cast<std::uint32_t>(cellSize_));
+    pw.u32(static_cast<std::uint32_t>(windowCellsX_));
+    pw.u32(static_cast<std::uint32_t>(windowCellsY_));
+    if (!pw.status().ok()) return pw.status();
+    w.chunk("META", payload.str());
+  }
+  if (Status status = saveStateBody(w); !status.ok()) return status;
+  return w.status();
+}
+
+Status FeatureExtractor::trySaveStateFile(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::Unavailable("saveStateFile: cannot open " + path);
+  }
+  return trySaveState(out);
+}
+
+Status FeatureExtractor::tryLoadState(std::istream& in) {
+  io::Reader r(in);
+  if (!r.header(kStateMagic, kStateVersion).ok()) return r.status();
+
+  io::Reader::Chunk chunk;
+  bool end = false;
+  for (;;) {
+    if (!r.nextChunk(chunk, end).ok()) return r.status();
+    if (end) return Status::DataLoss("loadState: missing META chunk");
+    if (chunk.tag == "META") break;  // unknown chunks skipped
+  }
+  {
+    std::istringstream payload(chunk.payload);
+    io::Reader pr(payload);
+    std::string name;
+    std::uint8_t layout = 0;
+    std::uint32_t bins = 0, cellSize = 0, cellsX = 0, cellsY = 0;
+    pr.str(name);
+    pr.u8(layout);
+    pr.u32(bins);
+    pr.u32(cellSize);
+    pr.u32(cellsX);
+    if (!pr.u32(cellsY).ok()) return pr.status();
+    if (name != name_) {
+      return Status::FailedPrecondition("loadState: state for extractor \"" +
+                                        name + "\" does not match \"" +
+                                        name_ + "\"");
+    }
+    if (layout != layoutCode(layout_) ||
+        bins != static_cast<std::uint32_t>(bins_) ||
+        cellSize != static_cast<std::uint32_t>(cellSize_) ||
+        cellsX != static_cast<std::uint32_t>(windowCellsX_) ||
+        cellsY != static_cast<std::uint32_t>(windowCellsY_)) {
+      return Status::FailedPrecondition(
+          "loadState: geometry mismatch for extractor \"" + name_ + "\"");
+    }
+  }
+
+  std::vector<io::Reader::Chunk> body;
+  for (;;) {
+    if (!r.nextChunk(chunk, end).ok()) return r.status();
+    if (end) break;
+    body.push_back(std::move(chunk));
+  }
+  return loadStateBody(body);
+}
+
+Status FeatureExtractor::tryLoadStateFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Unavailable("loadStateFile: cannot open " + path);
+  }
+  return tryLoadState(in);
+}
+
+Status FeatureExtractor::saveStateBody(io::Writer&) { return Status::Ok(); }
+
+Status FeatureExtractor::loadStateBody(
+    const std::vector<io::Reader::Chunk>&) {
+  return Status::Ok();
 }
 
 float FeatureExtractor::pretrain(int, int, float) { return 0.0f; }

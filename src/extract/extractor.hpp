@@ -7,6 +7,7 @@
 
 #include "common/status.hpp"
 #include "hog/hog.hpp"
+#include "io/io.hpp"
 #include "obs/obs.hpp"
 #include "power/power.hpp"
 #include "vision/image.hpp"
@@ -147,6 +148,29 @@ class FeatureExtractor {
   /// per-window on the thread pool.
   virtual bool statelessExtraction() const { return true; }
 
+  /// True when the extractor carries state worth persisting beyond its
+  /// construction parameters (the Parrot's trained Eedn weights). Fixed-
+  /// function extractors return false -- their saved state is just the
+  /// geometry header, and loading it only validates compatibility.
+  virtual bool hasTrainedState() const { return false; }
+
+  /// Serializes the extractor's state ("PXST" v1 over io::Writer): a META
+  /// chunk carrying name + geometry, then backend-specific chunks
+  /// (saveStateBody). Together with the registry spec this is everything
+  /// needed to reconstruct the extractor without re-running stage-A
+  /// pretraining. May mutate transient caches (compiled plans) but not the
+  /// extracted features.
+  Status trySaveState(std::ostream& out);
+  Status trySaveStateFile(const std::string& path);
+
+  /// Restores state saved by trySaveState into this extractor. The META
+  /// chunk must match this instance's name and geometry exactly
+  /// (kFailedPrecondition otherwise): state is loaded into an extractor
+  /// built from the same spec + options, never coerced across specs.
+  /// Unknown chunks are skipped (forward compat).
+  Status tryLoadState(std::istream& in);
+  Status tryLoadStateFile(const std::string& path);
+
   /// Table-2 power row for this extractor under the given workload, or
   /// nullopt when the extractor has no hardware deployment (pure software
   /// models). Derived from info() via power::TrueNorthPowerModel /
@@ -170,6 +194,16 @@ class FeatureExtractor {
     obs::Span span_;
     obs::ScopedTimer timer_;
   };
+
+  /// Backend hook appending state chunks after the META chunk. The default
+  /// writes nothing (fixed-function extractors are fully described by
+  /// their construction parameters).
+  virtual Status saveStateBody(io::Writer& writer);
+
+  /// Backend hook consuming the chunks that followed META. Receives every
+  /// remaining chunk (unknown tags included -- ignore what you do not
+  /// recognize). The default accepts anything.
+  virtual Status loadStateBody(const std::vector<io::Reader::Chunk>& chunks);
 
  private:
   std::string name_;

@@ -1,5 +1,6 @@
 #include "extract/registry.hpp"
 
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -160,6 +161,109 @@ StatusOr<std::shared_ptr<FeatureExtractor>> ExtractorRegistry::tryCreate(
   } catch (const std::exception& e) {
     return Status::Internal(std::string("ExtractorRegistry: ") + e.what());
   }
+}
+
+void recordExtractorManifest(io::Manifest& manifest, const std::string& spec,
+                             const ExtractorOptions& options) {
+  manifest.set(io::keys::kSpec, spec);
+  manifest.set(io::keys::kLayout, layoutName(options.layout));
+  manifest.set(io::keys::kWindowCellsX,
+               std::to_string(options.windowCellsX));
+  manifest.set(io::keys::kWindowCellsY,
+               std::to_string(options.windowCellsY));
+  manifest.set(io::keys::kSeed, std::to_string(options.seed));
+}
+
+StatusOr<ExtractorOptions> extractorOptionsFromManifest(
+    const io::Manifest& manifest) {
+  ExtractorOptions options;
+  const std::string layout =
+      manifest.get(io::keys::kLayout, layoutName(options.layout));
+  if (layout == layoutName(FeatureLayout::kFlatCell)) {
+    options.layout = FeatureLayout::kFlatCell;
+  } else if (layout == layoutName(FeatureLayout::kBlockNorm)) {
+    options.layout = FeatureLayout::kBlockNorm;
+  } else {
+    return Status::InvalidArgument(
+        "bundle manifest: unknown feature layout \"" + layout + "\"");
+  }
+  // Cell counts and seed default to ExtractorOptions{} when absent -- a
+  // minimal manifest with only a spec still reconstructs.
+  if (manifest.find(io::keys::kWindowCellsX) != nullptr) {
+    StatusOr<long> cells = manifest.getInt(io::keys::kWindowCellsX);
+    if (!cells.ok()) return cells.status();
+    options.windowCellsX = static_cast<int>(cells.value());
+  }
+  if (manifest.find(io::keys::kWindowCellsY) != nullptr) {
+    StatusOr<long> cells = manifest.getInt(io::keys::kWindowCellsY);
+    if (!cells.ok()) return cells.status();
+    options.windowCellsY = static_cast<int>(cells.value());
+  }
+  if (options.windowCellsX < 1 || options.windowCellsX > 4096 ||
+      options.windowCellsY < 1 || options.windowCellsY > 4096) {
+    return Status::OutOfRange(
+        "bundle manifest: window cell counts " +
+        std::to_string(options.windowCellsX) + "x" +
+        std::to_string(options.windowCellsY) + " outside 1..4096");
+  }
+  if (manifest.find(io::keys::kSeed) != nullptr) {
+    StatusOr<long> seed = manifest.getInt(io::keys::kSeed);
+    if (!seed.ok()) return seed.status();
+    options.seed = static_cast<std::uint64_t>(seed.value());
+  }
+  return options;
+}
+
+Status ExtractorRegistry::packExtractor(io::Bundle& bundle,
+                                        FeatureExtractor& extractor,
+                                        const ExtractorOptions& options) const {
+  recordExtractorManifest(bundle.manifest(), extractor.name(), options);
+  std::ostringstream state;
+  if (Status status = extractor.trySaveState(state); !status.ok()) {
+    return status;
+  }
+  bundle.setChunk(io::chunks::kExtractorState, state.str());
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<FeatureExtractor>> ExtractorRegistry::tryLoadExtractor(
+    const io::Bundle& bundle) const {
+  const std::string* spec = bundle.manifest().find(io::keys::kSpec);
+  if (spec == nullptr) {
+    return Status::DataLoss("bundle manifest: no extractor spec");
+  }
+  StatusOr<ExtractorOptions> options =
+      extractorOptionsFromManifest(bundle.manifest());
+  if (!options.ok()) return options.status();
+  StatusOr<std::shared_ptr<FeatureExtractor>> extractor =
+      tryCreate(*spec, options.value());
+  if (!extractor.ok()) return extractor.status();
+  if (const std::string* state =
+          bundle.chunk(io::chunks::kExtractorState)) {
+    std::istringstream in(*state);
+    if (Status status = extractor.value()->tryLoadState(in); !status.ok()) {
+      return status;
+    }
+  }
+  return extractor;
+}
+
+Status ExtractorRegistry::trySaveBundle(FeatureExtractor& extractor,
+                                        const ExtractorOptions& options,
+                                        const std::string& path) const {
+  io::Bundle bundle;
+  if (Status status = packExtractor(bundle, extractor, options);
+      !status.ok()) {
+    return status;
+  }
+  return bundle.trySaveFile(path);
+}
+
+StatusOr<std::shared_ptr<FeatureExtractor>> ExtractorRegistry::tryLoadBundle(
+    const std::string& path) const {
+  StatusOr<io::Bundle> bundle = io::Bundle::tryLoadFile(path);
+  if (!bundle.ok()) return bundle.status();
+  return tryLoadExtractor(bundle.value());
 }
 
 std::shared_ptr<FeatureExtractor> makeExtractor(const std::string& spec,

@@ -9,6 +9,7 @@
 
 #include "common/status.hpp"
 #include "extract/extractor.hpp"
+#include "io/bundle.hpp"
 
 namespace pcnn::extract {
 
@@ -68,10 +69,41 @@ class ExtractorRegistry {
   StatusOr<std::shared_ptr<FeatureExtractor>> tryCreate(
       const std::string& spec, const ExtractorOptions& options = {}) const;
 
+  /// Packs an extractor into a bundle: the manifest records the spec (the
+  /// extractor's name) and construction options, and the extractor's
+  /// serialized state lands in chunks::kExtractorState -- everything
+  /// tryLoadExtractor needs to rebuild it without stage-A pretraining.
+  Status packExtractor(io::Bundle& bundle, FeatureExtractor& extractor,
+                       const ExtractorOptions& options) const;
+
+  /// Reconstructs an extractor from a bundle: tryCreate on the manifest's
+  /// spec + options, then state restore from chunks::kExtractorState when
+  /// present. A bundle whose manifest lacks a spec is kDataLoss; an
+  /// unknown spec reports kInvalidArgument exactly like tryCreate.
+  StatusOr<std::shared_ptr<FeatureExtractor>> tryLoadExtractor(
+      const io::Bundle& bundle) const;
+
+  /// One-call file forms: pack + save, and load + reconstruct.
+  Status trySaveBundle(FeatureExtractor& extractor,
+                       const ExtractorOptions& options,
+                       const std::string& path) const;
+  StatusOr<std::shared_ptr<FeatureExtractor>> tryLoadBundle(
+      const std::string& path) const;
+
  private:
   ExtractorRegistry();
   std::map<std::string, Factory> factories_;
 };
+
+/// Stamps an extractor spec + options into a bundle manifest
+/// (keys::kSpec, kLayout, kWindowCellsX/Y, kSeed).
+void recordExtractorManifest(io::Manifest& manifest, const std::string& spec,
+                             const ExtractorOptions& options);
+
+/// Reconstructs ExtractorOptions from a bundle manifest, validating the
+/// layout name and the cell counts before anything is built from them.
+StatusOr<ExtractorOptions> extractorOptionsFromManifest(
+    const io::Manifest& manifest);
 
 /// Convenience: ExtractorRegistry::instance().create(spec, {layout}).
 std::shared_ptr<FeatureExtractor> makeExtractor(

@@ -102,6 +102,9 @@ class ParrotHog {
     return net_;
   }
 
+  /// Read-only access (serialization); leaves the compiled plan valid.
+  const nn::Sequential& net() const { return net_; }
+
   /// Compiled deployment-weight plan for batched inference. Lazily built;
   /// bitwise-identical outputs to net().forward(patch, false). Rebuilt
   /// after train() or any mutable net() access.

@@ -3,33 +3,26 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "io/io.hpp"
 
 namespace pcnn::svm {
 
-void saveModel(const LinearSvm& model, std::ostream& out) {
-  if (!model.trained()) {
-    throw std::invalid_argument("saveModel: model is untrained");
-  }
-  out << "pcnn-svm-v1 " << model.weights().size() << '\n';
-  out << model.params().C << ' ' << model.params().biasScale << '\n';
-  out.precision(17);
-  out << model.bias() << '\n';
-  for (double w : model.weights()) out << w << ' ';
-  out << '\n';
-  if (!out) throw std::runtime_error("saveModel: write failure");
-}
-
 namespace {
+
+constexpr char kMagic[5] = "PSVM";
+constexpr std::uint32_t kVersion = 2;
 
 /// The largest weight vector a model file may declare. Far beyond any real
 /// descriptor (the block-norm HoG window is 3780 doubles) but small enough
 /// that a corrupt dimension field cannot force an absurd allocation.
-constexpr std::size_t kMaxModelDim = std::size_t{1} << 26;
+constexpr std::uint64_t kMaxModelDim = std::uint64_t{1} << 26;
 
-}  // namespace
-
-StatusOr<LinearSvm> tryLoadModel(std::istream& in) {
+/// The v1 whitespace-text reader, kept so pre-refactor model files (and
+/// the corrupt-input regression corpus) still load. Never written anymore.
+StatusOr<LinearSvm> tryLoadModelV1(std::istream& in) {
   std::string magic;
   std::size_t dim = 0;
   if (!(in >> magic >> dim) || magic != "pcnn-svm-v1") {
@@ -58,24 +51,114 @@ StatusOr<LinearSvm> tryLoadModel(std::istream& in) {
   return model;
 }
 
-LinearSvm loadModel(std::istream& in) {
-  StatusOr<LinearSvm> loaded = tryLoadModel(in);
-  if (!loaded.ok()) throw std::runtime_error(loaded.status().toString());
-  return std::move(loaded).value();
+StatusOr<LinearSvm> tryLoadModelV2(std::istream& in) {
+  io::Reader r(in);
+  if (!r.header(kMagic, kVersion).ok()) return r.status();
+  io::Reader::Chunk chunk;
+  bool end = false;
+  for (;;) {
+    if (!r.nextChunk(chunk, end).ok()) return r.status();
+    if (end) return Status::DataLoss("loadModel: no SVMW chunk");
+    if (chunk.tag == "SVMW") break;  // unknown chunks skipped
+  }
+  std::istringstream payload(chunk.payload);
+  io::Reader pr(payload);
+  std::uint64_t dim = 0;
+  if (!pr.u64(dim).ok()) return pr.status();
+  if (dim == 0 || dim > kMaxModelDim) {
+    return Status::OutOfRange("loadModel: weight dimension " +
+                              std::to_string(dim) + " outside 1.." +
+                              std::to_string(kMaxModelDim));
+  }
+  SvmParams params;
+  double bias = 0.0;
+  pr.f64(params.C);
+  pr.f64(params.biasScale);
+  pr.f64(bias);
+  std::vector<double> weights(static_cast<std::size_t>(dim));
+  for (double& w : weights) {
+    if (!pr.f64(w).ok()) {
+      return Status::DataLoss("loadModel: truncated weights (expected " +
+                              std::to_string(dim) + ")");
+    }
+  }
+  if (!pr.status().ok()) return pr.status();
+  LinearSvm model(params);
+  model.setModel(std::move(weights), bias);
+  return model;
 }
 
-void saveModelFile(const LinearSvm& model, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("saveModelFile: cannot open " + path);
-  saveModel(model, out);
+}  // namespace
+
+Status trySaveModel(const LinearSvm& model, std::ostream& out) {
+  if (!model.trained()) {
+    return Status::FailedPrecondition("saveModel: model is untrained");
+  }
+  std::ostringstream payload;
+  io::Writer pw(payload);
+  pw.u64(model.weights().size());
+  pw.f64(model.params().C);
+  pw.f64(model.params().biasScale);
+  pw.f64(model.bias());
+  for (double w : model.weights()) pw.f64(w);
+  if (!pw.status().ok()) return pw.status();
+
+  io::Writer w(out);
+  w.header(kMagic, kVersion);
+  w.chunk("SVMW", payload.str());
+  return w.status();
+}
+
+Status trySaveModelFile(const LinearSvm& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Unavailable("saveModelFile: cannot open " + path);
+  return trySaveModel(model, out);
+}
+
+StatusOr<LinearSvm> tryLoadModel(std::istream& in) {
+  if (io::peekMagic(in) == kMagic) return tryLoadModelV2(in);
+  return tryLoadModelV1(in);
 }
 
 StatusOr<LinearSvm> tryLoadModelFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::Unavailable("loadModelFile: cannot open " + path);
   }
   return tryLoadModel(in);
+}
+
+namespace {
+
+/// Legacy save wrappers preserve their historical exception types: an
+/// untrained model was always std::invalid_argument, anything else
+/// std::runtime_error.
+void throwForSave(const Status& status) {
+  if (status.code() == StatusCode::kFailedPrecondition ||
+      status.code() == StatusCode::kInvalidArgument) {
+    throw std::invalid_argument(status.message());
+  }
+  throw std::runtime_error(status.toString());
+}
+
+}  // namespace
+
+void saveModel(const LinearSvm& model, std::ostream& out) {
+  if (Status status = trySaveModel(model, out); !status.ok()) {
+    throwForSave(status);
+  }
+}
+
+void saveModelFile(const LinearSvm& model, const std::string& path) {
+  if (Status status = trySaveModelFile(model, path); !status.ok()) {
+    throwForSave(status);
+  }
+}
+
+LinearSvm loadModel(std::istream& in) {
+  StatusOr<LinearSvm> loaded = tryLoadModel(in);
+  if (!loaded.ok()) throw std::runtime_error(loaded.status().toString());
+  return std::move(loaded).value();
 }
 
 LinearSvm loadModelFile(const std::string& path) {

@@ -8,25 +8,35 @@
 
 namespace pcnn::svm {
 
-/// Text serialization of a trained linear SVM (weights + bias). The
-/// training parameters are stored for provenance but a loaded model is
-/// inference-only until retrained.
-void saveModel(const LinearSvm& model, std::ostream& out);
+/// Serialization of a trained linear SVM (weights + bias; the training
+/// parameters ride along for provenance, a loaded model is inference-only
+/// until retrained).
+///
+/// The current wire format ("PSVM" v2) is a chunked binary container over
+/// the shared io::Writer/io::Reader layer: bitwise-exact double round
+/// trips, bounds-checked loads. The v1 whitespace-text format
+/// ("pcnn-svm-v1") is still read -- the loader sniffs the magic -- but no
+/// longer written.
 
-/// Bounds-checked load: a corrupt stream yields kDataLoss, and a header
-/// declaring an implausibly large weight vector yields kOutOfRange before
-/// anything is allocated (a damaged dimension field would otherwise
-/// request an arbitrary allocation).
+/// Status-returning save: kFailedPrecondition for an untrained model,
+/// kDataLoss on write failure.
+Status trySaveModel(const LinearSvm& model, std::ostream& out);
+Status trySaveModelFile(const LinearSvm& model, const std::string& path);
+
+/// Bounds-checked load (v2 binary or v1 text, dispatched on magic): a
+/// corrupt stream yields kDataLoss, and a header declaring an implausibly
+/// large weight vector yields kOutOfRange before anything is allocated.
 StatusOr<LinearSvm> tryLoadModel(std::istream& in);
-
-/// Legacy wrapper over tryLoadModel; throws std::runtime_error carrying
-/// the status text on any failure.
-LinearSvm loadModel(std::istream& in);
-
-/// File wrappers. tryLoadModelFile reports an unopenable path as
-/// kUnavailable; the legacy forms throw std::runtime_error.
-void saveModelFile(const LinearSvm& model, const std::string& path);
 StatusOr<LinearSvm> tryLoadModelFile(const std::string& path);
-LinearSvm loadModelFile(const std::string& path);
+
+/// Legacy throwing wrappers over the try* variants. The save forms throw
+/// std::invalid_argument for an untrained model and std::runtime_error on
+/// write failure; the load forms throw std::runtime_error carrying the
+/// status text.
+void saveModel(const LinearSvm& model, std::ostream& out);
+void saveModelFile(const LinearSvm& model, const std::string& path);
+[[deprecated("use tryLoadModel")]] LinearSvm loadModel(std::istream& in);
+[[deprecated("use tryLoadModelFile")]] LinearSvm loadModelFile(
+    const std::string& path);
 
 }  // namespace pcnn::svm

@@ -3,10 +3,16 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "io/io.hpp"
 
 namespace pcnn::tn {
 namespace {
+
+constexpr char kMagic[5] = "PTNM";
+constexpr std::uint32_t kVersion = 2;
 
 int resetModeToInt(ResetMode mode) {
   switch (mode) {
@@ -18,6 +24,23 @@ int resetModeToInt(ResetMode mode) {
       return 2;
   }
   return 0;
+}
+
+Status resetModeFromInt(int value, ResetMode& mode) {
+  switch (value) {
+    case 0:
+      mode = ResetMode::kAbsolute;
+      return Status::Ok();
+    case 1:
+      mode = ResetMode::kLinear;
+      return Status::Ok();
+    case 2:
+      mode = ResetMode::kNone;
+      return Status::Ok();
+    default:
+      return Status::OutOfRange("loadModel: reset mode " +
+                                std::to_string(value) + " outside 0..2");
+  }
 }
 
 /// Model files bigger than this many cores are rejected up front -- a
@@ -40,51 +63,33 @@ bool isDefault(const NeuronConfig& cfg) {
          cfg.recordOutput == def.recordOutput;
 }
 
-}  // namespace
-
-void saveModel(const Network& network, std::ostream& out) {
-  out << "pcnn-tn-v1 " << network.coreCount() << '\n';
-  for (int c = 0; c < network.coreCount(); ++c) {
-    const Core& core = network.core(c);
-    out << "core " << c << '\n';
-
-    out << "axontypes";
-    for (int a = 0; a < kAxonsPerCore; ++a) out << ' ' << core.axonType(a);
-    out << '\n';
-
-    // Sparse crossbar rows: "conn <axon> <n connections> <neurons...>".
-    for (int a = 0; a < kAxonsPerCore; ++a) {
-      int count = 0;
-      for (int n = 0; n < kNeuronsPerCore; ++n) {
-        if (core.connection(a, n)) ++count;
-      }
-      if (count == 0) continue;
-      out << "conn " << a << ' ' << count;
-      for (int n = 0; n < kNeuronsPerCore; ++n) {
-        if (core.connection(a, n)) out << ' ' << n;
-      }
-      out << '\n';
-    }
-
-    for (int n = 0; n < kNeuronsPerCore; ++n) {
-      const NeuronConfig& cfg = core.neuron(n);
-      if (isDefault(cfg)) continue;
-      out << "neuron " << n;
-      for (int w : cfg.synapticWeights) out << ' ' << w;
-      out << ' ' << cfg.leak << ' ' << cfg.threshold << ' '
-          << cfg.resetValue << ' ' << resetModeToInt(cfg.resetMode) << ' '
-          << cfg.floorPotential << ' '
-          << (cfg.stochasticThreshold ? 1 : 0) << ' ' << cfg.stochasticMask
-          << ' ' << cfg.dest.core << ' ' << cfg.dest.axon << ' '
-          << cfg.dest.delay << ' ' << (cfg.recordOutput ? 1 : 0) << '\n';
-    }
-    out << "endcore\n";
+/// The destination fields of a routed neuron must hold hardware-legal
+/// values or run() would fault mid-simulation (or write to a core the
+/// model never declared). Shared by both wire-format readers.
+Status checkDestination(const NeuronConfig& cfg, int coreCount) {
+  if (cfg.dest.core < 0) return Status::Ok();
+  if (cfg.dest.core >= coreCount) {
+    return Status::OutOfRange("loadModel: destination core " +
+                              std::to_string(cfg.dest.core) + " outside 0.." +
+                              std::to_string(coreCount - 1));
   }
-  if (!out) throw std::runtime_error("saveModel: write failure");
+  if (cfg.dest.axon < 0 || cfg.dest.axon >= kAxonsPerCore) {
+    return Status::OutOfRange("loadModel: destination axon " +
+                              std::to_string(cfg.dest.axon) + " outside 0.." +
+                              std::to_string(kAxonsPerCore - 1));
+  }
+  if (cfg.dest.delay < 1 || cfg.dest.delay > kMaxDelayTicks) {
+    return Status::OutOfRange("loadModel: destination delay " +
+                              std::to_string(cfg.dest.delay) + " outside 1.." +
+                              std::to_string(kMaxDelayTicks));
+  }
+  return Status::Ok();
 }
 
-StatusOr<std::unique_ptr<Network>> tryLoadModel(std::istream& in,
-                                                std::uint64_t seed) {
+// --- v1 whitespace-text reader (legacy files; never written anymore) ----
+
+StatusOr<std::unique_ptr<Network>> tryLoadModelV1(std::istream& in,
+                                                  std::uint64_t seed) {
   std::string magic;
   int coreCount = 0;
   if (!(in >> magic >> coreCount) || magic != "pcnn-tn-v1") {
@@ -177,43 +182,12 @@ StatusOr<std::unique_ptr<Network>> tryLoadModel(std::istream& in,
             cfg.dest.core >> cfg.dest.axon >> cfg.dest.delay >> record)) {
         return Status::DataLoss("loadModel: truncated neuron");
       }
-      switch (resetMode) {
-        case 0:
-          cfg.resetMode = ResetMode::kAbsolute;
-          break;
-        case 1:
-          cfg.resetMode = ResetMode::kLinear;
-          break;
-        case 2:
-          cfg.resetMode = ResetMode::kNone;
-          break;
-        default:
-          return Status::OutOfRange("loadModel: reset mode " +
-                                    std::to_string(resetMode) +
-                                    " outside 0..2");
+      if (Status status = resetModeFromInt(resetMode, cfg.resetMode);
+          !status.ok()) {
+        return status;
       }
-      // Destinations route on-chip only when dest.core >= 0; the routed
-      // fields must then hold hardware-legal values or run() would fault
-      // mid-simulation (or write to a core the model never declared).
-      if (cfg.dest.core >= 0) {
-        if (cfg.dest.core >= coreCount) {
-          return Status::OutOfRange(
-              "loadModel: destination core " +
-              std::to_string(cfg.dest.core) + " outside 0.." +
-              std::to_string(coreCount - 1));
-        }
-        if (cfg.dest.axon < 0 || cfg.dest.axon >= kAxonsPerCore) {
-          return Status::OutOfRange("loadModel: destination axon " +
-                                    std::to_string(cfg.dest.axon) +
-                                    " outside 0.." +
-                                    std::to_string(kAxonsPerCore - 1));
-        }
-        if (cfg.dest.delay < 1 || cfg.dest.delay > kMaxDelayTicks) {
-          return Status::OutOfRange("loadModel: destination delay " +
-                                    std::to_string(cfg.dest.delay) +
-                                    " outside 1.." +
-                                    std::to_string(kMaxDelayTicks));
-        }
+      if (Status status = checkDestination(cfg, coreCount); !status.ok()) {
+        return status;
       }
       cfg.stochasticThreshold = stochastic != 0;
       cfg.recordOutput = record != 0;
@@ -227,25 +201,274 @@ StatusOr<std::unique_ptr<Network>> tryLoadModel(std::istream& in,
   return network;
 }
 
-std::unique_ptr<Network> loadModel(std::istream& in, std::uint64_t seed) {
-  StatusOr<std::unique_ptr<Network>> loaded = tryLoadModel(in, seed);
-  if (!loaded.ok()) throw std::runtime_error(loaded.status().toString());
-  return std::move(loaded).value();
+// --- v2 chunked binary over io::Writer/io::Reader ------------------------
+
+Status unpackCore(io::Reader& pr, Network& network, int coreCount) {
+  std::uint32_t coreIndex = 0;
+  if (!pr.u32(coreIndex).ok()) {
+    return Status::DataLoss("loadModel: bad core index");
+  }
+  if (coreIndex >= static_cast<std::uint32_t>(coreCount)) {
+    return Status::DataLoss("loadModel: bad core index");
+  }
+  Core& core = network.core(static_cast<int>(coreIndex));
+
+  for (int a = 0; a < kAxonsPerCore; ++a) {
+    std::uint8_t type = 0;
+    if (!pr.u8(type).ok()) {
+      return Status::DataLoss("loadModel: truncated axon types");
+    }
+    if (type >= kAxonTypes) {
+      return Status::OutOfRange("loadModel: axon type " +
+                                std::to_string(type) + " outside 0.." +
+                                std::to_string(kAxonTypes - 1));
+    }
+    core.setAxonType(a, type);
+  }
+
+  std::uint32_t connRows = 0;
+  if (!pr.u32(connRows).ok()) {
+    return Status::DataLoss("loadModel: bad conn row");
+  }
+  if (connRows > static_cast<std::uint32_t>(kAxonsPerCore)) {
+    return Status::OutOfRange("loadModel: conn row count " +
+                              std::to_string(connRows) + " outside 0.." +
+                              std::to_string(kAxonsPerCore));
+  }
+  for (std::uint32_t rowIdx = 0; rowIdx < connRows; ++rowIdx) {
+    std::uint32_t axon = 0, count = 0;
+    pr.u32(axon);
+    if (!pr.u32(count).ok()) {
+      return Status::DataLoss("loadModel: bad conn row");
+    }
+    if (axon >= static_cast<std::uint32_t>(kAxonsPerCore)) {
+      return Status::OutOfRange("loadModel: conn axon " +
+                                std::to_string(axon) + " outside 0.." +
+                                std::to_string(kAxonsPerCore - 1));
+    }
+    if (count > static_cast<std::uint32_t>(kNeuronsPerCore)) {
+      return Status::OutOfRange("loadModel: conn count " +
+                                std::to_string(count) + " outside 0.." +
+                                std::to_string(kNeuronsPerCore));
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t neuron = 0;
+      if (!pr.u32(neuron).ok()) {
+        return Status::DataLoss("loadModel: truncated conn row");
+      }
+      if (neuron >= static_cast<std::uint32_t>(kNeuronsPerCore)) {
+        return Status::OutOfRange("loadModel: conn neuron " +
+                                  std::to_string(neuron) + " outside 0.." +
+                                  std::to_string(kNeuronsPerCore - 1));
+      }
+      core.setConnection(static_cast<int>(axon), static_cast<int>(neuron),
+                         true);
+    }
+  }
+
+  std::uint32_t neuronCount = 0;
+  if (!pr.u32(neuronCount).ok()) {
+    return Status::DataLoss("loadModel: bad neuron index");
+  }
+  if (neuronCount > static_cast<std::uint32_t>(kNeuronsPerCore)) {
+    return Status::OutOfRange("loadModel: neuron count " +
+                              std::to_string(neuronCount) + " outside 0.." +
+                              std::to_string(kNeuronsPerCore));
+  }
+  for (std::uint32_t nIdx = 0; nIdx < neuronCount; ++nIdx) {
+    std::uint32_t index = 0;
+    if (!pr.u32(index).ok()) {
+      return Status::DataLoss("loadModel: bad neuron index");
+    }
+    if (index >= static_cast<std::uint32_t>(kNeuronsPerCore)) {
+      return Status::OutOfRange("loadModel: neuron index " +
+                                std::to_string(index) + " outside 0.." +
+                                std::to_string(kNeuronsPerCore - 1));
+    }
+    NeuronConfig cfg;
+    std::uint8_t resetMode = 0, stochastic = 0, record = 0;
+    for (int& w : cfg.synapticWeights) pr.i32(w);
+    pr.i32(cfg.leak);
+    pr.i32(cfg.threshold);
+    pr.i32(cfg.resetValue);
+    pr.u8(resetMode);
+    pr.i32(cfg.floorPotential);
+    pr.u8(stochastic);
+    pr.i32(cfg.stochasticMask);
+    pr.i32(cfg.dest.core);
+    pr.i32(cfg.dest.axon);
+    pr.i32(cfg.dest.delay);
+    if (!pr.u8(record).ok()) {
+      return Status::DataLoss("loadModel: truncated neuron");
+    }
+    if (Status status = resetModeFromInt(resetMode, cfg.resetMode);
+        !status.ok()) {
+      return status;
+    }
+    if (Status status = checkDestination(cfg, coreCount); !status.ok()) {
+      return status;
+    }
+    cfg.stochasticThreshold = stochastic != 0;
+    cfg.recordOutput = record != 0;
+    core.neuron(static_cast<int>(index)) = cfg;
+  }
+  return Status::Ok();
 }
 
-void saveModelFile(const Network& network, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("saveModelFile: cannot open " + path);
-  saveModel(network, out);
+StatusOr<std::unique_ptr<Network>> tryLoadModelV2(std::istream& in,
+                                                  std::uint64_t seed) {
+  io::Reader r(in);
+  if (!r.header(kMagic, kVersion).ok()) return r.status();
+
+  io::Reader::Chunk chunk;
+  bool end = false;
+  if (!r.nextChunk(chunk, end).ok()) return r.status();
+  if (end || chunk.tag != "NETW") {
+    return Status::DataLoss("loadModel: missing NETW chunk");
+  }
+  std::uint32_t coreCount = 0;
+  {
+    std::istringstream payload(chunk.payload);
+    io::Reader pr(payload);
+    if (!pr.u32(coreCount).ok()) return pr.status();
+  }
+  if (coreCount > static_cast<std::uint32_t>(kMaxModelCores)) {
+    return Status::OutOfRange("loadModel: core count " +
+                              std::to_string(coreCount) + " outside 0.." +
+                              std::to_string(kMaxModelCores));
+  }
+  auto network = std::make_unique<Network>(seed);
+  for (std::uint32_t c = 0; c < coreCount; ++c) network->addCore();
+
+  for (;;) {
+    if (!r.nextChunk(chunk, end).ok()) return r.status();
+    if (end) break;
+    if (chunk.tag != "CORE") continue;  // unknown chunks skipped
+    std::istringstream payload(chunk.payload);
+    io::Reader pr(payload);
+    if (Status status =
+            unpackCore(pr, *network, static_cast<int>(coreCount));
+        !status.ok()) {
+      return status;
+    }
+  }
+  return network;
+}
+
+}  // namespace
+
+Status trySaveModel(const Network& network, std::ostream& out) {
+  io::Writer w(out);
+  w.header(kMagic, kVersion);
+  {
+    std::ostringstream payload;
+    io::Writer pw(payload);
+    pw.u32(static_cast<std::uint32_t>(network.coreCount()));
+    w.chunk("NETW", payload.str());
+  }
+
+  for (int c = 0; c < network.coreCount(); ++c) {
+    const Core& core = network.core(c);
+    std::ostringstream payload;
+    io::Writer pw(payload);
+    pw.u32(static_cast<std::uint32_t>(c));
+
+    for (int a = 0; a < kAxonsPerCore; ++a) {
+      pw.u8(static_cast<std::uint8_t>(core.axonType(a)));
+    }
+
+    // Sparse crossbar rows: only axons with at least one connection are
+    // stored, as (axon, count, neurons...) -- the v1 "conn" rows in binary.
+    std::uint32_t connRows = 0;
+    for (int a = 0; a < kAxonsPerCore; ++a) {
+      for (int n = 0; n < kNeuronsPerCore; ++n) {
+        if (core.connection(a, n)) {
+          ++connRows;
+          break;
+        }
+      }
+    }
+    pw.u32(connRows);
+    for (int a = 0; a < kAxonsPerCore; ++a) {
+      std::uint32_t count = 0;
+      for (int n = 0; n < kNeuronsPerCore; ++n) {
+        if (core.connection(a, n)) ++count;
+      }
+      if (count == 0) continue;
+      pw.u32(static_cast<std::uint32_t>(a));
+      pw.u32(count);
+      for (int n = 0; n < kNeuronsPerCore; ++n) {
+        if (core.connection(a, n)) pw.u32(static_cast<std::uint32_t>(n));
+      }
+    }
+
+    std::uint32_t neuronCount = 0;
+    for (int n = 0; n < kNeuronsPerCore; ++n) {
+      if (!isDefault(core.neuron(n))) ++neuronCount;
+    }
+    pw.u32(neuronCount);
+    for (int n = 0; n < kNeuronsPerCore; ++n) {
+      const NeuronConfig& cfg = core.neuron(n);
+      if (isDefault(cfg)) continue;
+      pw.u32(static_cast<std::uint32_t>(n));
+      for (int weight : cfg.synapticWeights) pw.i32(weight);
+      pw.i32(cfg.leak);
+      pw.i32(cfg.threshold);
+      pw.i32(cfg.resetValue);
+      pw.u8(static_cast<std::uint8_t>(resetModeToInt(cfg.resetMode)));
+      pw.i32(cfg.floorPotential);
+      pw.u8(cfg.stochasticThreshold ? 1 : 0);
+      pw.i32(cfg.stochasticMask);
+      pw.i32(cfg.dest.core);
+      pw.i32(cfg.dest.axon);
+      pw.i32(cfg.dest.delay);
+      pw.u8(cfg.recordOutput ? 1 : 0);
+    }
+    if (!pw.status().ok()) return pw.status();
+    w.chunk("CORE", payload.str());
+  }
+  return w.status();
+}
+
+Status trySaveModelFile(const Network& network, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::Unavailable("saveModelFile: cannot open " + path);
+  }
+  return trySaveModel(network, out);
+}
+
+StatusOr<std::unique_ptr<Network>> tryLoadModel(std::istream& in,
+                                                std::uint64_t seed) {
+  if (io::peekMagic(in) == kMagic) return tryLoadModelV2(in, seed);
+  return tryLoadModelV1(in, seed);
 }
 
 StatusOr<std::unique_ptr<Network>> tryLoadModelFile(const std::string& path,
                                                     std::uint64_t seed) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::Unavailable("loadModelFile: cannot open " + path);
   }
   return tryLoadModel(in, seed);
+}
+
+void saveModel(const Network& network, std::ostream& out) {
+  if (Status status = trySaveModel(network, out); !status.ok()) {
+    throw std::runtime_error(status.toString());
+  }
+}
+
+void saveModelFile(const Network& network, const std::string& path) {
+  if (Status status = trySaveModelFile(network, path); !status.ok()) {
+    throw std::runtime_error(status.toString());
+  }
+}
+
+std::unique_ptr<Network> loadModel(std::istream& in, std::uint64_t seed) {
+  StatusOr<std::unique_ptr<Network>> loaded = tryLoadModel(in, seed);
+  if (!loaded.ok()) throw std::runtime_error(loaded.status().toString());
+  return std::move(loaded).value();
 }
 
 std::unique_ptr<Network> loadModelFile(const std::string& path,

@@ -9,36 +9,42 @@
 
 namespace pcnn::tn {
 
-/// Text "model file" serialization of a configured network -- the analogue
-/// of the corelet environment's model files, which are "runnable on both
-/// the TrueNorth hardware and a validated simulator (1:1 mapping)"
-/// (Sec. 2.2). Everything static is stored: axon types, crossbar
-/// connections (sparse row encoding), and full neuron configurations
-/// including destinations. Runtime state (potentials, pending spikes,
-/// tick) is not part of a model file.
-void saveModel(const Network& network, std::ostream& out);
+/// "Model file" serialization of a configured network -- the analogue of
+/// the corelet environment's model files, which are "runnable on both the
+/// TrueNorth hardware and a validated simulator (1:1 mapping)" (Sec. 2.2).
+/// Everything static is stored: axon types, crossbar connections (sparse
+/// row encoding), and full neuron configurations including destinations.
+/// Runtime state (potentials, pending spikes, tick) is not part of a
+/// model file.
+///
+/// The current wire format ("PTNM" v2) is a chunked binary container over
+/// the shared io::Writer/io::Reader layer (one CORE chunk per core). The
+/// v1 whitespace-text format ("pcnn-tn-v1") is still read -- the loader
+/// sniffs the magic -- but no longer written.
 
-/// Reconstructs a network from a model file with every field
-/// bounds-checked before it touches a core: core / axon / neuron indices,
-/// axon types, connection counts, reset modes, destinations and delays.
-/// A corrupt or truncated stream yields kDataLoss (structure damaged) or
-/// kOutOfRange (a field outside hardware limits) instead of an exception
-/// or a silently wild write. The RNG seed controls the stochastic-
-/// threshold draws of the new instance.
+/// Status-returning save (kDataLoss on write failure).
+Status trySaveModel(const Network& network, std::ostream& out);
+Status trySaveModelFile(const Network& network, const std::string& path);
+
+/// Reconstructs a network from a model file (v2 binary or v1 text,
+/// dispatched on magic) with every field bounds-checked before it touches
+/// a core: core / axon / neuron indices, axon types, connection counts,
+/// reset modes, destinations and delays. A corrupt or truncated stream
+/// yields kDataLoss (structure damaged) or kOutOfRange (a field outside
+/// hardware limits) instead of an exception or a silently wild write. The
+/// RNG seed controls the stochastic-threshold draws of the new instance.
 StatusOr<std::unique_ptr<Network>> tryLoadModel(std::istream& in,
                                                 std::uint64_t seed = 1);
-
-/// Legacy wrapper over tryLoadModel; throws std::runtime_error carrying
-/// the status text on any failure.
-std::unique_ptr<Network> loadModel(std::istream& in,
-                                   std::uint64_t seed = 1);
-
-/// File wrappers. tryLoadModelFile reports an unopenable path as
-/// kUnavailable; the legacy forms throw std::runtime_error.
 StatusOr<std::unique_ptr<Network>> tryLoadModelFile(const std::string& path,
                                                     std::uint64_t seed = 1);
+
+/// Legacy throwing wrappers over the try* variants; they throw
+/// std::runtime_error carrying the status text on any failure.
+void saveModel(const Network& network, std::ostream& out);
 void saveModelFile(const Network& network, const std::string& path);
-std::unique_ptr<Network> loadModelFile(const std::string& path,
-                                       std::uint64_t seed = 1);
+[[deprecated("use tryLoadModel")]] std::unique_ptr<Network> loadModel(
+    std::istream& in, std::uint64_t seed = 1);
+[[deprecated("use tryLoadModelFile")]] std::unique_ptr<Network> loadModelFile(
+    const std::string& path, std::uint64_t seed = 1);
 
 }  // namespace pcnn::tn

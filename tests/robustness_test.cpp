@@ -373,7 +373,10 @@ TEST(ModelIo, RejectsCorruptStreamsWithTypedErrors) {
   }
   // The legacy entry point still throws for existing callers.
   std::stringstream bad("garbage");
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_THROW(tn::loadModel(bad), std::runtime_error);
+#pragma GCC diagnostic pop
 }
 
 TEST(ModelIo, RoundTripSurvivesHardenedLoader) {
@@ -400,7 +403,10 @@ TEST(SvmSerialize, RejectsHostileHeaders) {
     EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
   }
   std::stringstream bad("pcnn-svm-v1 134217729\n1.0 1.0\n0.5\n");
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_THROW(svm::loadModel(bad), std::runtime_error);
+#pragma GCC diagnostic pop
 }
 
 TEST(EednSerialize, TruncatedStreamIsTypedDataLoss) {
@@ -420,7 +426,10 @@ TEST(EednSerialize, TruncatedStreamIsTypedDataLoss) {
   EXPECT_EQ(status.code(), StatusCode::kDataLoss);
 
   std::stringstream truncated2(text.substr(0, text.size() / 2));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_THROW(eedn::loadNetwork(target, truncated2), std::runtime_error);
+#pragma GCC diagnostic pop
 
   // And the intact stream loads cleanly through the typed path.
   std::stringstream whole(text);
