@@ -11,8 +11,7 @@
 #include <utility>
 #include <vector>
 
-#include <cstdlib>
-
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "core/detector.hpp"
 #include "eval/detection_eval.hpp"
@@ -37,9 +36,9 @@ inline std::string provenanceJson() {
        hog::kernels::kindName(hog::kernels::activeKind())},
       {"simd_level", hog::kernels::simdLevel()},
       {"tn_engine", tn::engineName(tn::engineFromEnv())}};
-  if (const char* bundlePath = std::getenv("PCNN_BUNDLE")) {
+  if (const std::optional<std::string> bundlePath = env::raw("PCNN_BUNDLE")) {
     StatusOr<io::Manifest> manifest =
-        io::Bundle::tryLoadManifestFile(bundlePath);
+        io::Bundle::tryLoadManifestFile(*bundlePath);
     if (manifest.ok()) {
       extras.emplace_back("bundle_spec",
                           manifest.value().get(io::keys::kSpec, "unknown"));

@@ -26,6 +26,11 @@
 #include "vision/sliding_window.hpp"
 #include "vision/synth.hpp"
 
+// This bench exists to measure the deprecated brute-force scan against the
+// cached-grid path -- using it here is the point, not an oversight.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace {
 
 using namespace pcnn;
@@ -149,9 +154,9 @@ int main(int argc, char** argv) {
   // lands in the provenance block (bench::provenanceJson).
   double bundleMs = -1.0;
   std::string bundleSpec;
-  if (const char* bundlePath = std::getenv("PCNN_BUNDLE")) {
+  if (const std::optional<std::string> bundlePath = env::raw("PCNN_BUNDLE")) {
     StatusOr<std::shared_ptr<extract::FeatureExtractor>> loaded =
-        extract::ExtractorRegistry::instance().tryLoadBundle(bundlePath);
+        extract::ExtractorRegistry::instance().tryLoadBundle(*bundlePath);
     if (loaded.ok()) {
       bundleSpec = loaded.value()->name();
       const auto bundleScore = randomScorer(loaded.value()->featureDim());
@@ -228,3 +233,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+#pragma GCC diagnostic pop

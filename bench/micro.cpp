@@ -21,6 +21,11 @@
 #include "tn/network.hpp"
 #include "vision/synth.hpp"
 
+// The legacy-vs-cached comparison deliberately drives the deprecated
+// brute-force scan.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace {
 
 using namespace pcnn;
@@ -325,3 +330,5 @@ void BM_SvmDecision7560(benchmark::State& state) {
 BENCHMARK(BM_SvmDecision7560);
 
 }  // namespace
+
+#pragma GCC diagnostic pop

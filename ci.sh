@@ -26,17 +26,19 @@ PCNN_SIMD=off ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure \
 PCNN_TN_ENGINE=dense ctest --test-dir "$BUILD_DIR" -L fast \
   --output-on-failure -j"$(nproc)"
 
-# ASan + UBSan tree over the fast and bundle labels (PCNN_SANITIZE=ON
-# skippable for quick local iterations: PCNN_SANITIZE=OFF ./ci.sh). The
-# fault-injection, corrupt-file and corrupt-bundle regression tests are in
-# these labels on purpose -- they feed the deserializers and the simulator
-# deliberately hostile input, so they run memory- and UB-checked on every
-# CI pass.
+# ASan + UBSan tree over the fast, bundle, and video labels
+# (PCNN_SANITIZE=ON skippable for quick local iterations: PCNN_SANITIZE=OFF
+# ./ci.sh). The fault-injection, corrupt-file and corrupt-bundle regression
+# tests are in these labels on purpose -- they feed the deserializers and
+# the simulator deliberately hostile input, so they run memory- and
+# UB-checked on every CI pass; the video label adds the temporal-reuse
+# cache (persistent grids spliced in place, parallel rescoring) to the same
+# scrutiny.
 if [[ "${PCNN_SANITIZE:-ON}" == "ON" ]]; then
   cmake -B "$BUILD_DIR-asan" -S . -DPCNN_WERROR=ON -DPCNN_SANITIZE=ON
   cmake --build "$BUILD_DIR-asan" -j"$(nproc)"
-  ctest --test-dir "$BUILD_DIR-asan" -L 'fast|bundle' --output-on-failure \
-    -j"$(nproc)"
+  ctest --test-dir "$BUILD_DIR-asan" -L 'fast|bundle|video' \
+    --output-on-failure -j"$(nproc)"
 fi
 
 # Observability smoke: a traced detection run must produce valid, non-empty
@@ -87,4 +89,32 @@ BT_BIN="$(cd "$BUILD_DIR" && pwd)/examples/bundle_tool"
 PCNN_BUNDLE="$BUNDLE" "$PD_BIN" 1 7 >/dev/null
 echo "bundle smoke: pack + verify + bundle-loaded detection passed"
 
-echo "ci.sh: build + tests (incl. scalar-dispatch + dense-engine + sanitizer fast|bundle re-runs + obs & bundle smoke) passed"
+# Video smoke: bench_video on a tiny burst (8 frames at 320x240) must emit
+# per-frame detect.frame spans and actually reuse tiles (nonzero
+# detect.tiles_reused counter) -- the temporal path working end to end, not
+# just compiling.
+BV_BIN="$(cd "$BUILD_DIR" && pwd)/bench/bench_video"
+PCNN_TRACE="$OBS_DIR/video_trace.json" \
+  PCNN_METRICS="$OBS_DIR/video_metrics.json" \
+  "$BV_BIN" "$OBS_DIR/video_bench.json" 8 320 240 1 >/dev/null
+python3 - "$OBS_DIR/video_trace.json" "$OBS_DIR/video_metrics.json" \
+  "$OBS_DIR/video_bench.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = {e["name"] for e in trace["traceEvents"]}
+for name in ("detect.batch", "detect.frame", "detect.level"):
+    assert name in events, f"missing span {name}: {sorted(events)}"
+counters = json.load(open(sys.argv[2]))["counters"]
+assert counters.get("detect.frames", 0) > 0, counters
+assert counters.get("detect.tiles_reused", 0) > 0, counters
+assert counters.get("detect.tiles_recomputed", 0) > 0, counters
+bench = json.load(open(sys.argv[3]))
+assert bench["backends"], bench
+for name, row in bench["backends"].items():
+    assert row["temporal_fps"] > 0, (name, row)
+print("video smoke: detect.frame spans + tile reuse counters present "
+      f"(reused={counters['detect.tiles_reused']}, "
+      f"recomputed={counters['detect.tiles_recomputed']})")
+EOF
+
+echo "ci.sh: build + tests (incl. scalar-dispatch + dense-engine + sanitizer fast|bundle|video re-runs + obs, bundle & video smoke) passed"

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "core/detector.hpp"
 #include "eval/detection_eval.hpp"
@@ -168,8 +169,8 @@ int main(int argc, char** argv) {
   const int numScenes = argc > 1 ? std::atoi(argv[1]) : 3;
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
 
-  if (const char* bundlePath = std::getenv("PCNN_BUNDLE")) {
-    return runBundle(bundlePath, numScenes, seed);
+  if (const std::optional<std::string> bundlePath = env::raw("PCNN_BUNDLE")) {
+    return runBundle(*bundlePath, numScenes, seed);
   }
   if (argc > 3) {
     runExtractor(argv[3], numScenes, seed);

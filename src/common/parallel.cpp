@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/env.hpp"
 #include "obs/obs.hpp"
 
 namespace pcnn {
@@ -29,12 +29,9 @@ struct PoolMetrics {
 };
 
 int defaultThreadCount() {
-  if (const char* env = std::getenv("PCNN_NUM_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1 && parsed <= 1024) return static_cast<int>(parsed);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  const int hwThreads = hw > 0 ? static_cast<int>(hw) : 1;
+  return env::intValue("PCNN_NUM_THREADS", hwThreads, 1, 1024);
 }
 
 /// A worker pulls chunk indices from the shared job via fetch_add; the

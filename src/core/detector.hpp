@@ -17,6 +17,22 @@ namespace pcnn::core {
 /// Scores a window feature vector; higher = more person-like.
 using WindowScorer = std::function<float(const std::vector<float>&)>;
 
+/// Cross-frame reuse knobs for GridDetector::detectBatch. The env var
+/// PCNN_TEMPORAL (off/0/false) overrides `enabled` and `smooth` at run
+/// time, forcing the bitwise-reference per-frame path.
+struct TemporalParams {
+  /// Keep per-level cell/block/score grids alive across frames and only
+  /// recompute the tiles whose pixels changed. Off: every frame runs the
+  /// exact single-scene detect() path.
+  bool enabled = true;
+  /// EMA box smoothing across the burst (TemporalSmoother).
+  bool smooth = true;
+  /// Dirty-tracking tile edge in cells (tileCells * cellSize pixels).
+  int tileCells = 4;
+  float smoothingAlpha = 0.6f;  ///< EMA weight of the newest frame's box
+  float matchIou = 0.4f;        ///< det-to-track association threshold
+};
+
 /// Multi-scale sliding-window detector over cell grids.
 struct GridDetectorParams {
   int cellSize = 8;
@@ -33,6 +49,33 @@ struct GridDetectorParams {
   /// emitted in the same row-major order as the sequential scan, so
   /// results are identical for any thread count.
   bool parallelScan = true;
+  TemporalParams temporal;  ///< detectBatch cross-frame reuse knobs
+};
+
+/// What one frame of a detectBatch burst cost, at tile and window
+/// granularity. Tiles are (temporal.tileCells)^2-cell squares of each
+/// pyramid level's cell grid; a frame that could not reuse anything (cold
+/// cache, PCNN_TEMPORAL=off, a level invalidated by an extraction
+/// failure) reports fullRecompute.
+struct FrameStats {
+  long tilesReused = 0;
+  long tilesRecomputed = 0;
+  long windowsRescored = 0;
+  long windowsReused = 0;
+  bool fullRecompute = false;
+};
+
+/// One frame's detections (after NMS and, when enabled, temporal
+/// smoothing) plus its reuse accounting.
+struct FrameResult {
+  std::vector<vision::Detection> detections;
+  FrameStats stats;
+};
+
+/// detectBatch output: per-frame results in frame order.
+struct BatchDetectResult {
+  std::vector<FrameResult> frames;
+  bool temporalEnabled = false;  ///< params AND env agreed to reuse
 };
 
 class GridDetector {
@@ -47,6 +90,7 @@ class GridDetector {
   GridDetector(const GridDetectorParams& params,
                std::shared_ptr<extract::FeatureExtractor> extractor,
                WindowScorer scorer);
+  ~GridDetector();  // out of line: the temporal cache is an opaque type
 
   /// Scans all pyramid levels with a one-cell stride, scores every window,
   /// keeps those above threshold, and applies NMS. Boxes are in original
@@ -68,6 +112,40 @@ class GridDetector {
                                         float scoreThreshold,
                                         DegradationReport* report) const;
 
+  /// Produces the frames of a video burst lazily (frame index -> image),
+  /// so a full-HD burst never has to be resident all at once.
+  using FrameProvider = std::function<vision::Image(int)>;
+
+  /// Runs a burst of same-sized frames through shared pyramid/scan
+  /// machinery. Every frame emits a "detect.frame" span (frame-index
+  /// argument) with "detect.level" spans nested under it exactly like the
+  /// single-scene path, inside one enclosing "detect.batch" span.
+  ///
+  /// With params.temporal.enabled (and PCNN_TEMPORAL not off), per-level
+  /// cell grids, block grids, and window scores persist across frames --
+  /// and across detectBatch calls, until resetTemporalCache() or a frame
+  /// of different dimensions arrives. Only tiles whose pixels changed
+  /// since the previous frame recompute their cell histograms, affected
+  /// block normalizations, and window scores ("detect.tiles_reused" /
+  /// "detect.tiles_recomputed" counters); whole-frame recompute remains
+  /// the always-available fallback (a level whose incremental update
+  /// fails is invalidated, degrades the frame, and is rebuilt from
+  /// scratch on the next one). For deterministic backends the reused scan
+  /// is bitwise-identical to per-frame detect(); the Parrot's stochastic
+  /// coding stream is consumed in a different order on the incremental
+  /// path, so its detections are equally valid draws but not bitwise
+  /// reproductions (DESIGN.md Section 5g).
+  ///
+  /// With PCNN_TEMPORAL=off (or temporal.enabled=false) each frame runs
+  /// the exact single-scene detect() path -- bitwise-identical detections
+  /// at any thread count, no smoothing.
+  BatchDetectResult detectBatch(const std::vector<vision::Image>& frames);
+  BatchDetectResult detectBatch(int numFrames, const FrameProvider& frames);
+
+  /// Drops the persistent per-level grids and smoother tracks; the next
+  /// frame recomputes everything (use between unrelated bursts).
+  void resetTemporalCache();
+
   /// Same but without NMS (for threshold sweeps in the evaluation).
   std::vector<vision::Detection> detectRaw(const vision::Image& scene) const;
   std::vector<vision::Detection> detectRaw(const vision::Image& scene,
@@ -83,15 +161,28 @@ class GridDetector {
   }
 
  private:
+  struct TemporalCache;  // defined in detector_batch.cpp
+  /// Out-of-line deleter so TUs other than detector_batch.cpp can destroy
+  /// a GridDetector without seeing the cache's definition.
+  struct TemporalCacheDeleter {
+    void operator()(TemporalCache* cache) const;
+  };
+
   /// Per-backend cell-grid latency histogram
   /// ("extract.<backend>.cell_grid_us"), resolved once at construction so
   /// the per-level hot path never touches the metrics registry lock.
   obs::LatencyHistogram& cellGridUs() const { return *cellGridUs_; }
 
+  /// One frame of the temporal path: reuse what the cache allows, refresh
+  /// the rest, leave the cache describing this frame.
+  std::vector<vision::Detection> detectFrameTemporal(
+      const vision::Image& frame, FrameStats& stats);
+
   GridDetectorParams params_;
   std::shared_ptr<extract::FeatureExtractor> featureExtractor_;
   WindowScorer scorer_;
   obs::LatencyHistogram* cellGridUs_;
+  std::unique_ptr<TemporalCache, TemporalCacheDeleter> temporal_;
 };
 
 }  // namespace pcnn::core

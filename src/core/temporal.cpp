@@ -1,0 +1,61 @@
+#include "core/temporal.hpp"
+
+#include <algorithm>
+
+#include "vision/geometry.hpp"
+
+namespace pcnn::core {
+
+std::vector<vision::Detection> TemporalSmoother::apply(
+    const std::vector<vision::Detection>& detections) {
+  std::vector<vision::Detection> out;
+  out.reserve(detections.size());
+  std::vector<bool> trackMatched(tracks_.size(), false);
+  std::vector<Track> newTracks;
+
+  for (const vision::Detection& det : detections) {
+    int best = -1;
+    float bestIou = params_.matchIou;
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+      if (trackMatched[t]) continue;
+      const float overlap = vision::iou(det.box, tracks_[t].box);
+      if (overlap >= bestIou) {
+        bestIou = overlap;
+        best = static_cast<int>(t);
+      }
+    }
+    vision::Detection smoothed = det;
+    if (best >= 0) {
+      Track& track = tracks_[static_cast<std::size_t>(best)];
+      trackMatched[static_cast<std::size_t>(best)] = true;
+      const float a = params_.alpha;
+      track.box.x = a * det.box.x + (1.0f - a) * track.box.x;
+      track.box.y = a * det.box.y + (1.0f - a) * track.box.y;
+      track.box.w = a * det.box.w + (1.0f - a) * track.box.w;
+      track.box.h = a * det.box.h + (1.0f - a) * track.box.h;
+      track.missedFrames = 0;
+      smoothed.box = track.box;
+    } else {
+      Track track;
+      track.box = det.box;
+      newTracks.push_back(track);
+    }
+    out.push_back(smoothed);
+  }
+
+  // Unmatched tracks age out; matched and newborn tracks carry over.
+  std::vector<Track> kept;
+  kept.reserve(tracks_.size() + newTracks.size());
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    if (trackMatched[t]) {
+      kept.push_back(tracks_[t]);
+    } else if (++tracks_[t].missedFrames <= params_.maxMissedFrames) {
+      kept.push_back(tracks_[t]);
+    }
+  }
+  kept.insert(kept.end(), newTracks.begin(), newTracks.end());
+  tracks_ = std::move(kept);
+  return out;
+}
+
+}  // namespace pcnn::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "vision/nms.hpp"
+
+namespace pcnn::core {
+
+/// Knobs of the cross-frame box smoother (GridDetector::detectBatch).
+struct TemporalSmootherParams {
+  float alpha = 0.6f;      ///< EMA weight of the newest frame's box
+  float matchIou = 0.4f;   ///< detection-to-track association threshold
+  int maxMissedFrames = 2; ///< a track unmatched this long is dropped
+};
+
+/// Deterministic temporal box smoothing over a video burst: per-frame NMS
+/// output is greedily associated to tracks by IoU (detections in their
+/// NMS order, each taking the best still-unmatched track), matched boxes
+/// are exponentially averaged to damp the cell-quantized jitter of the
+/// sliding-window grid, and unmatched detections open new tracks as-is.
+/// Tracks only smooth -- a track that goes unmatched emits nothing and is
+/// dropped after maxMissedFrames, so the smoother never invents boxes.
+class TemporalSmoother {
+ public:
+  explicit TemporalSmoother(const TemporalSmootherParams& params = {})
+      : params_(params) {}
+
+  const TemporalSmootherParams& params() const { return params_; }
+
+  /// Consumes one frame's NMS output (in its deterministic order) and
+  /// returns the same detections with smoothed boxes.
+  std::vector<vision::Detection> apply(
+      const std::vector<vision::Detection>& detections);
+
+  /// Drops all tracks (start of an unrelated burst).
+  void reset() { tracks_.clear(); }
+
+  std::size_t activeTracks() const { return tracks_.size(); }
+
+ private:
+  struct Track {
+    vision::Rect box;
+    int missedFrames = 0;
+  };
+
+  TemporalSmootherParams params_;
+  std::vector<Track> tracks_;
+};
+
+}  // namespace pcnn::core

@@ -1,5 +1,7 @@
 #include "extract/extractor.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -180,6 +182,88 @@ StatusOr<std::vector<float>> FeatureExtractor::tryWindowFeatures(
     extractFailures().add();
     return statusFromException("tryWindowFeatures(" + name_ + ")");
   }
+}
+
+StatusOr<long> FeatureExtractor::tryUpdateCellGrid(
+    const vision::Image& image, const std::vector<CellRect>& dirty,
+    hog::CellGrid& grid) {
+  if (image.empty()) {
+    extractFailures().add();
+    return Status::InvalidArgument("tryUpdateCellGrid(" + name_ +
+                                   "): empty image");
+  }
+  const int cellsX = image.width() / cellSize_;
+  const int cellsY = image.height() / cellSize_;
+  if (grid.cellsX != cellsX || grid.cellsY != cellsY ||
+      grid.bins != bins_ ||
+      grid.data.size() != static_cast<std::size_t>(cellsX) * cellsY * bins_) {
+    extractFailures().add();
+    return Status::InvalidArgument(
+        "tryUpdateCellGrid(" + name_ + "): grid " +
+        std::to_string(grid.cellsX) + "x" + std::to_string(grid.cellsY) +
+        " does not match image " + std::to_string(image.width()) + "x" +
+        std::to_string(image.height()));
+  }
+  long recomputed = 0;
+  for (const CellRect& rect : dirty) {
+    const int cx0 = std::max(0, rect.cx0);
+    const int cy0 = std::max(0, rect.cy0);
+    const int cx1 = std::min(cellsX, rect.cx1);
+    const int cy1 = std::min(cellsY, rect.cy1);
+    if (cx0 >= cx1 || cy0 >= cy1) continue;
+    // One cell of context on every side: the gradient stencil reads one
+    // pixel beyond the cell, so target cells sitting one full cell inside
+    // the crop (or on the image border, where clamping behaves alike) see
+    // exactly the pixels the full-image computation would.
+    const int ecx0 = std::max(0, cx0 - 1);
+    const int ecy0 = std::max(0, cy0 - 1);
+    const int ecx1 = std::min(cellsX, cx1 + 1);
+    const int ecy1 = std::min(cellsY, cy1 + 1);
+    const int px0 = ecx0 * cellSize_;
+    const int py0 = ecy0 * cellSize_;
+    // Extending the crop to the image border when the rect reaches the
+    // last cell column/row keeps border clamping identical to the full
+    // image (partial leftover pixels < cellSize, so the crop's own cell
+    // count is unchanged).
+    const int px1 = ecx1 == cellsX ? image.width() : ecx1 * cellSize_;
+    const int py1 = ecy1 == cellsY ? image.height() : ecy1 * cellSize_;
+    try {
+      const vision::Image region =
+          image.crop(px0, py0, px1 - px0, py1 - py0);
+      const hog::CellGrid sub = cellGrid(region);
+      if (sub.cellsX != ecx1 - ecx0 || sub.cellsY != ecy1 - ecy0 ||
+          sub.bins != bins_) {
+        extractFailures().add();
+        return Status::Internal("tryUpdateCellGrid(" + name_ +
+                                "): backend produced a mismatched sub-grid");
+      }
+      const std::size_t rowBytes =
+          sizeof(float) * static_cast<std::size_t>(cx1 - cx0) * bins_;
+      for (int cy = cy0; cy < cy1; ++cy) {
+        std::memcpy(grid.cell(cx0, cy),
+                    sub.cell(cx0 - ecx0, cy - ecy0), rowBytes);
+      }
+      recomputed += static_cast<long>(cx1 - cx0) * (cy1 - cy0);
+    } catch (...) {
+      extractFailures().add();
+      return statusFromException("tryUpdateCellGrid(" + name_ + ")");
+    }
+  }
+  return recomputed;
+}
+
+long FeatureExtractor::updateBlocks(const hog::CellGrid& grid,
+                                    const std::vector<CellRect>& dirtyCells,
+                                    hog::BlockGrid& blocks) const {
+  if (layout_ != FeatureLayout::kBlockNorm) return 0;
+  long refreshed = 0;
+  for (const CellRect& rect : dirtyCells) {
+    // A 2x2 block covers cells [bx, bx+1] x [by, by+1]: blocks one to the
+    // left/top of a dirty cell also change.
+    refreshed += blockAssembler_.refreshBlockRect(
+        grid, blocks, rect.cx0 - 1, rect.cy0 - 1, rect.cx1, rect.cy1);
+  }
+  return refreshed;
 }
 
 std::vector<std::vector<float>> FeatureExtractor::batchFeatures(

@@ -52,6 +52,16 @@ struct ExtractorInfo {
   bool fpgaBaseline = false;    ///< true for the fixed-point FPGA design
 };
 
+/// A half-open rectangle of cells [cx0, cx1) x [cy0, cy1) inside a cell
+/// grid -- the unit of incremental recomputation (tryUpdateCellGrid /
+/// updateBlocks).
+struct CellRect {
+  int cx0 = 0;
+  int cy0 = 0;
+  int cx1 = 0;
+  int cy1 = 0;
+};
+
 /// Polymorphic feature-extraction stage of the partitioned pipeline.
 ///
 /// Captures the contract the system grew implicitly across PR 1: features
@@ -96,6 +106,31 @@ class FeatureExtractor {
 
   /// Graceful variant of windowFeatures with the same contract.
   StatusOr<std::vector<float>> tryWindowFeatures(const vision::Image& window);
+
+  /// Incrementally refreshes the given cell rectangles of `grid` from
+  /// `image` -- the temporal-reuse path: a persistent per-level grid stays
+  /// valid across frames and only the cells whose pixels changed are
+  /// recomputed. Each rect is expanded by one cell of pixel context (the
+  /// gradient stencil reads 1 px beyond the cell), the expanded region is
+  /// cropped and run through the backend's own cellGrid, and the interior
+  /// target cells are spliced back. For deterministic backends the
+  /// refreshed cells are bitwise-identical to a full-image cellGrid;
+  /// stochastic backends (the Parrot's coding RNG is consumed in cell
+  /// order) produce valid but differently-coded histograms. `grid` must
+  /// have the exact geometry cellGrid(image) would produce. Returns the
+  /// number of cells recomputed; on failure the grid contents are
+  /// unspecified and the caller should fall back to a full recompute.
+  StatusOr<long> tryUpdateCellGrid(const vision::Image& image,
+                                   const std::vector<CellRect>& dirty,
+                                   hog::CellGrid& grid);
+
+  /// Companion of tryUpdateCellGrid for kBlockNorm extractors: refreshes
+  /// every block of `blocks` that covers a cell in `dirtyCells` (each 2x2
+  /// block dilates the dirty region by one cell leftward/upward). Returns
+  /// the number of blocks refreshed; 0 for kFlatCell layouts.
+  long updateBlocks(const hog::CellGrid& grid,
+                    const std::vector<CellRect>& dirtyCells,
+                    hog::BlockGrid& blocks) const;
 
   /// Features of the window whose top-left cell is (cx0, cy0), sliced out
   /// of a cached grid. Bitwise-identical to extracting the same window's

@@ -1,11 +1,11 @@
 #include "hog/cell_kernels.hpp"
 
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
 #include <limits>
+#include <optional>
 #include <string>
 
+#include "common/env.hpp"
 #include "common/target_clones.hpp"
 #include "obs/obs.hpp"
 
@@ -180,11 +180,9 @@ void fixedGradientRow(const std::int32_t* pix, int width, int height, int y,
 }
 
 bool envForcesScalar() {
-  const char* env = std::getenv("PCNN_SIMD");
-  if (!env) return false;
-  std::string v(env);
-  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  return v == "off" || v == "0" || v == "scalar" || v == "false";
+  const std::optional<std::string> v = env::loweredToken("PCNN_SIMD");
+  if (!v) return false;
+  return *v == "off" || *v == "0" || *v == "scalar" || *v == "false";
 }
 
 }  // namespace

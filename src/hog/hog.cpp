@@ -1,5 +1,6 @@
 #include "hog/hog.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -155,6 +156,32 @@ BlockGrid HogExtractor::blockGridFromCells(const CellGrid& grid) const {
         }
       });
   return blocks;
+}
+
+long HogExtractor::refreshBlockRect(const CellGrid& grid, BlockGrid& blocks,
+                                    int bx0, int by0, int bx1,
+                                    int by1) const {
+  if (params_.blockStrideCells != 1) {
+    throw std::invalid_argument(
+        "refreshBlockRect: requires blockStrideCells == 1");
+  }
+  if (blocks.blocksX != grid.cellsX - params_.blockCells + 1 ||
+      blocks.blocksY != grid.cellsY - params_.blockCells + 1 ||
+      blocks.blockLen != params_.blockCells * params_.blockCells * grid.bins) {
+    throw std::invalid_argument(
+        "refreshBlockRect: block grid does not match cell grid");
+  }
+  bx0 = std::max(0, bx0);
+  by0 = std::max(0, by0);
+  bx1 = std::min(blocks.blocksX, bx1);
+  by1 = std::min(blocks.blocksY, by1);
+  if (bx0 >= bx1 || by0 >= by1) return 0;
+  for (int by = by0; by < by1; ++by) {
+    for (int bx = bx0; bx < bx1; ++bx) {
+      assembleBlock(grid, bx, by, blocks.block(bx, by));
+    }
+  }
+  return static_cast<long>(bx1 - bx0) * (by1 - by0);
 }
 
 std::vector<float> HogExtractor::windowDescriptorFromBlocks(

@@ -55,6 +55,10 @@ struct BlockGrid {
   int blockLen = 0;  ///< blockCells^2 * bins floats per block
   std::vector<float> data;  ///< blocksY * blocksX * blockLen, row-major
 
+  float* block(int bx, int by) {
+    return data.data() +
+           (static_cast<std::size_t>(by) * blocksX + bx) * blockLen;
+  }
   const float* block(int bx, int by) const {
     return data.data() +
            (static_cast<std::size_t>(by) * blocksX + bx) * blockLen;
@@ -119,6 +123,16 @@ class HogExtractor {
                                                 int cx0, int cy0,
                                                 int windowCellsX,
                                                 int windowCellsY) const;
+
+  /// Re-assembles (and re-normalizes) the blocks [bx0, bx1) x [by0, by1)
+  /// of a grid previously built by blockGridFromCells from the (updated)
+  /// cell grid -- the incremental path behind temporal detection, where
+  /// only the blocks touching recomputed cells change. Each block depends
+  /// only on its own cells, so the refreshed blocks are bitwise-identical
+  /// to a full blockGridFromCells rebuild. The rect is clamped to the
+  /// grid; returns the number of blocks refreshed.
+  long refreshBlockRect(const CellGrid& grid, BlockGrid& blocks, int bx0,
+                        int by0, int bx1, int by1) const;
 
  private:
   /// Copies one block's cells to dst and L2-normalizes in place -- the

@@ -10,6 +10,8 @@
 #include <memory>
 #include <mutex>
 
+#include "common/env.hpp"
+
 namespace pcnn::obs {
 
 namespace detail {
@@ -114,14 +116,6 @@ struct ExportConfig {
   }
 };
 
-bool envFalse(const char* value) {
-  if (!value) return false;
-  std::string v(value);
-  for (char& c : v)
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  return v == "off" || v == "0" || v == "false";
-}
-
 void appendJsonEscaped(std::string& out, const char* s) {
   for (; *s; ++s) {
     const char c = *s;
@@ -195,19 +189,21 @@ void setMetricsEnabled(bool on) {
 }
 
 void configureFromEnv() {
-  const bool masterOff = envFalse(std::getenv("PCNN_OBS"));
-  const char* trace = std::getenv("PCNN_TRACE");
-  const char* metrics = std::getenv("PCNN_METRICS");
+  // PCNN_OBS is a master switch defaulting to on; PCNN_TRACE/PCNN_METRICS
+  // are output paths, not flags.
+  const bool masterOn = env::flag("PCNN_OBS", true);
+  const std::string trace = env::str("PCNN_TRACE");
+  const std::string metrics = env::str("PCNN_METRICS");
   auto& config = ExportConfig::instance();
   bool anyConfigured = false;
   {
     std::lock_guard<std::mutex> lock(config.mutex);
-    config.tracePath = (!masterOff && trace && *trace) ? trace : "";
-    config.metricsPath = (!masterOff && metrics && *metrics) ? metrics : "";
+    config.tracePath = masterOn ? trace : "";
+    config.metricsPath = masterOn ? metrics : "";
     anyConfigured = !config.tracePath.empty() || !config.metricsPath.empty();
   }
-  setTraceEnabled(!masterOff && trace && *trace);
-  setMetricsEnabled(!masterOff && metrics && *metrics);
+  setTraceEnabled(masterOn && !trace.empty());
+  setMetricsEnabled(masterOn && !metrics.empty());
   if (anyConfigured) {
     static bool atExitRegistered = false;
     static std::mutex registerMutex;

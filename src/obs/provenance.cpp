@@ -1,9 +1,9 @@
 #include "obs/provenance.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 #include <thread>
 
+#include "common/env.hpp"
 #include "obs/obs.hpp"
 
 #ifndef PCNN_SOURCE_DIR
@@ -15,8 +15,7 @@ namespace pcnn::obs {
 namespace {
 
 std::string envOrUnset(const char* name) {
-  const char* value = std::getenv(name);
-  return value && *value ? value : "unset";
+  return env::str(name, "unset");
 }
 
 std::string gitShortSha() {

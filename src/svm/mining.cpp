@@ -34,6 +34,11 @@ MiningResult trainWithHardNegatives(
     int minedThisRound = 0;
     for (const vision::Image& scene : negativeScenes) {
       int minedInScene = 0;
+      // Mining wants each window's pixel crop anyway (the extractor runs
+      // per window), so the deprecated brute-force scan is the right tool
+      // here -- the grid path has nothing to amortize.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
       vision::forEachWindow(
           scene, params.scan,
           [&](const vision::Image& level, const vision::Rect& inLevel,
@@ -51,6 +56,7 @@ MiningResult trainWithHardNegatives(
               ++minedInScene;
             }
           });
+#pragma GCC diagnostic pop
       minedThisRound += minedInScene;
     }
     result.minedNegatives += minedThisRound;

@@ -1,20 +1,20 @@
 #include "tn/engine.hpp"
 
-#include <cctype>
-#include <cstdlib>
+#include <optional>
 #include <string>
+
+#include "common/env.hpp"
 
 namespace pcnn::tn {
 
 EngineKind engineFromEnv() {
   static const EngineKind kind = [] {
-    const char* env = std::getenv("PCNN_TN_ENGINE");
-    if (env == nullptr) return EngineKind::kEvent;
-    std::string value(env);
-    for (char& c : value) {
-      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    }
-    return value == "dense" ? EngineKind::kDense : EngineKind::kEvent;
+    const std::optional<std::string> value =
+        env::loweredToken("PCNN_TN_ENGINE");
+    if (!value || *value == "event") return EngineKind::kEvent;
+    if (*value == "dense") return EngineKind::kDense;
+    env::warnMalformed("PCNN_TN_ENGINE", *value, "event or dense");
+    return EngineKind::kEvent;
   }();
   return kind;
 }

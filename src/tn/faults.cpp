@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/env.hpp"
 #include "obs/obs.hpp"
 #include "tn/network.hpp"
 
@@ -132,9 +132,9 @@ StatusOr<FaultPlan> parseFaultPlan(const std::string& spec) {
 
 const std::optional<FaultPlan>& envFaultPlan() {
   static const std::optional<FaultPlan> plan = []() -> std::optional<FaultPlan> {
-    const char* env = std::getenv("PCNN_FAULTS");
-    if (env == nullptr || *env == '\0') return std::nullopt;
-    StatusOr<FaultPlan> parsed = parseFaultPlan(env);
+    const std::optional<std::string> env = env::raw("PCNN_FAULTS");
+    if (!env) return std::nullopt;
+    StatusOr<FaultPlan> parsed = parseFaultPlan(*env);
     if (!parsed.ok()) {
       std::fprintf(stderr, "pcnn: ignoring invalid PCNN_FAULTS: %s\n",
                    parsed.status().toString().c_str());

@@ -39,18 +39,28 @@ Image resizeBilinear(const Image& src, int newWidth, int newHeight) {
   }
   Image out(newWidth, newHeight);
   if (src.empty()) return out;
-  const float sx = static_cast<float>(src.width()) / newWidth;
-  const float sy = static_cast<float>(src.height()) / newHeight;
-  for (int y = 0; y < newHeight; ++y) {
-    for (int x = 0; x < newWidth; ++x) {
+  resizeBilinearInto(src, out, 0, 0, newWidth, newHeight);
+  return out;
+}
+
+void resizeBilinearInto(const Image& src, Image& dst, int x0, int y0, int x1,
+                        int y1) {
+  if (src.empty() || dst.empty()) return;
+  x0 = std::max(0, x0);
+  y0 = std::max(0, y0);
+  x1 = std::min(dst.width(), x1);
+  y1 = std::min(dst.height(), y1);
+  const float sx = static_cast<float>(src.width()) / dst.width();
+  const float sy = static_cast<float>(src.height()) / dst.height();
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
       // Sample at the centre of the destination pixel mapped into source
       // coordinates; -0.5 keeps the mapping symmetric.
       const float srcX = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
       const float srcY = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
-      out.at(x, y) = src.sampleBilinear(srcX, srcY);
+      dst.at(x, y) = src.sampleBilinear(srcX, srcY);
     }
   }
-  return out;
 }
 
 Image rgbToGray(const unsigned char* rgb, int width, int height) {

@@ -64,6 +64,17 @@ class Image {
 /// Resizes `src` to the exact target size with bilinear interpolation.
 Image resizeBilinear(const Image& src, int newWidth, int newHeight);
 
+/// Recomputes only the destination rectangle [x0, x1) x [y0, y1) of `dst`
+/// from `src`, using the same per-pixel sampling as resizeBilinear at
+/// dst's dimensions. Because every destination pixel is an independent
+/// function of the source, the refreshed region is bitwise-identical to
+/// the corresponding region of a full resizeBilinear(src, dst.width(),
+/// dst.height()) -- the property the temporal detection path relies on to
+/// propagate dirty scene rectangles into pyramid levels without paying a
+/// full per-level resize. The rect is clamped to dst's bounds.
+void resizeBilinearInto(const Image& src, Image& dst, int x0, int y0, int x1,
+                        int y1);
+
 /// Converts interleaved 8-bit RGB data to a grayscale Image using the
 /// Rec.601 luma weights. `rgb` must hold width*height*3 bytes.
 Image rgbToGray(const unsigned char* rgb, int width, int height);

@@ -1,5 +1,10 @@
 #include "vision/sliding_window.hpp"
 
+// This TU defines the deprecated brute-force scan; its own internal call
+// (countWindows -> forEachWindow) is not a misuse worth warning about.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace pcnn::vision {
 
 void forEachWindow(
@@ -34,3 +39,5 @@ long countWindows(const Image& src, const SlidingWindowParams& params) {
 }
 
 }  // namespace pcnn::vision
+
+#pragma GCC diagnostic pop

@@ -21,11 +21,26 @@ struct SlidingWindowParams {
 /// Calls `fn(levelImage, windowRectInLevel, windowRectInOriginal)` for every
 /// window position across all pyramid levels. The original-coordinates rect
 /// is the level rect scaled back by the level's scale factor.
+///
+/// Deprecated: every caller re-crops and re-extracts features one window at
+/// a time, recomputing each cell up to 64x. Use forEachWindowOnGrid (one
+/// grid per level, windows slice it) or core::GridDetector, which adds
+/// parallel scanning, graceful degradation, and the temporal detectBatch
+/// path on top. Kept only as the brute-force oracle the benches compare
+/// the grid paths against.
+[[deprecated(
+    "re-extracts features per window; use forEachWindowOnGrid or "
+    "core::GridDetector")]]
 void forEachWindow(
     const Image& src, const SlidingWindowParams& params,
     const std::function<void(const Image&, const Rect&, const Rect&)>& fn);
 
 /// Total number of windows the scan will visit (for budgeting and tests).
+///
+/// Deprecated alongside forEachWindow; grid consumers get the same number
+/// from the level spans ((cellsX - windowCellsX + 1) etc. per level).
+[[deprecated(
+    "companion of forEachWindow; compute spans from the level grids")]]
 long countWindows(const Image& src, const SlidingWindowParams& params);
 
 /// Grid-aware scan: instead of handing each window its pixel crop (which

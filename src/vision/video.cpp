@@ -1,0 +1,146 @@
+#include "vision/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace pcnn::vision {
+
+namespace {
+
+constexpr float kTau = 6.28318530717958647692f;
+
+/// Wraps x into [0, span).
+float wrapInto(float x, float span) {
+  const float wrapped = std::fmod(x, span);
+  return wrapped < 0.0f ? wrapped + span : wrapped;
+}
+
+}  // namespace
+
+SyntheticVideo::SyntheticVideo(const VideoParams& params) : params_(params) {
+  if (params_.width <= 0 || params_.height <= 0 || params_.numPersons < 0) {
+    throw std::invalid_argument("SyntheticVideo: invalid params");
+  }
+  SyntheticPersonDataset dataset(params_.synth);
+  Rng rng(params_.seed);
+
+  // Static background: layered texture, clutter, and sensor noise baked
+  // once (see the class comment for why noise is not per-frame).
+  const float bg = 0.3f + 0.4f * static_cast<float>(rng.uniform());
+  background_ = valueNoise(params_.width, params_.height, 24, bg, 0.10f, rng);
+  {
+    Image fine = valueNoise(params_.width, params_.height, 4, 0.5f, 0.12f,
+                            rng);
+    for (std::size_t i = 0; i < background_.data().size(); ++i) {
+      background_.data()[i] += fine.data()[i] - 0.5f;
+    }
+    background_.clampValues(0.0f, 1.0f);
+  }
+  addGaussianNoise(background_, params_.synth.noiseSigma, rng);
+
+  // The off-screen margin is sized for the largest possible box so actors
+  // fully leave the frame before wrapping to the other side.
+  const float maxH = static_cast<float>(params_.maxPersonHeight) *
+                     (1.0f + params_.scaleAmplitude);
+  const float maxWinW = maxH *
+                        static_cast<float>(params_.synth.windowHeight) /
+                        static_cast<float>(params_.synth.personHeight) * 0.5f;
+  margin_ = maxWinW + 8.0f;
+  wrapSpan_ = static_cast<float>(params_.width) + 2.0f * margin_;
+
+  const SynthParams& sp = params_.synth;
+  actors_.reserve(static_cast<std::size_t>(params_.numPersons));
+  for (int i = 0; i < params_.numPersons; ++i) {
+    Actor actor;
+    const int maxFit =
+        std::min(params_.maxPersonHeight, params_.height - 16);
+    actor.baseHeight = static_cast<float>(
+        rng.uniformInt(std::min(params_.minPersonHeight, maxFit), maxFit));
+    const float speedMag = params_.maxSpeedPx *
+                           (0.35f + 0.65f * static_cast<float>(rng.uniform()));
+    actor.speed = rng.bernoulli(0.5) ? speedMag : -speedMag;
+    // Actor 0 starts on-screen so every video has visible motion from
+    // frame 0; the rest spawn anywhere on the wrap track (possibly in the
+    // off-screen margin, entering later -- that is the enter/leave test).
+    actor.startX =
+        i == 0 ? margin_ + static_cast<float>(
+                               rng.uniform(0.0, params_.width))
+               : static_cast<float>(rng.uniform(0.0, wrapSpan_));
+    const float minFootY = actor.baseHeight * (1.0f + params_.scaleAmplitude);
+    actor.footY = static_cast<float>(rng.uniform(
+        minFootY, std::max(minFootY + 1.0f,
+                           static_cast<float>(params_.height) - 8.0f)));
+    const float contrast =
+        sp.minContrast +
+        (sp.maxContrast - sp.minContrast) * static_cast<float>(rng.uniform());
+    const float sign = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    actor.intensity = std::clamp(bg + sign * contrast, 0.02f, 0.98f);
+    actor.scalePhase = static_cast<float>(rng.uniform(0.0, kTau));
+    actor.poseSeed = rng.nextU64();
+    actors_.push_back(actor);
+  }
+}
+
+float SyntheticVideo::actorHeight(const Actor& actor, int index) const {
+  const float period = std::max(1.0f, params_.scalePeriodFrames);
+  const float phase =
+      kTau * static_cast<float>(index) / period + actor.scalePhase;
+  return actor.baseHeight *
+         (1.0f + params_.scaleAmplitude * std::sin(phase));
+}
+
+float SyntheticVideo::actorFootX(const Actor& actor, int index) const {
+  // Position in wrap coordinates [0, span); shift by -margin so the
+  // on-screen range is [0, width) and actors enter/leave at the edges.
+  const float x =
+      wrapInto(actor.startX + actor.speed * static_cast<float>(index),
+               wrapSpan_);
+  return x - margin_;
+}
+
+Rect SyntheticVideo::actorBox(int actor, int index) const {
+  const Actor& a = actors_.at(static_cast<std::size_t>(actor));
+  const float h = actorHeight(a, index);
+  const float footX = actorFootX(a, index);
+  const float winH = h * static_cast<float>(params_.synth.windowHeight) /
+                     static_cast<float>(params_.synth.personHeight);
+  const float winW = winH * static_cast<float>(params_.synth.windowWidth) /
+                     static_cast<float>(params_.synth.windowHeight);
+  Rect box;
+  box.w = winW;
+  box.h = winH;
+  box.x = footX - winW * 0.5f;
+  box.y = a.footY - (winH + h) * 0.5f;
+  return box;
+}
+
+bool SyntheticVideo::actorVisible(int actor, int index) const {
+  const Rect box = actorBox(actor, index);
+  const float cx = box.x + box.w * 0.5f;
+  return cx >= 0.0f && cx < static_cast<float>(params_.width);
+}
+
+Scene SyntheticVideo::frame(int index) const {
+  if (index < 0) throw std::invalid_argument("SyntheticVideo: frame < 0");
+  Scene out;
+  out.image = background_;
+  SyntheticPersonDataset dataset(params_.synth);
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    const Actor& actor = actors_[i];
+    // A fresh Rng from the fixed pose seed every frame: the silhouette is
+    // a rigid function of the actor, so the only temporal change is the
+    // translation/scale -- which is what keeps dirty tiles sparse.
+    Rng poseRng(actor.poseSeed);
+    dataset.renderPerson(out.image, actorFootX(actor, index), actor.footY,
+                         actorHeight(actor, index), actor.intensity, poseRng);
+    if (actorVisible(static_cast<int>(i), index)) {
+      out.groundTruth.push_back(actorBox(static_cast<int>(i), index));
+    }
+  }
+  return out;
+}
+
+}  // namespace pcnn::vision

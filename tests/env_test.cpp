@@ -1,0 +1,101 @@
+// Tests for the typed PCNN_* environment getters (common/env.hpp): the
+// single place every runtime knob parses through.
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace pcnn::env {
+namespace {
+
+/// RAII setenv that restores "unset" on destruction, so tests cannot leak
+/// knob state into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(Env, RawUnsetAndEmptyAreNullopt) {
+  ::unsetenv("PCNN_TEST_RAW");
+  EXPECT_FALSE(raw("PCNN_TEST_RAW").has_value());
+  ScopedEnv e("PCNN_TEST_RAW", "");
+  EXPECT_FALSE(raw("PCNN_TEST_RAW").has_value());
+}
+
+TEST(Env, RawAndStrReturnValue) {
+  ScopedEnv e("PCNN_TEST_STR", "hello");
+  EXPECT_EQ(raw("PCNN_TEST_STR").value(), "hello");
+  EXPECT_EQ(str("PCNN_TEST_STR", "fallback"), "hello");
+}
+
+TEST(Env, StrFallsBackWhenUnset) {
+  ::unsetenv("PCNN_TEST_STR2");
+  EXPECT_EQ(str("PCNN_TEST_STR2", "fallback"), "fallback");
+  EXPECT_EQ(str("PCNN_TEST_STR2"), "");
+}
+
+TEST(Env, LoweredTokenLowercases) {
+  ScopedEnv e("PCNN_TEST_TOKEN", "OfF");
+  EXPECT_EQ(loweredToken("PCNN_TEST_TOKEN").value(), "off");
+  ::unsetenv("PCNN_TEST_TOKEN2");
+  EXPECT_FALSE(loweredToken("PCNN_TEST_TOKEN2").has_value());
+}
+
+TEST(Env, FlagAcceptsAllSpellings) {
+  for (const char* on : {"on", "1", "true", "yes", "ON", "TrUe"}) {
+    ScopedEnv e("PCNN_TEST_FLAG_ON", on);
+    EXPECT_TRUE(flag("PCNN_TEST_FLAG_ON", false)) << on;
+  }
+  for (const char* off : {"off", "0", "false", "no", "OFF", "No"}) {
+    ScopedEnv e("PCNN_TEST_FLAG_OFF", off);
+    EXPECT_FALSE(flag("PCNN_TEST_FLAG_OFF", true)) << off;
+  }
+}
+
+TEST(Env, FlagFallsBackOnUnsetAndMalformed) {
+  ::unsetenv("PCNN_TEST_FLAG_U");
+  EXPECT_TRUE(flag("PCNN_TEST_FLAG_U", true));
+  EXPECT_FALSE(flag("PCNN_TEST_FLAG_U", false));
+  ScopedEnv e("PCNN_TEST_FLAG_BAD", "bananas");
+  EXPECT_TRUE(flag("PCNN_TEST_FLAG_BAD", true));
+  EXPECT_FALSE(flag("PCNN_TEST_FLAG_BAD", false));
+}
+
+TEST(Env, IntValueParsesInRange) {
+  ScopedEnv e("PCNN_TEST_INT", "8");
+  EXPECT_EQ(intValue("PCNN_TEST_INT", 1, 1, 64), 8);
+}
+
+TEST(Env, IntValueRejectsPartialParses) {
+  // The lenient strtol reading ("8abc" -> 8) is exactly what this helper
+  // exists to eliminate.
+  ScopedEnv e("PCNN_TEST_INT_BAD", "8abc");
+  EXPECT_EQ(intValue("PCNN_TEST_INT_BAD", 3, 1, 64), 3);
+}
+
+TEST(Env, IntValueRejectsOutOfRangeAndGarbage) {
+  {
+    ScopedEnv e("PCNN_TEST_INT_RANGE", "9999");
+    EXPECT_EQ(intValue("PCNN_TEST_INT_RANGE", 5, 1, 64), 5);
+  }
+  {
+    ScopedEnv e("PCNN_TEST_INT_NEG", "-2");
+    EXPECT_EQ(intValue("PCNN_TEST_INT_NEG", 5, 1, 64), 5);
+  }
+  {
+    ScopedEnv e("PCNN_TEST_INT_JUNK", "lots");
+    EXPECT_EQ(intValue("PCNN_TEST_INT_JUNK", 5, 1, 64), 5);
+  }
+  ::unsetenv("PCNN_TEST_INT_UNSET");
+  EXPECT_EQ(intValue("PCNN_TEST_INT_UNSET", 7, 1, 64), 7);
+}
+
+}  // namespace
+}  // namespace pcnn::env

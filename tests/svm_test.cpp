@@ -204,6 +204,9 @@ TEST(Mining, MinesFalsePositivesAndImproves) {
   // Mining must lower the scene windows' decision values overall.
   auto maxSceneScore = [&](const LinearSvm& model) {
     double best = -1e9;
+    // Deliberately the deprecated per-crop scan: mining's own loop.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     vision::forEachWindow(
         scenes[0], params.scan,
         [&](const vision::Image& level, const vision::Rect& r,
@@ -213,6 +216,7 @@ TEST(Mining, MinesFalsePositivesAndImproves) {
                          static_cast<int>(r.w), static_cast<int>(r.h));
           best = std::max(best, model.decision(extractor(w)));
         });
+#pragma GCC diagnostic pop
     return best;
   };
   EXPECT_LT(maxSceneScore(svm), maxSceneScore(baseline));

@@ -1,0 +1,405 @@
+// Tests for the full-HD video detection path: the deterministic synthetic
+// video source (vision::SyntheticVideo), the incremental cell/block
+// refresh primitives it drives, the pyramid geometry at 1920x1080, and
+// GridDetector::detectBatch -- in particular the bitwise-parity contracts
+// (PCNN_TEMPORAL=off == per-frame detect() at any thread count; the
+// temporal path == the off path for deterministic backends).
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/detector.hpp"
+#include "core/temporal.hpp"
+#include "extract/registry.hpp"
+#include "vision/geometry.hpp"
+#include "vision/pyramid.hpp"
+#include "vision/video.hpp"
+
+namespace pcnn {
+namespace {
+
+using core::BatchDetectResult;
+using core::GridDetector;
+using core::GridDetectorParams;
+using vision::Image;
+using vision::SyntheticVideo;
+using vision::VideoParams;
+
+/// RAII PCNN_TEMPORAL override restored to unset on destruction.
+class ScopedTemporalEnv {
+ public:
+  explicit ScopedTemporalEnv(const char* value) {
+    ::setenv("PCNN_TEMPORAL", value, 1);
+  }
+  ~ScopedTemporalEnv() { ::unsetenv("PCNN_TEMPORAL"); }
+};
+
+VideoParams smallVideo(int persons = 1, std::uint64_t seed = 1) {
+  VideoParams vp;
+  vp.width = 320;
+  vp.height = 240;
+  vp.numPersons = persons;
+  vp.seed = seed;
+  return vp;
+}
+
+/// A fixed deterministic linear scorer (the tests exercise the scan
+/// machinery, not classifier quality).
+core::WindowScorer fixedScorer(int dim) {
+  std::vector<float> weights(static_cast<std::size_t>(dim));
+  Rng wrng(7);
+  for (auto& w : weights) w = static_cast<float>(wrng.uniform()) - 0.5f;
+  return [weights = std::move(weights)](const std::vector<float>& f) {
+    float acc = 0.0f;
+    const std::size_t n = f.size() < weights.size() ? f.size() : weights.size();
+    for (std::size_t i = 0; i < n; ++i) acc += weights[i] * f[i];
+    return acc;
+  };
+}
+
+GridDetector makeDetector(const std::string& backend, bool temporal,
+                          bool smooth = false, int maxLevels = 3) {
+  auto extractor =
+      extract::makeExtractor(backend, extract::FeatureLayout::kBlockNorm);
+  GridDetectorParams params;
+  params.scoreThreshold = 2.0f;  // keep a real but bounded detection set
+  params.pyramid.maxLevels = maxLevels;
+  params.temporal.enabled = temporal;
+  params.temporal.smooth = smooth;
+  return GridDetector(params, extractor, fixedScorer(extractor->featureDim()));
+}
+
+void expectSameDetections(const std::vector<vision::Detection>& a,
+                          const std::vector<vision::Detection>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].score, b[i].score) << what << " det " << i;
+    EXPECT_EQ(a[i].box.x, b[i].box.x) << what << " det " << i;
+    EXPECT_EQ(a[i].box.y, b[i].box.y) << what << " det " << i;
+    EXPECT_EQ(a[i].box.w, b[i].box.w) << what << " det " << i;
+    EXPECT_EQ(a[i].box.h, b[i].box.h) << what << " det " << i;
+  }
+}
+
+// ---------------------------------------------------------------- synth
+
+TEST(SyntheticVideo, SameSeedIsBitwiseDeterministic) {
+  SyntheticVideo a(smallVideo(2, 9));
+  SyntheticVideo b(smallVideo(2, 9));
+  for (int f : {0, 3, 17}) {
+    const vision::Scene sa = a.frame(f);
+    const vision::Scene sb = b.frame(f);
+    ASSERT_EQ(sa.image.data().size(), sb.image.data().size());
+    EXPECT_EQ(sa.image.data(), sb.image.data()) << "frame " << f;
+    ASSERT_EQ(sa.groundTruth.size(), sb.groundTruth.size());
+  }
+}
+
+TEST(SyntheticVideo, FrameIsPureFunctionOfIndex) {
+  SyntheticVideo v(smallVideo());
+  const Image later = v.frame(5).image;   // out-of-order access
+  const Image first = v.frame(2).image;
+  const Image again = v.frame(2).image;
+  EXPECT_EQ(first.data(), again.data());
+  EXPECT_NE(later.data(), first.data());  // motion actually happens
+}
+
+TEST(SyntheticVideo, DifferentSeedsDiffer) {
+  SyntheticVideo a(smallVideo(1, 1));
+  SyntheticVideo b(smallVideo(1, 2));
+  EXPECT_NE(a.frame(0).image.data(), b.frame(0).image.data());
+}
+
+TEST(SyntheticVideo, FirstActorVisibleAndMoving) {
+  SyntheticVideo v(smallVideo(1, 4));
+  ASSERT_EQ(v.numActors(), 1);
+  EXPECT_TRUE(v.actorVisible(0, 0));  // actor 0 starts on-screen
+  const vision::Rect b0 = v.actorBox(0, 0);
+  const vision::Rect b5 = v.actorBox(0, 5);
+  EXPECT_NE(b0.x, b5.x);
+}
+
+TEST(SyntheticVideo, MotionIsContinuous) {
+  VideoParams vp = smallVideo(3, 11);
+  SyntheticVideo v(vp);
+  for (int a = 0; a < v.numActors(); ++a) {
+    for (int f = 0; f < 30; ++f) {
+      const vision::Rect cur = v.actorBox(a, f);
+      const vision::Rect next = v.actorBox(a, f + 1);
+      const float dx = std::abs(next.x - cur.x);
+      // Per-frame translation is bounded by the speed cap (unless the
+      // actor wrapped around the off-screen track).
+      if (dx < vp.width / 2.0f) {
+        EXPECT_LE(dx, vp.maxSpeedPx + 1.0f)
+            << "actor " << a << " frame " << f;
+        if (v.actorVisible(a, f) && v.actorVisible(a, f + 1)) {
+          EXPECT_GT(vision::iou(cur, next), 0.5f)
+              << "actor " << a << " frame " << f;
+        }
+      }
+      // Scale oscillation is smooth: box height changes slowly.
+      EXPECT_LE(std::abs(next.h - cur.h), cur.h * 0.1f);
+    }
+  }
+}
+
+TEST(SyntheticVideo, GroundTruthOnlyForVisibleActors) {
+  SyntheticVideo v(smallVideo(3, 21));
+  for (int f = 0; f < 10; ++f) {
+    std::size_t visible = 0;
+    for (int a = 0; a < v.numActors(); ++a) {
+      if (v.actorVisible(a, f)) ++visible;
+    }
+    EXPECT_EQ(v.frame(f).groundTruth.size(), visible);
+  }
+}
+
+TEST(SyntheticVideo, RejectsInvalidParams) {
+  VideoParams vp;
+  vp.width = 0;
+  EXPECT_THROW(SyntheticVideo v(vp), std::invalid_argument);
+  SyntheticVideo ok(smallVideo());
+  EXPECT_THROW(ok.frame(-1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- pyramid
+
+TEST(VideoPyramid, FullHdGeometryInvariants) {
+  // The paper's full-HD analysis: 1920x1080, 6 levels at 1.1x.
+  Image frame(1920, 1080, 0.5f);
+  vision::PyramidParams pp;
+  pp.maxLevels = 6;
+  const auto levels = vision::buildPyramid(frame, pp);
+  ASSERT_EQ(levels.size(), 6u);
+  EXPECT_EQ(levels[0].image.width(), 1920);
+  EXPECT_EQ(levels[0].image.height(), 1080);
+  float scale = 1.0f;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    EXPECT_NEAR(levels[i].scale, scale, 1e-4f) << "level " << i;
+    EXPECT_EQ(levels[i].image.width(),
+              static_cast<int>(std::lround(1920.0 / levels[i].scale)));
+    EXPECT_EQ(levels[i].image.height(),
+              static_cast<int>(std::lround(1080.0 / levels[i].scale)));
+    // Every level still fits the 64x128 window.
+    EXPECT_GE(levels[i].image.width(), 64);
+    EXPECT_GE(levels[i].image.height(), 128);
+    scale *= pp.scaleFactor;
+  }
+}
+
+// ------------------------------------------- incremental grid refresh
+
+/// Mutates a pixel region, then checks tryUpdateCellGrid patches the old
+/// grid into bitwise equality with a fresh full-image grid.
+void checkIncrementalParity(const std::string& backend) {
+  auto extractor =
+      extract::makeExtractor(backend, extract::FeatureLayout::kBlockNorm);
+  SyntheticVideo video(smallVideo(1, 13));
+  Image before = video.frame(0).image;
+  Image after = before;
+  // Scribble over a region that is interior on the left and touches cell
+  // boundaries on the right (exercises the border-extension path).
+  Rng rng(3);
+  for (int y = 100; y < 150; ++y) {
+    for (int x = 64; x < 140; ++x) {
+      after.at(x, y) = static_cast<float>(rng.uniform());
+    }
+  }
+  hog::CellGrid grid = extractor->cellGrid(before);
+  // Cells whose 1-px gradient stencil can see a changed pixel.
+  const int cell = extractor->cellSize();
+  extract::CellRect dirty;
+  dirty.cx0 = (64 - 1) / cell;
+  dirty.cy0 = (100 - 1) / cell;
+  dirty.cx1 = (140 + 1 + cell - 1) / cell;
+  dirty.cy1 = (150 + 1 + cell - 1) / cell;
+  StatusOr<long> updated =
+      extractor->tryUpdateCellGrid(after, {dirty}, grid);
+  ASSERT_TRUE(updated.ok()) << updated.status().toString();
+  EXPECT_GT(updated.value(), 0);
+  const hog::CellGrid full = extractor->cellGrid(after);
+  ASSERT_EQ(grid.data.size(), full.data.size());
+  EXPECT_EQ(grid.data, full.data) << backend;
+}
+
+TEST(IncrementalGrid, HogParity) { checkIncrementalParity("hog"); }
+TEST(IncrementalGrid, FixedpointParity) {
+  checkIncrementalParity("fixedpoint");
+}
+TEST(IncrementalGrid, NapproxParity) { checkIncrementalParity("napprox"); }
+
+TEST(IncrementalGrid, UpdateBlocksMatchesPrepareBlocks) {
+  auto extractor =
+      extract::makeExtractor("hog", extract::FeatureLayout::kBlockNorm);
+  SyntheticVideo video(smallVideo(1, 13));
+  Image before = video.frame(0).image;
+  Image after = before;
+  for (int y = 40; y < 80; ++y) {
+    for (int x = 40; x < 96; ++x) after.at(x, y) = 0.9f;
+  }
+  hog::CellGrid grid = extractor->cellGrid(before);
+  hog::BlockGrid blocks = extractor->prepareBlocks(grid);
+  const int cell = extractor->cellSize();
+  extract::CellRect dirty;
+  dirty.cx0 = (40 - 1) / cell;
+  dirty.cy0 = (40 - 1) / cell;
+  dirty.cx1 = (96 + cell) / cell;
+  dirty.cy1 = (80 + cell) / cell;
+  ASSERT_TRUE(extractor->tryUpdateCellGrid(after, {dirty}, grid).ok());
+  const long refreshed = extractor->updateBlocks(grid, {dirty}, blocks);
+  EXPECT_GT(refreshed, 0);
+  const hog::BlockGrid full = extractor->prepareBlocks(grid);
+  ASSERT_EQ(blocks.data.size(), full.data.size());
+  EXPECT_EQ(blocks.data, full.data);
+}
+
+TEST(IncrementalGrid, RejectsGeometryMismatch) {
+  auto extractor =
+      extract::makeExtractor("hog", extract::FeatureLayout::kBlockNorm);
+  Image img(160, 160, 0.5f);
+  hog::CellGrid wrong = extractor->cellGrid(Image(80, 80, 0.5f));
+  extract::CellRect rect;
+  rect.cx1 = 2;
+  rect.cy1 = 2;
+  EXPECT_FALSE(extractor->tryUpdateCellGrid(img, {rect}, wrong).ok());
+}
+
+// ----------------------------------------------------------- detectBatch
+
+TEST(DetectBatch, OffModeMatchesPerFrameDetectAtAnyThreadCount) {
+  ScopedTemporalEnv off("off");
+  SyntheticVideo video(smallVideo(2, 31));
+  std::vector<Image> frames;
+  for (int f = 0; f < 3; ++f) frames.push_back(video.frame(f).image);
+  const int restoreThreads = threadCount();
+  for (int threads : {1, 4}) {
+    setThreadCount(threads);
+    GridDetector batchDetector = makeDetector("hog", true, true);
+    GridDetector refDetector = makeDetector("hog", true, true);
+    const BatchDetectResult batch = batchDetector.detectBatch(frames);
+    EXPECT_FALSE(batch.temporalEnabled);
+    ASSERT_EQ(batch.frames.size(), frames.size());
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+      EXPECT_TRUE(batch.frames[f].stats.fullRecompute);
+      const auto ref = refDetector.detect(frames[f]);
+      expectSameDetections(batch.frames[f].detections, ref, "off-mode");
+    }
+  }
+  setThreadCount(restoreThreads);
+}
+
+void checkTemporalParity(const std::string& backend) {
+  SyntheticVideo video(smallVideo(2, 31));
+  std::vector<Image> frames;
+  for (int f = 0; f < 4; ++f) frames.push_back(video.frame(f).image);
+  // Smoothing off: parity is a statement about the raw per-frame
+  // detections, and the smoother intentionally modifies boxes.
+  GridDetector temporalDetector = makeDetector(backend, true, false);
+  GridDetector offDetector = makeDetector(backend, false, false);
+  const BatchDetectResult temporal = temporalDetector.detectBatch(frames);
+  const BatchDetectResult off = offDetector.detectBatch(frames);
+  EXPECT_TRUE(temporal.temporalEnabled);
+  EXPECT_FALSE(off.temporalEnabled);
+  ASSERT_EQ(temporal.frames.size(), off.frames.size());
+  long reused = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    expectSameDetections(temporal.frames[f].detections,
+                         off.frames[f].detections, backend.c_str());
+    reused += temporal.frames[f].stats.tilesReused;
+  }
+  // The burst is mostly static, so the temporal path must actually reuse.
+  EXPECT_GT(reused, 0) << backend;
+}
+
+TEST(DetectBatch, TemporalMatchesFullRecomputeHog) {
+  checkTemporalParity("hog");
+}
+TEST(DetectBatch, TemporalMatchesFullRecomputeFixedpoint) {
+  checkTemporalParity("fixedpoint");
+}
+
+TEST(DetectBatch, StaticSceneReusesEverythingAfterFirstFrame) {
+  SyntheticVideo video(smallVideo(0, 7));  // no actors: perfectly static
+  std::vector<Image> frames(4, video.frame(0).image);
+  GridDetector detector = makeDetector("hog", true, false);
+  const BatchDetectResult batch = detector.detectBatch(frames);
+  ASSERT_EQ(batch.frames.size(), 4u);
+  EXPECT_TRUE(batch.frames[0].stats.fullRecompute);
+  EXPECT_GT(batch.frames[0].stats.tilesRecomputed, 0);
+  for (std::size_t f = 1; f < 4; ++f) {
+    EXPECT_EQ(batch.frames[f].stats.tilesRecomputed, 0) << "frame " << f;
+    EXPECT_EQ(batch.frames[f].stats.windowsRescored, 0) << "frame " << f;
+    EXPECT_GT(batch.frames[f].stats.tilesReused, 0) << "frame " << f;
+    expectSameDetections(batch.frames[f].detections,
+                         batch.frames[0].detections, "static");
+  }
+}
+
+TEST(DetectBatch, CachePersistsAcrossCallsAndResets) {
+  SyntheticVideo video(smallVideo(1, 17));
+  GridDetector detector = makeDetector("hog", true, false);
+  const Image frame = video.frame(0).image;
+  (void)detector.detectBatch({frame});
+  // Second call, same frame: the cache carried over, everything reused.
+  BatchDetectResult warm = detector.detectBatch({frame});
+  ASSERT_EQ(warm.frames.size(), 1u);
+  EXPECT_EQ(warm.frames[0].stats.tilesRecomputed, 0);
+  detector.resetTemporalCache();
+  BatchDetectResult cold = detector.detectBatch({frame});
+  EXPECT_TRUE(cold.frames[0].stats.fullRecompute);
+  EXPECT_GT(cold.frames[0].stats.tilesRecomputed, 0);
+}
+
+TEST(DetectBatch, DimensionChangeFallsBackToFullRecompute) {
+  GridDetector detector = makeDetector("hog", true, false);
+  SyntheticVideo small(smallVideo(1, 5));
+  VideoParams bigParams = smallVideo(1, 5);
+  bigParams.width = 400;
+  bigParams.height = 304;
+  SyntheticVideo big(bigParams);
+  (void)detector.detectBatch({small.frame(0).image});
+  const BatchDetectResult next = detector.detectBatch({big.frame(0).image});
+  EXPECT_TRUE(next.frames[0].stats.fullRecompute);
+}
+
+TEST(DetectBatch, SmoothingDampsBoxJitterWithoutInventingBoxes) {
+  core::TemporalSmoother smoother;
+  vision::Detection det;
+  det.score = 1.0f;
+  det.box = {100.0f, 50.0f, 64.0f, 128.0f};
+  auto out = smoother.apply({det});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].box.x, 100.0f);  // first sighting passes through
+  vision::Detection moved = det;
+  moved.box.x = 110.0f;
+  out = smoother.apply({moved});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_GT(out[0].box.x, 100.0f);  // follows the motion...
+  EXPECT_LT(out[0].box.x, 110.0f);  // ...but lags it (EMA)
+  // A frame with no detections emits nothing (no invented boxes).
+  EXPECT_TRUE(smoother.apply({}).empty());
+  EXPECT_GT(smoother.activeTracks(), 0u);  // track coasts for a while
+  smoother.reset();
+  EXPECT_EQ(smoother.activeTracks(), 0u);
+}
+
+TEST(DetectBatch, FrameProviderOverloadIsLazy) {
+  SyntheticVideo video(smallVideo(1, 23));
+  GridDetector detector = makeDetector("hog", true, false);
+  int rendered = 0;
+  const BatchDetectResult batch =
+      detector.detectBatch(3, [&](int f) {
+        ++rendered;
+        return video.frame(f).image;
+      });
+  EXPECT_EQ(rendered, 3);
+  ASSERT_EQ(batch.frames.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pcnn
