@@ -63,6 +63,11 @@ RunResult runBurst(core::GridDetector& detector,
   r.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   r.fps = r.ms > 0.0 ? 1000.0 * static_cast<double>(frames.size()) / r.ms
                      : 0.0;
+  // Burst-level rate next to the per-frame detect.frame_fps gauge the
+  // detector maintains; a streaming exporter sampling mid-bench sees the
+  // most recent burst's throughput.
+  static obs::Gauge& fpsGauge = obs::gauge("video.fps");
+  fpsGauge.set(r.fps);
   for (const core::FrameResult& frame : batch.frames) {
     r.tilesReused += frame.stats.tilesReused;
     r.tilesRecomputed += frame.stats.tilesRecomputed;

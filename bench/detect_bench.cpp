@@ -174,6 +174,57 @@ int main(int argc, char** argv) {
     }
   }
 
+  // (e) Obs overhead: the hog and fixedpoint rows again with metrics and
+  // the flight recorder armed (counters, gauges, per-frame histograms and
+  // ring writes all live), against the plain rows above. Guards the
+  // documented <2% instrumentation budget (DESIGN.md 5c/5h) now that the
+  // telemetry layer is continuous rather than exit-time only.
+  struct OverheadRow {
+    std::string name;
+    double plainMs = 0.0;
+    double obsMs = 0.0;
+  };
+  std::vector<OverheadRow> overhead;
+  {
+    const bool metricsWere = obs::metricsEnabled();
+    const bool flightWere = obs::flightEnabled();
+    // Back-to-back plain/armed measurement of the same detector with
+    // extra repeats: at ~4 ms per scan, best-of-3 from section (c) has
+    // more jitter than the budget being measured.
+    const int overheadRepeats = repeats < 10 ? 10 : repeats;
+    std::printf("\nobs overhead (metrics + flight recorder on):\n");
+    for (const std::string target : {"hog", "fixedpoint"}) {
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] != target) continue;
+        auto extractor = extract::makeExtractor(
+            names[i], extract::FeatureLayout::kBlockNorm);
+        const auto backendScore = randomScorer(extractor->featureDim());
+        core::GridDetectorParams bp;
+        bp.scoreThreshold = 1e9f;
+        bp.pyramid = smallScan.pyramid;
+        core::GridDetector backendDetector(bp, extractor, backendScore);
+        OverheadRow row;
+        row.name = names[i];
+        obs::setMetricsEnabled(false);
+        obs::setFlightEnabled(false);
+        row.plainMs = bestOfMs(overheadRepeats, [&] {
+          (void)backendDetector.detectRaw(smallScene).size();
+        });
+        obs::setMetricsEnabled(true);
+        obs::setFlightEnabled(true);
+        row.obsMs = bestOfMs(overheadRepeats, [&] {
+          (void)backendDetector.detectRaw(smallScene).size();
+        });
+        std::printf("  %-12s %9.1f ms  (plain %9.1f ms, %+.2f%%)\n",
+                    row.name.c_str(), row.obsMs, row.plainMs,
+                    100.0 * (row.obsMs - row.plainMs) / row.plainMs);
+        overhead.push_back(std::move(row));
+      }
+    }
+    obs::setMetricsEnabled(metricsWere);
+    obs::setFlightEnabled(flightWere);
+  }
+
   std::FILE* out = std::fopen(outPath.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", outPath.c_str());
@@ -205,6 +256,16 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < names.size(); ++i) {
     std::fprintf(out, "%s\n    \"%s\": {\"cached_grid_1t_ms\": %.2f}",
                  i == 0 ? "" : ",", names[i].c_str(), backendMs[i]);
+  }
+  std::fprintf(out, "\n  }");
+  std::fprintf(out, ",\n  \"obs_overhead\": {");
+  for (std::size_t i = 0; i < overhead.size(); ++i) {
+    const OverheadRow& row = overhead[i];
+    std::fprintf(out,
+                 "%s\n    \"%s\": {\"plain_ms\": %.2f, \"obs_ms\": %.2f, "
+                 "\"overhead_pct\": %.2f}",
+                 i == 0 ? "" : ",", row.name.c_str(), row.plainMs, row.obsMs,
+                 100.0 * (row.obsMs - row.plainMs) / row.plainMs);
   }
   std::fprintf(out, "\n  }");
   if (bundleMs >= 0.0) {

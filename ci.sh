@@ -71,11 +71,88 @@ assert counters.get("tn.spikes", 0) > 0, counters
 assert counters.get("tn.ticks", 0) > 0, counters
 print(f"obs smoke: tn counters non-zero (spikes={counters['tn.spikes']})")
 EOF
-# Disabled mode: no env vars -> no report files may appear.
-(cd "$OBS_DIR" && "$PD_BIN" 1 7 hog >/dev/null)
+# Disabled mode: no report env vars -> no report files may appear, even
+# with a streaming period configured (a period without PCNN_METRICS must
+# not start the exporter or touch the filesystem).
+(cd "$OBS_DIR" && PCNN_METRICS_PERIOD_MS=25 "$PD_BIN" 1 7 hog >/dev/null)
 LEFTOVER="$(find "$OBS_DIR" -name '*.json' ! -name trace.json \
   ! -name metrics.json ! -name tn_metrics.json)"
 test -z "$LEFTOVER" || { echo "unexpected obs output: $LEFTOVER"; exit 1; }
+
+# Streaming smoke: a periodic export over a real detection run must append
+# multiple independently parseable NDJSON window lines with increasing seq
+# and per-window deltas, and the exit-time path must not double-write a
+# cumulative report into the stream.
+PCNN_METRICS="$OBS_DIR/stream.ndjson" PCNN_METRICS_PERIOD_MS=25 \
+  "$PD_BIN" 2 7 hog >/dev/null
+python3 - "$OBS_DIR/stream.ndjson" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) >= 2, f"expected >=2 windows, got {len(lines)}"
+windows = [json.loads(l) for l in lines]
+seqs = [w["seq"] for w in windows]
+assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs), seqs
+assert all("counters" in w or "gauges" in w for w in windows), windows[0]
+scanned = sum(w.get("counters", {}).get("windows_scanned", 0)
+              for w in windows)
+assert scanned > 0, "no windows_scanned deltas streamed"
+print(f"stream smoke: {len(lines)} NDJSON windows, seq {seqs[0]}..{seqs[-1]}, "
+      f"{scanned} windows_scanned streamed")
+EOF
+
+# Prometheus smoke: a .prom metrics path must yield valid text exposition
+# -- exactly one `# TYPE` per metric, and every sample line belonging to a
+# declared metric.
+PCNN_METRICS="$OBS_DIR/metrics.prom" "$PD_BIN" 1 7 hog >/dev/null
+python3 - "$OBS_DIR/metrics.prom" <<'EOF'
+import sys
+declared = []
+samples = 0
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        name = line.split()[2]
+        assert name not in declared, f"duplicate TYPE for {name}"
+        declared.append(name)
+        continue
+    assert not line.startswith("#"), f"unexpected comment: {line}"
+    assert any(line.startswith(n) for n in declared), \
+        f"sample without TYPE declaration: {line}"
+    samples += 1
+assert "pcnn_windows_scanned" in declared, declared
+assert any(n.endswith("_us") for n in declared), declared
+print(f"prom smoke: {len(declared)} metrics declared, {samples} samples")
+EOF
+
+# Fault + flight smoke: a fault-injected robustness run with the flight
+# recorder armed must leave a dump whose ring tail holds both the
+# tn.faults.* count events and the degraded detect.level spans -- the
+# incident-capture path end to end. (Under PCNN_FAULTS the report's
+# zero-fault bitwise check is reported but not enforced in its exit
+# code; the env plan reaches every network including the baseline.)
+RR_BIN="$(cd "$BUILD_DIR" && pwd)/examples/robustness_report"
+PCNN_FAULTS="drop=0.05,seed=7" PCNN_FLIGHT="$OBS_DIR/flight.json" \
+  "$RR_BIN" "$OBS_DIR/robustness.json" >/dev/null
+python3 - "$OBS_DIR/flight.json" "$OBS_DIR/robustness.json" <<'EOF'
+import json, sys
+dump = json.load(open(sys.argv[1]))
+events = dump["events"]
+assert events, "flight dump has no events"
+faults = [e for e in events
+          if e["kind"] == "count" and e["name"].startswith("tn.faults.")]
+assert faults, sorted({e["name"] for e in events})
+degraded = [e for e in events if e["kind"] == "begin"
+            and e["name"] in ("detect.level", "detect.level.degraded")]
+assert degraded, sorted({e["name"] for e in events})
+ts = [e["ts_us"] for e in events]
+assert ts == sorted(ts), "flight events not time-ordered"
+rob = json.load(open(sys.argv[2]))
+assert rob["degraded_detection"]["levels_skipped"] > 0, rob
+print(f"flight smoke: {len(events)} events ({len(faults)} tn fault counts, "
+      f"{len(degraded)} degraded-path spans), reason={dump['reason']}")
+EOF
 
 # Bundle smoke: train a tiny pipeline, pack it into a model bundle, verify
 # its content hash and score parity across two independent loads, then run
@@ -117,4 +194,4 @@ print("video smoke: detect.frame spans + tile reuse counters present "
       f"recomputed={counters['detect.tiles_recomputed']})")
 EOF
 
-echo "ci.sh: build + tests (incl. scalar-dispatch + dense-engine + sanitizer fast|bundle|video re-runs + obs, bundle & video smoke) passed"
+echo "ci.sh: build + tests (incl. scalar-dispatch + dense-engine + sanitizer fast|bundle|video re-runs + obs, stream, prom, flight, bundle & video smoke) passed"

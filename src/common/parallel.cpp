@@ -22,6 +22,9 @@ struct PoolMetrics {
   obs::Counter& busyUs = obs::counter("pool.busy_us");
   obs::LatencyHistogram& jobUs = obs::histogram("pool.job_us");
   obs::LatencyHistogram& queueUs = obs::histogram("pool.queue_us");
+  /// Unclaimed chunks of the in-flight job; 0 between jobs. Sampled by
+  /// the streaming exporter as a load signal.
+  obs::Gauge& queueDepth = obs::gauge("pool.queue_depth");
   static PoolMetrics& instance() {
     static PoolMetrics m;
     return m;
@@ -104,6 +107,7 @@ class ThreadPool {
       // value >= the old job size and exits without touching them.
       nextChunk_.store(0, std::memory_order_release);
     }
+    metrics.queueDepth.set(static_cast<double>(numChunks));
     wake_.notify_all();
     insideJob_ = true;
     drainChunks();
@@ -144,7 +148,11 @@ class ThreadPool {
     bool firstClaim = true;
     while (true) {
       const long c = nextChunk_.fetch_add(1, std::memory_order_acquire);
-      if (c >= jobSize_.load(std::memory_order_relaxed)) return;
+      const long size = jobSize_.load(std::memory_order_relaxed);
+      if (c >= size) return;
+      const long unclaimed = size - (c + 1);
+      PoolMetrics::instance().queueDepth.set(
+          static_cast<double>(unclaimed > 0 ? unclaimed : 0));
       // Queue latency (job publish -> this thread's first claim) and busy
       // time per chunk; both only measured while metrics are on, and the
       // job-start stamp doubles as the job's measurement flag so a toggle

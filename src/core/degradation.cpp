@@ -1,9 +1,14 @@
 #include "core/degradation.hpp"
 
+#include "obs/flight.hpp"
+
 namespace pcnn::core {
 
 void DegradationReport::addSkip(int level, long windowsLostAtLevel,
                                 Status status) {
+  // First degradation entry triggers the flight-recorder auto-dump (if
+  // armed), preserving the events leading up to the skip.
+  obs::noteFaultEvent("degradation.level_skip");
   ++levelsSkipped;
   windowsLost += windowsLostAtLevel;
   if (skips.size() < kMaxSkips) {

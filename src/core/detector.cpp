@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/parallel.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace pcnn::core {
@@ -104,6 +105,7 @@ std::vector<vision::Detection> GridDetector::detectRaw(
     // aborting it: the level is skipped, accounted, and the scan goes on.
     auto skipLevel = [&](Status status) {
       PCNN_SPAN_ARG("detect.level.degraded", "level", levelIndex);
+      obs::noteFaultEvent("detect.level.degraded");
       metrics.levelsDegraded.add();
       const long lost = expectedLevelWindows(level.image, params_);
       if (lost > 0) metrics.windowsLost.add(lost);

@@ -33,6 +33,7 @@
 #include "common/env.hpp"
 #include "common/parallel.hpp"
 #include "core/temporal.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace pcnn::core {
@@ -48,6 +49,12 @@ struct BatchMetrics {
   obs::Counter& windowsReused = obs::counter("detect.windows_reused");
   obs::Counter& levelsDegraded = obs::counter("detect.level.degraded");
   obs::Counter& windowsLost = obs::counter("detect.windows_lost");
+  /// Fraction of tiles served from the temporal cache on the most recent
+  /// frame, and the most recent frame's instantaneous rate; both are
+  /// live-telemetry signals for the streaming exporter.
+  obs::Gauge& tileHitRate = obs::gauge("detect.tile_hit_rate");
+  obs::Gauge& frameFps = obs::gauge("detect.frame_fps");
+  obs::LatencyHistogram& frameUs = obs::histogram("detect.frame_us");
   static BatchMetrics& instance() {
     static BatchMetrics m;
     return m;
@@ -281,6 +288,8 @@ BatchDetectResult GridDetector::detectBatch(int numFrames,
     const vision::Image frame = frames(f);
     PCNN_SPAN_ARG("detect.frame", "frame", f);
     metrics.frames.add();
+    const bool measure = obs::metricsEnabled();
+    const double frameStartUs = measure ? obs::nowMicros() : 0.0;
     FrameResult fr;
     if (!temporalOn) {
       // The reference path: exactly the single-scene pipeline per frame
@@ -297,6 +306,16 @@ BatchDetectResult GridDetector::detectBatch(int numFrames,
       }
       if (smoothOn) {
         fr.detections = temporal_->smoother.apply(fr.detections);
+      }
+    }
+    if (measure) {
+      const double frameUs = obs::nowMicros() - frameStartUs;
+      metrics.frameUs.record(frameUs);
+      metrics.frameFps.set(frameUs > 0.0 ? 1e6 / frameUs : 0.0);
+      const long tiles = fr.stats.tilesReused + fr.stats.tilesRecomputed;
+      if (tiles > 0) {
+        metrics.tileHitRate.set(static_cast<double>(fr.stats.tilesReused) /
+                                static_cast<double>(tiles));
       }
     }
     result.frames.push_back(std::move(fr));
@@ -366,6 +385,7 @@ std::vector<vision::Detection> GridDetector::detectFrameTemporal(
 
     auto skipLevel = [&]() {
       PCNN_SPAN_ARG("detect.level.degraded", "level", levelIndex);
+      obs::noteFaultEvent("detect.level.degraded");
       metrics.levelsDegraded.add();
       lc.valid = false;  // rebuilt from scratch on the next frame
     };

@@ -1,0 +1,121 @@
+// Streaming metrics exporter: a background thread gated by
+// PCNN_METRICS_PERIOD_MS that turns the exit-time snapshot into a
+// periodic stream. Each tick advances the global window (windowSnapshot)
+// and either appends one NDJSON line to PCNN_METRICS or -- when the path
+// ends in ".prom" -- rewrites the file with the cumulative Prometheus
+// exposition. stop() flushes one final window and joins; the exit-time
+// report then skips its cumulative metrics write so nothing is emitted
+// twice.
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/json_util.hpp"
+#include "obs/obs.hpp"
+
+namespace pcnn::obs {
+
+namespace {
+
+struct Exporter {
+  /// Serializes start/stop (held across thread join). The worker thread
+  /// never takes it, so joining under it cannot deadlock.
+  std::mutex lifecycle;
+  bool running = false;  ///< guarded by lifecycle
+  std::thread thread;    ///< guarded by lifecycle
+  std::string path;      ///< guarded by lifecycle
+  int periodMs = 0;      ///< guarded by lifecycle
+
+  std::mutex mutex;  ///< guards stopRequested for the cv
+  std::condition_variable cv;
+  bool stopRequested = false;
+
+  static Exporter& instance() {
+    static Exporter* e = new Exporter();  // never destroyed
+    return *e;
+  }
+};
+
+/// Emits one window to `path`. A window flagged baselineReset (a
+/// concurrent resetMetrics() invalidated the deltas) is skipped entirely
+/// rather than reported with clamped or negative values.
+void emitWindow(const std::string& path) {
+  const WindowSnapshot w = windowSnapshot();
+  if (w.baselineReset) return;
+  if (internal::promFormatPath(path)) {
+    internal::writeStringToFile(path, expositionText());
+    return;
+  }
+  const std::string line = windowJson(w);
+  if (path == "stderr" || path == "-") {
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) return;
+  std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+}
+
+void exporterLoop(std::string path, int periodMs) {
+  auto& e = Exporter::instance();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(e.mutex);
+      e.cv.wait_for(lock, std::chrono::milliseconds(periodMs),
+                    [&] { return e.stopRequested; });
+      if (e.stopRequested) break;
+    }
+    emitWindow(path);
+  }
+  // Final flush: whatever accumulated since the last tick.
+  emitWindow(path);
+}
+
+/// Caller holds e.lifecycle.
+void stopUnderLifecycle(Exporter& e) {
+  if (!e.running) return;
+  {
+    std::lock_guard<std::mutex> lock(e.mutex);
+    e.stopRequested = true;
+  }
+  e.cv.notify_all();
+  e.thread.join();
+  e.running = false;
+}
+
+}  // namespace
+
+void startMetricsExporter(const std::string& path, int periodMs) {
+  if (!kCompiledIn) return;
+  auto& e = Exporter::instance();
+  std::lock_guard<std::mutex> life(e.lifecycle);
+  if (e.running && e.path == path && e.periodMs == periodMs) return;
+  stopUnderLifecycle(e);
+  if (path.empty() || periodMs <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(e.mutex);
+    e.stopRequested = false;
+  }
+  e.path = path;
+  e.periodMs = periodMs;
+  e.thread = std::thread(exporterLoop, path, periodMs);
+  e.running = true;
+}
+
+void stopMetricsExporter() {
+  auto& e = Exporter::instance();
+  std::lock_guard<std::mutex> life(e.lifecycle);
+  stopUnderLifecycle(e);
+}
+
+bool metricsExporterRunning() {
+  auto& e = Exporter::instance();
+  std::lock_guard<std::mutex> life(e.lifecycle);
+  return e.running;
+}
+
+}  // namespace pcnn::obs

@@ -1,0 +1,233 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json_util.hpp"
+#include "obs/obs.hpp"
+
+namespace pcnn::obs {
+
+namespace {
+
+using internal::appendJsonEscaped;
+using internal::appendNumber;
+using internal::writeStringToFile;
+
+enum Kind : int { kBegin = 0, kEnd = 1, kCount = 2 };
+
+const char* kindName(int kind) {
+  switch (kind) {
+    case kBegin:
+      return "begin";
+    case kEnd:
+      return "end";
+    default:
+      return "count";
+  }
+}
+
+/// One ring slot. Every field is an individually relaxed atomic so a dump
+/// racing the writer reads stale-or-fresh values, never indeterminate
+/// ones; the single writer publishes a slot by bumping `head` (release).
+struct Slot {
+  std::atomic<double> tsUs{0.0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<long> arg{0};
+  std::atomic<int> kind{kBegin};
+};
+
+struct FlightRing {
+  std::atomic<unsigned long> head{0};  ///< events ever written
+  int tid = 0;
+  Slot slots[kFlightCapacity];
+};
+
+/// A record read back out of a ring (or saved from a retired thread).
+struct Record {
+  double tsUs = 0.0;
+  const char* name = nullptr;
+  long arg = 0;
+  int kind = kBegin;
+  int tid = 0;
+};
+
+struct FlightRegistry {
+  std::mutex mutex;
+  std::vector<FlightRing*> live;
+  std::vector<Record> retired;  ///< newest kept, capped at kFlightCapacity
+  std::atomic<int> nextTid{1};
+  std::atomic<bool> autoDumped{false};
+
+  static FlightRegistry& instance() {
+    static FlightRegistry* r = new FlightRegistry();  // never destroyed
+    return *r;
+  }
+};
+
+/// Reads the resident events of one ring, oldest first. Caller holds the
+/// registry mutex (so the ring cannot retire mid-read); the owner thread
+/// may still be appending -- see the Slot comment.
+void drainRing(const FlightRing& ring, std::vector<Record>& out) {
+  const unsigned long head = ring.head.load(std::memory_order_acquire);
+  const unsigned long n =
+      head < static_cast<unsigned long>(kFlightCapacity)
+          ? head
+          : static_cast<unsigned long>(kFlightCapacity);
+  for (unsigned long i = head - n; i != head; ++i) {
+    const Slot& s =
+        ring.slots[i & (static_cast<unsigned long>(kFlightCapacity) - 1)];
+    Record r;
+    r.tsUs = s.tsUs.load(std::memory_order_relaxed);
+    r.name = s.name.load(std::memory_order_relaxed);
+    r.arg = s.arg.load(std::memory_order_relaxed);
+    r.kind = s.kind.load(std::memory_order_relaxed);
+    r.tid = ring.tid;
+    if (r.name != nullptr) out.push_back(r);
+  }
+}
+
+/// Owns one thread's ring; retires its events into the registry so a
+/// dump after the thread exits still sees them.
+struct RingHolder {
+  FlightRing* ring;
+
+  RingHolder() : ring(new FlightRing()) {
+    auto& reg = FlightRegistry::instance();
+    ring->tid = reg.nextTid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.live.push_back(ring);
+  }
+
+  ~RingHolder() {
+    auto& reg = FlightRegistry::instance();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    drainRing(*ring, reg.retired);
+    if (reg.retired.size() > static_cast<std::size_t>(kFlightCapacity)) {
+      reg.retired.erase(
+          reg.retired.begin(),
+          reg.retired.end() - static_cast<std::size_t>(kFlightCapacity));
+    }
+    reg.live.erase(std::find(reg.live.begin(), reg.live.end(), ring));
+    delete ring;
+  }
+};
+
+FlightRing& threadRing() {
+  static thread_local RingHolder holder;
+  return *holder.ring;
+}
+
+void record(int kind, const char* name, long arg) {
+  FlightRing& ring = threadRing();
+  const unsigned long h = ring.head.load(std::memory_order_relaxed);
+  Slot& s =
+      ring.slots[h & (static_cast<unsigned long>(kFlightCapacity) - 1)];
+  s.tsUs.store(nowMicros(), std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_relaxed);
+  s.arg.store(arg, std::memory_order_relaxed);
+  s.kind.store(kind, std::memory_order_relaxed);
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<Record> collectRecords() {
+  auto& reg = FlightRegistry::instance();
+  std::vector<Record> out;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    out = reg.retired;
+    for (const FlightRing* ring : reg.live) drainRing(*ring, out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.tsUs < b.tsUs;
+                   });
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+void flightRecordBegin(const char* name, long arg) {
+  record(kBegin, name, arg);
+}
+
+void flightRecordEnd(const char* name) { record(kEnd, name, 0); }
+
+void flightRecordCount(const char* name, long delta) {
+  record(kCount, name, delta);
+}
+
+}  // namespace detail
+
+bool dumpFlightRecorder(const std::string& path, const char* reason) {
+  if (!kCompiledIn) return false;
+  const std::string target = path.empty() ? configuredFlightPath() : path;
+  if (target.empty()) return false;
+  const std::vector<Record> records = collectRecords();
+  std::string out = "{\n  \"reason\": \"";
+  appendJsonEscaped(out, reason);
+  out += "\",\n  \"dumped_at_us\": ";
+  appendNumber(out, nowMicros());
+  out += ",\n  \"capacity_per_thread\": " + std::to_string(kFlightCapacity);
+  out += ",\n  \"events\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"ts_us\": ";
+    appendNumber(out, r.tsUs);
+    out += ", \"tid\": " + std::to_string(r.tid) + ", \"kind\": \"";
+    out += kindName(r.kind);
+    out += "\", \"name\": \"";
+    appendJsonEscaped(out, r.name);
+    out += "\", \"arg\": " + std::to_string(r.arg) + "}";
+  }
+  out += records.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return writeStringToFile(target, out);
+}
+
+void noteFaultEvent(const char* reason) {
+  if (!flightEnabled()) return;
+  auto& reg = FlightRegistry::instance();
+  if (reg.autoDumped.load(std::memory_order_relaxed)) return;
+  const std::string path = configuredFlightPath();
+  if (path.empty()) return;
+  if (reg.autoDumped.exchange(true, std::memory_order_acq_rel)) return;
+  dumpFlightRecorder(path, reason);
+}
+
+bool flightAutoDumped() {
+  return FlightRegistry::instance().autoDumped.load(
+      std::memory_order_relaxed);
+}
+
+long flightEventCount() {
+  auto& reg = FlightRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  long total = static_cast<long>(reg.retired.size());
+  for (const FlightRing* ring : reg.live) {
+    const unsigned long head = ring->head.load(std::memory_order_acquire);
+    total += static_cast<long>(
+        head < static_cast<unsigned long>(kFlightCapacity)
+            ? head
+            : static_cast<unsigned long>(kFlightCapacity));
+  }
+  return total;
+}
+
+void clearFlightRecorder() {
+  auto& reg = FlightRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.retired.clear();
+  for (FlightRing* ring : reg.live) {
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+  reg.autoDumped.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace pcnn::obs

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+namespace pcnn::obs {
+
+/// Flight recorder: a bounded per-thread ring of the most recent span
+/// begin/end and counter events, armed by PCNN_FLIGHT=<path> (or
+/// setFlightEnabled). Unlike PCNN_TRACE it never grows: a degraded frame
+/// in a week-long run leaves only the last ~kFlightCapacity events per
+/// thread, dumped to JSON on the first fault event and on demand.
+///
+/// Recording is lock-free and single-writer per ring: the owning thread
+/// stores the slot fields (relaxed atomics) and publishes by bumping the
+/// ring head. A dump taken while threads keep recording may read a slot
+/// mid-overwrite; the fields are individually atomic, so the worst case
+/// is one logically mixed record at the ring tail -- never undefined
+/// behavior, never a torn pointer.
+
+/// Events retained per thread ring (power of two).
+inline constexpr long kFlightCapacity = 8192;
+
+/// Writes a JSON dump of the merged rings (all live + retired threads,
+/// sorted by timestamp) to `path`; "" uses configuredFlightPath().
+/// Returns false when flight recording is compiled out, no path is
+/// available, or the write fails.
+bool dumpFlightRecorder(const std::string& path = "",
+                        const char* reason = "on_demand");
+
+/// Called by the fault-injection layer and DegradationReport on every
+/// fault-ish event. The first call (per process, while the recorder is
+/// armed and PCNN_FLIGHT is configured) dumps the rings automatically;
+/// later calls are a cheap no-op. `reason` must have static storage
+/// duration.
+void noteFaultEvent(const char* reason);
+
+/// True once noteFaultEvent has auto-dumped.
+bool flightAutoDumped();
+
+/// Events currently resident across all rings (capped per thread).
+long flightEventCount();
+
+/// Empties every ring and re-arms the noteFaultEvent auto-dump (tests).
+void clearFlightRecorder();
+
+}  // namespace pcnn::obs

@@ -11,15 +11,22 @@
 #include <mutex>
 
 #include "common/env.hpp"
+#include "obs/flight.hpp"
+#include "obs/json_util.hpp"
 
 namespace pcnn::obs {
 
 namespace detail {
 std::atomic<bool> traceOn{false};
 std::atomic<bool> metricsOn{false};
+std::atomic<bool> flightOn{false};
 }  // namespace detail
 
 namespace {
+
+using internal::appendJsonEscaped;
+using internal::appendNumber;
+using internal::writeStringToFile;
 
 using Clock = std::chrono::steady_clock;
 
@@ -91,13 +98,34 @@ ThreadBuffer& threadBuffer() {
   return buffer;
 }
 
-/// Counter / histogram / tag registries. Pointers handed out stay valid
-/// forever (values are heap-allocated, the maps are never destroyed).
+/// Per-histogram window baseline: the cumulative state at the end of the
+/// previous window, so the next windowSnapshot() can subtract.
+struct HistBaseline {
+  long count = 0;
+  double sumUs = 0.0;
+  long buckets[LatencyHistogram::kBuckets] = {};
+};
+
+/// Counter / gauge / histogram / tag registries. Pointers handed out stay
+/// valid forever (values are heap-allocated, the maps are never
+/// destroyed). Window baselines live here too, guarded by the same mutex.
 struct MetricsStore {
   std::mutex mutex;
   std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
   std::map<std::string, std::string> tags;
+
+  // Windowed-view state (all guarded by `mutex`).
+  std::map<std::string, long> counterBase;
+  std::map<std::string, HistBaseline> histBase;
+  double windowStartUs = 0.0;
+  long long windowSeq = 0;
+  /// resetMetrics() bumps resetEpoch; windowSnapshot() re-baselines (and
+  /// flags the window) whenever it observes a mismatch, so a concurrent
+  /// exporter never emits negative deltas.
+  unsigned long resetEpoch = 0;
+  unsigned long windowEpoch = 0;
 
   static MetricsStore& instance() {
     static MetricsStore* store = new MetricsStore();
@@ -109,6 +137,8 @@ struct ExportConfig {
   std::mutex mutex;
   std::string tracePath;
   std::string metricsPath;
+  std::string flightPath;
+  int metricsPeriodMs = 0;
 
   static ExportConfig& instance() {
     static ExportConfig* config = new ExportConfig();
@@ -116,57 +146,11 @@ struct ExportConfig {
   }
 };
 
-void appendJsonEscaped(std::string& out, const char* s) {
-  for (; *s; ++s) {
-    const char c = *s;
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-void appendNumber(std::string& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  out += buf;
-}
-
-bool writeStringToFile(const std::string& path, const std::string& body) {
-  if (path == "stderr" || path == "-") {
-    std::fputs(body.c_str(), stderr);
-    std::fputc('\n', stderr);
-    return true;
-  }
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) return false;
-  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
-  std::fclose(f);
-  return ok;
-}
-
 void atExitExport() { writeConfiguredReports(); }
 
 /// Reads the environment once per process load, so a binary run with
-/// PCNN_TRACE / PCNN_METRICS needs no code changes to produce reports.
+/// PCNN_TRACE / PCNN_METRICS / PCNN_FLIGHT needs no code changes to
+/// produce reports.
 struct EnvInitializer {
   EnvInitializer() { configureFromEnv(); }
 };
@@ -188,22 +172,41 @@ void setMetricsEnabled(bool on) {
   detail::metricsOn.store(kCompiledIn && on, std::memory_order_relaxed);
 }
 
+void setFlightEnabled(bool on) {
+  detail::flightOn.store(kCompiledIn && on, std::memory_order_relaxed);
+}
+
 void configureFromEnv() {
-  // PCNN_OBS is a master switch defaulting to on; PCNN_TRACE/PCNN_METRICS
-  // are output paths, not flags.
+  // PCNN_OBS is a master switch defaulting to on; PCNN_TRACE/PCNN_METRICS/
+  // PCNN_FLIGHT are output paths, not flags. PCNN_METRICS_PERIOD_MS turns
+  // the exit-time metrics snapshot into a periodic stream.
   const bool masterOn = env::flag("PCNN_OBS", true);
   const std::string trace = env::str("PCNN_TRACE");
   const std::string metrics = env::str("PCNN_METRICS");
+  const std::string flight = env::str("PCNN_FLIGHT");
+  const int periodMs =
+      static_cast<int>(env::intValue("PCNN_METRICS_PERIOD_MS", 0, 1,
+                                     3'600'000));
   auto& config = ExportConfig::instance();
   bool anyConfigured = false;
   {
     std::lock_guard<std::mutex> lock(config.mutex);
     config.tracePath = masterOn ? trace : "";
     config.metricsPath = masterOn ? metrics : "";
-    anyConfigured = !config.tracePath.empty() || !config.metricsPath.empty();
+    config.flightPath = masterOn ? flight : "";
+    config.metricsPeriodMs = config.metricsPath.empty() ? 0 : periodMs;
+    anyConfigured = !config.tracePath.empty() ||
+                    !config.metricsPath.empty() ||
+                    !config.flightPath.empty();
   }
   setTraceEnabled(masterOn && !trace.empty());
   setMetricsEnabled(masterOn && !metrics.empty());
+  setFlightEnabled(masterOn && !flight.empty());
+  if (masterOn && !metrics.empty() && periodMs > 0) {
+    startMetricsExporter(metrics, periodMs);
+  } else {
+    stopMetricsExporter();
+  }
   if (anyConfigured) {
     static bool atExitRegistered = false;
     static std::mutex registerMutex;
@@ -227,14 +230,39 @@ std::string configuredMetricsPath() {
   return config.metricsPath;
 }
 
+std::string configuredFlightPath() {
+  auto& config = ExportConfig::instance();
+  std::lock_guard<std::mutex> lock(config.mutex);
+  return config.flightPath;
+}
+
+int configuredMetricsPeriodMs() {
+  auto& config = ExportConfig::instance();
+  std::lock_guard<std::mutex> lock(config.mutex);
+  return config.metricsPeriodMs;
+}
+
 // --------------------------------------------------------------------------
-// Counters / histograms / tags
+// Counters / gauges / histograms / tags
 
 Counter& counter(const std::string& name) {
   auto& store = MetricsStore::instance();
   std::lock_guard<std::mutex> lock(store.mutex);
-  auto& slot = store.counters[name];
-  if (!slot) slot = std::make_unique<Counter>();
+  const auto it = store.counters.try_emplace(name).first;
+  if (!it->second) {
+    it->second = std::make_unique<Counter>();
+    // The map key outlives the process (the store is never destroyed), so
+    // its c_str() is a stable name for flight-recorder events.
+    it->second->setFlightName(it->first.c_str());
+  }
+  return *it->second;
+}
+
+Gauge& gauge(const std::string& name) {
+  auto& store = MetricsStore::instance();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  auto& slot = store.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
@@ -302,6 +330,9 @@ MetricsSnapshot snapshot() {
   for (const auto& [name, c] : store.counters) {
     if (c->value() != 0) snap.counters.emplace_back(name, c->value());
   }
+  for (const auto& [name, g] : store.gauges) {
+    if (g->updateCount() != 0) snap.gauges.emplace_back(name, g->value());
+  }
   for (const auto& [name, h] : store.histograms) {
     if (h->count() == 0) continue;
     HistogramStats stats;
@@ -333,6 +364,14 @@ std::string snapshotJson() {
     out += "\": " + std::to_string(snap.counters[i].second);
   }
   out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += i ? ",\n    \"" : "\n    \"";
+    appendJsonEscaped(out, snap.gauges[i].first.c_str());
+    out += "\": ";
+    appendNumber(out, snap.gauges[i].second);
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
   out += "  \"tags\": {";
   for (std::size_t i = 0; i < snap.tags.size(); ++i) {
     out += i ? ",\n    \"" : "\n    \"";
@@ -371,21 +410,259 @@ void resetMetrics() {
   auto& store = MetricsStore::instance();
   std::lock_guard<std::mutex> lock(store.mutex);
   for (auto& [name, c] : store.counters) c->reset();
+  for (auto& [name, g] : store.gauges) g->reset();
   for (auto& [name, h] : store.histograms) h->reset();
   store.tags.clear();
+  // Invalidate window baselines: the next windowSnapshot() rebuilds them
+  // and reports baselineReset instead of negative deltas.
+  ++store.resetEpoch;
+}
+
+// --------------------------------------------------------------------------
+// Windowed snapshot
+
+namespace {
+
+/// Linear interpolation of the q-quantile inside log2 delta buckets.
+/// Bucket i covers [2^i, 2^(i+1)) us (bucket 0: [0, 2)).
+double quantileFromDeltaBuckets(const long* delta, long count, double q) {
+  if (count <= 0) return 0.0;
+  double rank = q * static_cast<double>(count);
+  if (rank < 1.0) rank = 1.0;
+  long cum = 0;
+  double last = 0.0;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (delta[i] <= 0) continue;
+    const double lo = i == 0 ? 0.0 : static_cast<double>(1ul << i);
+    const double hi = static_cast<double>(1ul << (i + 1));
+    if (static_cast<double>(cum) + static_cast<double>(delta[i]) >= rank) {
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(delta[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum += delta[i];
+    last = hi;
+  }
+  return last;
+}
+
+}  // namespace
+
+WindowSnapshot windowSnapshot() {
+  WindowSnapshot w;
+  auto& store = MetricsStore::instance();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  w.seq = ++store.windowSeq;
+  w.startUs = store.windowStartUs;
+  w.endUs = nowMicros();
+  store.windowStartUs = w.endUs;
+  const bool rebaseline = store.windowEpoch != store.resetEpoch;
+  store.windowEpoch = store.resetEpoch;
+  w.baselineReset = rebaseline;
+
+  for (const auto& [name, c] : store.counters) {
+    const long cur = c->value();
+    long& base = store.counterBase[name];
+    if (!rebaseline) {
+      const long delta = cur - base;
+      // A negative delta means someone reset the counter directly without
+      // resetMetrics(); swallow it and re-baseline rather than lie.
+      if (delta > 0) w.counters.emplace_back(name, delta);
+    }
+    base = cur;
+  }
+  for (const auto& [name, h] : store.histograms) {
+    HistBaseline& base = store.histBase[name];
+    const long curCount = h->count();
+    const double curSum = h->sumMicros();
+    long curBuckets[LatencyHistogram::kBuckets];
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      curBuckets[i] = h->bucket(i);
+    }
+    if (!rebaseline) {
+      const long dCount = curCount - base.count;
+      if (dCount > 0) {
+        WindowHistogramStats stats;
+        stats.name = name;
+        stats.count = dCount;
+        stats.sumUs = curSum - base.sumUs;
+        if (stats.sumUs < 0.0) stats.sumUs = 0.0;
+        long dBuckets[LatencyHistogram::kBuckets];
+        for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+          const long d = curBuckets[i] - base.buckets[i];
+          dBuckets[i] = d > 0 ? d : 0;
+        }
+        stats.p50Us = quantileFromDeltaBuckets(dBuckets, dCount, 0.50);
+        stats.p95Us = quantileFromDeltaBuckets(dBuckets, dCount, 0.95);
+        stats.p99Us = quantileFromDeltaBuckets(dBuckets, dCount, 0.99);
+        w.histograms.push_back(std::move(stats));
+      }
+    }
+    base.count = curCount;
+    base.sumUs = curSum;
+    std::memcpy(base.buckets, curBuckets, sizeof(curBuckets));
+  }
+  for (const auto& [name, g] : store.gauges) {
+    if (g->updateCount() != 0) w.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, value] : store.tags) {
+    w.tags.emplace_back(name, value);
+  }
+  return w;
+}
+
+std::string windowJson(const WindowSnapshot& w) {
+  std::string out = "{\"seq\": " + std::to_string(w.seq) +
+                    ", \"window_start_us\": ";
+  appendNumber(out, w.startUs);
+  out += ", \"window_end_us\": ";
+  appendNumber(out, w.endUs);
+  if (w.baselineReset) out += ", \"baseline_reset\": true";
+  out += ", \"counters\": {";
+  for (std::size_t i = 0; i < w.counters.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    appendJsonEscaped(out, w.counters[i].first.c_str());
+    out += "\": " + std::to_string(w.counters[i].second);
+  }
+  out += "}, \"gauges\": {";
+  for (std::size_t i = 0; i < w.gauges.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    appendJsonEscaped(out, w.gauges[i].first.c_str());
+    out += "\": ";
+    appendNumber(out, w.gauges[i].second);
+  }
+  out += "}, \"histograms\": {";
+  for (std::size_t i = 0; i < w.histograms.size(); ++i) {
+    const WindowHistogramStats& h = w.histograms[i];
+    if (i) out += ", ";
+    out += "\"";
+    appendJsonEscaped(out, h.name.c_str());
+    out += "\": {\"count\": " + std::to_string(h.count) + ", \"sum_us\": ";
+    appendNumber(out, h.sumUs);
+    out += ", \"p50_us\": ";
+    appendNumber(out, h.p50Us);
+    out += ", \"p95_us\": ";
+    appendNumber(out, h.p95Us);
+    out += ", \"p99_us\": ";
+    appendNumber(out, h.p99Us);
+    out += "}";
+  }
+  out += "}, \"tags\": {";
+  for (std::size_t i = 0; i < w.tags.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    appendJsonEscaped(out, w.tags[i].first.c_str());
+    out += "\": \"";
+    appendJsonEscaped(out, w.tags[i].second.c_str());
+    out += "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Prometheus-style exposition
+
+namespace {
+
+std::string promName(const std::string& name) {
+  std::string out = "pcnn_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string promLabel(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "_" + out;
+  return out;
+}
+
+void appendPromEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string expositionText() {
+  const MetricsSnapshot snap = snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = promName(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = promName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " ";
+    appendNumber(out, value);
+    out += "\n";
+  }
+  for (const HistogramStats& h : snap.histograms) {
+    const std::string n = promName(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    long cum = 0;
+    for (const auto& [upperUs, count] : h.buckets) {
+      cum += count;
+      char le[40];
+      std::snprintf(le, sizeof(le), "%.0f", upperUs);
+      out += n + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum ";
+    appendNumber(out, h.sumUs);
+    out += "\n" + n + "_count " + std::to_string(h.count) + "\n";
+  }
+  if (!snap.tags.empty()) {
+    out += "# TYPE pcnn_info gauge\npcnn_info{";
+    for (std::size_t i = 0; i < snap.tags.size(); ++i) {
+      if (i) out += ",";
+      out += promLabel(snap.tags[i].first) + "=\"";
+      appendPromEscaped(out, snap.tags[i].second);
+      out += "\"";
+    }
+    out += "} 1\n";
+  }
+  return out;
 }
 
 // --------------------------------------------------------------------------
 // Spans
 
 Span::Span(const char* name, const char* argKey, long argValue)
-    : name_(name),
-      argKey_(argKey),
-      argValue_(argValue),
-      startUs_(traceEnabled() ? nowMicros() : -1.0) {}
+    : name_(name), argKey_(argKey), argValue_(argValue) {
+  const bool trace = traceEnabled();
+  const bool flight = flightEnabled();
+  traceActive_ = trace;
+  startUs_ = (trace || flight) ? nowMicros() : -1.0;
+  if (flight) detail::flightRecordBegin(name_, argKey_ ? argValue_ : 0);
+}
 
 Span::~Span() {
   if (startUs_ < 0.0) return;
+  if (flightEnabled()) detail::flightRecordEnd(name_);
+  if (!traceActive_) return;
   TraceEvent e;
   e.name = name_;
   e.argKey = argKey_;
@@ -468,6 +745,9 @@ bool writeTrace(const std::string& path) {
 }
 
 bool writeMetrics(const std::string& path) {
+  if (internal::promFormatPath(path)) {
+    return writeStringToFile(path, expositionText());
+  }
   return writeStringToFile(path, snapshotJson());
 }
 
@@ -475,7 +755,15 @@ void writeConfiguredReports() {
   const std::string trace = configuredTracePath();
   const std::string metrics = configuredMetricsPath();
   if (!trace.empty()) writeTrace(trace);
-  if (!metrics.empty()) writeMetrics(metrics);
+  if (metrics.empty()) return;
+  if (configuredMetricsPeriodMs() > 0) {
+    // Streaming mode: the exporter owns the metrics file. Stop it (which
+    // flushes one final window) instead of overwriting the stream with a
+    // cumulative snapshot -- and never write that final window twice.
+    stopMetricsExporter();
+    return;
+  }
+  writeMetrics(metrics);
 }
 
 }  // namespace pcnn::obs

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -9,9 +10,9 @@
 namespace pcnn::obs {
 
 /// Pipeline-wide observability layer: scoped trace spans (Chrome
-/// trace_event JSON), counters, latency histograms, and string tags,
-/// shared by every subsystem so all perf work reports against the same
-/// instruments.
+/// trace_event JSON), counters, gauges, latency histograms, and string
+/// tags, shared by every subsystem so all perf work reports against the
+/// same instruments.
 ///
 /// Gating, designed so instrumentation can live permanently in hot paths:
 ///  - compile time: configuring with -DPCNN_OBS=OFF defines
@@ -20,13 +21,16 @@ namespace pcnn::obs {
 ///    links, snapshot() is empty, every call is a no-op.
 ///  - runtime: PCNN_TRACE=<path> turns on span recording (exported to
 ///    <path> at exit), PCNN_METRICS=<path|stderr> turns on counters and
-///    histograms (snapshot written at exit). PCNN_OBS=off is a master
-///    kill switch overriding both. With neither variable set, the entire
-///    layer costs one relaxed atomic load + predictable branch per
-///    instrumentation site -- no clock reads, no stores.
+///    histograms (snapshot written at exit, or streamed periodically when
+///    PCNN_METRICS_PERIOD_MS is also set), PCNN_FLIGHT=<path> arms the
+///    flight recorder (see obs/flight.hpp). PCNN_OBS=off is a master
+///    kill switch overriding all of them. With none of the variables set,
+///    the entire layer costs a couple of relaxed atomic loads +
+///    predictable branches per instrumentation site -- no clock reads,
+///    no stores.
 ///
-/// Threading: counters and histograms are lock-free atomics after a
-/// mutex-protected first lookup (hot sites cache the reference in a
+/// Threading: counters, gauges and histograms are lock-free atomics after
+/// a mutex-protected first lookup (hot sites cache the reference in a
 /// function-local static). Spans record into per-thread buffers, so
 /// worker threads never contend; buffers are drained under a registry
 /// lock at export time.
@@ -42,6 +46,13 @@ namespace detail {
 /// observing a toggle late loses at most a few events, never corrupts.
 extern std::atomic<bool> traceOn;
 extern std::atomic<bool> metricsOn;
+extern std::atomic<bool> flightOn;
+
+/// Flight-recorder write hooks (implemented in flight.cpp); call only
+/// behind flightEnabled(). `name` must have static storage duration.
+void flightRecordBegin(const char* name, long arg);
+void flightRecordEnd(const char* name);
+void flightRecordCount(const char* name, long delta);
 }  // namespace detail
 
 inline bool traceEnabled() {
@@ -50,14 +61,19 @@ inline bool traceEnabled() {
 inline bool metricsEnabled() {
   return kCompiledIn && detail::metricsOn.load(std::memory_order_relaxed);
 }
+inline bool flightEnabled() {
+  return kCompiledIn && detail::flightOn.load(std::memory_order_relaxed);
+}
 
 /// Programmatic toggles (tests, benches). Enabling metrics/tracing that
 /// the env did not request does not register an at-exit export.
 void setTraceEnabled(bool on);
 void setMetricsEnabled(bool on);
+void setFlightEnabled(bool on);
 
-/// Re-reads PCNN_TRACE / PCNN_METRICS / PCNN_OBS and reconfigures the
-/// switches and export paths. Called once automatically during static
+/// Re-reads PCNN_TRACE / PCNN_METRICS / PCNN_METRICS_PERIOD_MS /
+/// PCNN_FLIGHT / PCNN_OBS and reconfigures the switches, export paths and
+/// the streaming exporter thread. Called once automatically during static
 /// initialization of any binary linking the library; call again after
 /// changing the environment to make the new values take effect.
 void configureFromEnv();
@@ -65,6 +81,9 @@ void configureFromEnv();
 /// Export paths currently configured from the environment ("" = none).
 std::string configuredTracePath();
 std::string configuredMetricsPath();
+std::string configuredFlightPath();
+/// Streaming period (ms) from PCNN_METRICS_PERIOD_MS; 0 = exit-time only.
+int configuredMetricsPeriodMs();
 
 /// Microseconds since process start (steady clock).
 double nowMicros();
@@ -73,24 +92,75 @@ double nowMicros();
 // Counters
 
 /// A named monotonic counter. add() is safe from any thread and nearly
-/// free while metrics are off.
+/// free while metrics are off. When the flight recorder is armed, add()
+/// also leaves a count event in the calling thread's ring.
 class Counter {
  public:
   void add(long n = 1) {
-    if (!metricsEnabled()) return;
-    value_.fetch_add(n, std::memory_order_relaxed);
+    if (metricsEnabled()) value_.fetch_add(n, std::memory_order_relaxed);
+    if (flightEnabled() && flightName_ != nullptr) {
+      detail::flightRecordCount(flightName_, n);
+    }
   }
   long value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
+  /// Registry-owned stable name used for flight-recorder events; set once
+  /// at registration (the registry map key outlives the process).
+  void setFlightName(const char* name) { flightName_ = name; }
+
  private:
   std::atomic<long> value_{0};
+  const char* flightName_ = nullptr;
 };
 
 /// Registry lookup (registers on first use). The reference stays valid for
 /// the process lifetime; hot call sites should cache it:
 ///   static obs::Counter& c = obs::counter("windows_scanned");
 Counter& counter(const std::string& name);
+
+// --------------------------------------------------------------------------
+// Gauges
+
+/// A named point-in-time value (queue depth, hit rate, active cores, fps).
+/// Unlike a Counter it is not monotonic: set() overwrites, add() offsets.
+/// Lock-free; the double payload travels as its bit pattern through an
+/// atomic integer so torn reads are impossible.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metricsEnabled()) return;
+    bits_.store(std::bit_cast<long long>(v), std::memory_order_relaxed);
+    updates_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!metricsEnabled()) return;
+    long long seen = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        seen, std::bit_cast<long long>(std::bit_cast<double>(seen) + delta),
+        std::memory_order_relaxed)) {
+    }
+    updates_.fetch_add(1, std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  /// Number of set()/add() calls since the last reset; snapshots use this
+  /// to tell "never touched" from "legitimately set to 0".
+  long updateCount() const {
+    return updates_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    bits_.store(0, std::memory_order_relaxed);
+    updates_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<long long> bits_{0};  ///< 0 is the bit pattern of 0.0
+  std::atomic<long> updates_{0};
+};
+
+Gauge& gauge(const std::string& name);
 
 // --------------------------------------------------------------------------
 // Latency histograms
@@ -149,7 +219,7 @@ class ScopedTimer {
 void setTag(const std::string& name, const std::string& value);
 
 // --------------------------------------------------------------------------
-// Snapshot
+// Snapshot (cumulative, since process start / last resetMetrics)
 
 struct HistogramStats {
   std::string name;
@@ -162,19 +232,87 @@ struct HistogramStats {
 
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, long>> counters;  ///< nonzero only
+  std::vector<std::pair<std::string, double>> gauges;  ///< touched only
   std::vector<HistogramStats> histograms;              ///< nonempty only
   std::vector<std::pair<std::string, std::string>> tags;
   bool empty() const {
-    return counters.empty() && histograms.empty() && tags.empty();
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           tags.empty();
   }
 };
 
-/// Current values of every nonzero counter / nonempty histogram / tag.
+/// Current values of every nonzero counter / touched gauge / nonempty
+/// histogram / tag.
 MetricsSnapshot snapshot();
 /// snapshot() rendered as a JSON object.
 std::string snapshotJson();
-/// Zeroes all counters and histograms and clears tags.
+/// Zeroes all counters, gauges and histograms and clears tags. Bumps the
+/// window epoch, so a concurrent windowSnapshot() (e.g. the streaming
+/// exporter) re-baselines and flags the window instead of reporting
+/// negative deltas.
 void resetMetrics();
+
+// --------------------------------------------------------------------------
+// Windowed snapshot (deltas since the previous windowSnapshot call)
+
+struct WindowHistogramStats {
+  std::string name;
+  long count = 0;      ///< samples recorded this window
+  double sumUs = 0.0;  ///< time accumulated this window
+  /// Quantiles interpolated linearly inside the log2 buckets of this
+  /// window's samples -- bounded by bucket resolution, not exact.
+  double p50Us = 0.0;
+  double p95Us = 0.0;
+  double p99Us = 0.0;
+};
+
+struct WindowSnapshot {
+  long long seq = 0;        ///< monotonically increasing window number
+  double startUs = 0.0;     ///< window start (process-relative)
+  double endUs = 0.0;       ///< window end = snapshot time
+  /// True when resetMetrics() landed since the previous window: the
+  /// baseline was rebuilt and all deltas suppressed for this window.
+  /// Consumers (the exporter) should skip such a window.
+  bool baselineReset = false;
+  std::vector<std::pair<std::string, long>> counters;  ///< deltas, nonzero
+  std::vector<std::pair<std::string, double>> gauges;  ///< current values
+  std::vector<WindowHistogramStats> histograms;        ///< count > 0 only
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+/// Advances the global window: returns per-interval counter/histogram
+/// deltas since the previous call (plus current gauge values) and makes
+/// this instant the new baseline. Thread-safe; concurrent callers see
+/// disjoint windows.
+WindowSnapshot windowSnapshot();
+/// One compact NDJSON line (no trailing newline) for a window.
+std::string windowJson(const WindowSnapshot& w);
+
+// --------------------------------------------------------------------------
+// Prometheus-style text exposition (cumulative, for a /metrics endpoint)
+
+/// snapshot() rendered in the Prometheus text exposition format: metric
+/// names are prefixed "pcnn_" and sanitized (non-[a-zA-Z0-9_] -> '_'),
+/// each metric gets one `# TYPE` line, histograms emit cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count`, and tags are exposed
+/// as labels on a single `pcnn_info` gauge.
+std::string expositionText();
+
+// --------------------------------------------------------------------------
+// Streaming exporter (background thread, PCNN_METRICS_PERIOD_MS)
+
+/// Starts (or reconfigures) the background exporter appending one
+/// windowJson() line per period to `path` ("stderr"/"-" = stderr). A path
+/// ending in ".prom" is instead rewritten with expositionText() each
+/// period. Idempotent: same path+period is a no-op; a change restarts the
+/// thread. Normally driven by configureFromEnv().
+void startMetricsExporter(const std::string& path, int periodMs);
+/// Stops the exporter thread, flushing one final window. Idempotent; runs
+/// automatically at process exit before the exit-time report (which then
+/// skips the cumulative metrics write so the final window is not
+/// double-written).
+void stopMetricsExporter();
+bool metricsExporterRunning();
 
 // --------------------------------------------------------------------------
 // Trace spans
@@ -182,7 +320,8 @@ void resetMetrics();
 /// RAII span. `name` (and `argKey`) must have static storage duration --
 /// pass string literals. Spans may nest freely and may be opened on any
 /// thread; each thread records into its own buffer. When tracing is off
-/// construction reads no clock.
+/// construction reads no clock. When the flight recorder is armed the
+/// span also leaves begin/end events in the calling thread's ring.
 class Span {
  public:
   explicit Span(const char* name) : Span(name, nullptr, 0) {}
@@ -195,7 +334,8 @@ class Span {
   const char* name_;
   const char* argKey_;
   long argValue_;
-  double startUs_;  ///< < 0 = inactive (tracing was off at entry)
+  double startUs_;  ///< < 0 = inactive (neither trace nor flight on)
+  bool traceActive_;  ///< push a Chrome trace event at destruction
 };
 
 /// All recorded events as Chrome trace_event JSON ("traceEvents" array of
@@ -211,10 +351,13 @@ void clearTrace();
 
 /// Writes traceJson() to `path`. Returns false on I/O failure.
 bool writeTrace(const std::string& path);
-/// Writes snapshotJson() to `path` ("stderr" or "-" writes to stderr).
+/// Writes snapshotJson() to `path` ("stderr" or "-" writes to stderr); a
+/// path ending in ".prom" gets expositionText() instead.
 bool writeMetrics(const std::string& path);
 /// Writes whatever PCNN_TRACE / PCNN_METRICS requested (no-op when unset).
 /// Also runs automatically at process exit, so ad-hoc runs need no code.
+/// When the streaming exporter is active it is stopped (flushing its
+/// final window) and the cumulative metrics write is skipped.
 void writeConfiguredReports();
 
 }  // namespace pcnn::obs

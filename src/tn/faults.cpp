@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/env.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "tn/network.hpp"
 
@@ -258,12 +259,14 @@ void FaultModel::applyWeightFlips(Network& network, int firstCore,
   counts_.weightFlips += flips;
   gFlips.fetch_add(flips, std::memory_order_relaxed);
   obsFlips_->add(flips);
+  if (flips > 0) obs::noteFaultEvent("tn.faults.weight_flips");
 }
 
 void FaultModel::countDeadCoreDrop() {
   ++counts_.deadCoreDrops;
   gDeadDrops.fetch_add(1, std::memory_order_relaxed);
   obsDeadDrops_->add();
+  obs::noteFaultEvent("tn.faults.dead_core_drop");
 }
 
 bool FaultModel::dropDelivery() {
@@ -272,6 +275,7 @@ bool FaultModel::dropDelivery() {
   ++counts_.droppedSpikes;
   gDropped.fetch_add(1, std::memory_order_relaxed);
   obsDropped_->add();
+  obs::noteFaultEvent("tn.faults.dropped_spike");
   return true;
 }
 
@@ -302,6 +306,7 @@ void FaultModel::applyStuckNeurons(int core, std::vector<int>& fired) {
       counts_.stuckOffSuppressed += suppressed;
       gStuckOff.fetch_add(suppressed, std::memory_order_relaxed);
       obsStuckOff_->add(suppressed);
+      obs::noteFaultEvent("tn.faults.stuck_off");
     }
   }
 
@@ -329,6 +334,7 @@ void FaultModel::applyStuckNeurons(int core, std::vector<int>& fired) {
       counts_.stuckOnSpikes += injected;
       gStuckOn.fetch_add(injected, std::memory_order_relaxed);
       obsStuckOn_->add(injected);
+      obs::noteFaultEvent("tn.faults.stuck_on");
     }
   }
 }

@@ -112,6 +112,14 @@ RunResult Network::run(long ticks) {
   tickCounter.add(ticks);
   coreTickCounter.add(coreTicksLastRun_);
   runCounter.add();
+  // Mean cores actually ticked per tick this run: coreCount() under the
+  // dense engine, the active-set size under the event engine -- the live
+  // utilization signal for the streaming exporter.
+  static obs::Gauge& activeCores = obs::gauge("tn.active_cores");
+  if (ticks > 0) {
+    activeCores.set(static_cast<double>(coreTicksLastRun_) /
+                    static_cast<double>(ticks));
+  }
   return result;
 }
 

@@ -1,39 +1,67 @@
 // Observability layer: counter thread safety under the pool, span nesting
-// round-tripped through the Chrome trace JSON it exports, disabled-mode
-// no-op behaviour, and PCNN_TRACE / PCNN_METRICS / PCNN_OBS env gating.
+// round-tripped through the Chrome trace JSON it exports, gauges, windowed
+// deltas and quantiles, the flight-recorder ring, the streaming exporter,
+// disabled-mode no-op behaviour, and PCNN_TRACE / PCNN_METRICS /
+// PCNN_METRICS_PERIOD_MS / PCNN_FLIGHT / PCNN_OBS env gating.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace pcnn {
 namespace {
 
-/// Saves and restores the runtime obs switches plus the metric/trace
-/// stores, so each test starts clean and leaves no global residue.
+/// Saves and restores the runtime obs switches plus the metric/trace/
+/// flight stores and the exporter thread, so each test starts clean and
+/// leaves no global residue.
 class ObsStateGuard {
  public:
   ObsStateGuard()
-      : traceWas_(obs::traceEnabled()), metricsWas_(obs::metricsEnabled()) {
+      : traceWas_(obs::traceEnabled()),
+        metricsWas_(obs::metricsEnabled()),
+        flightWas_(obs::flightEnabled()) {
+    obs::stopMetricsExporter();
     obs::resetMetrics();
     obs::clearTrace();
+    obs::clearFlightRecorder();
   }
   ~ObsStateGuard() {
+    obs::stopMetricsExporter();
     obs::resetMetrics();
     obs::clearTrace();
+    obs::clearFlightRecorder();
     obs::setTraceEnabled(traceWas_);
     obs::setMetricsEnabled(metricsWas_);
+    obs::setFlightEnabled(flightWas_);
   }
 
  private:
   bool traceWas_;
   bool metricsWas_;
+  bool flightWas_;
 };
+
+std::string readWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return {};
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return text;
+}
 
 // --- A minimal JSON reader, enough to parse back what obs exports --------
 
@@ -252,6 +280,426 @@ TEST(ObsCounters, SnapshotReportsCountersHistogramsAndTags) {
   const JsonValue* counter = counters->find("test.snapshot_counter");
   ASSERT_NE(counter, nullptr);
   EXPECT_DOUBLE_EQ(counter->number, 42.0);
+}
+
+// --- Gauges ---------------------------------------------------------------
+
+TEST(ObsGauges, SetAddAndSnapshotVisibility) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setMetricsEnabled(true);
+
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.set(-0.25);  // gauges are not monotonic
+  EXPECT_DOUBLE_EQ(g.value(), -0.25);
+  EXPECT_EQ(g.updateCount(), 3);
+
+  // A gauge legitimately set to 0 is reported; a never-touched one is not.
+  obs::gauge("test.gauge_zero").set(0.0);
+  obs::gauge("test.gauge_untouched");
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  bool sawSet = false, sawZero = false, sawUntouched = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "test.gauge") {
+      sawSet = true;
+      EXPECT_DOUBLE_EQ(value, -0.25);
+    }
+    if (name == "test.gauge_zero") sawZero = true;
+    if (name == "test.gauge_untouched") sawUntouched = true;
+  }
+  EXPECT_TRUE(sawSet);
+  EXPECT_TRUE(sawZero);
+  EXPECT_FALSE(sawUntouched);
+
+  // The JSON snapshot carries the same gauge object.
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(obs::snapshotJson()).parse(doc));
+  const JsonValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("test.gauge"), nullptr);
+  EXPECT_NEAR(gauges->find("test.gauge")->number, -0.25, 1e-9);
+}
+
+TEST(ObsGauges, DisabledModeIsANoOp) {
+  ObsStateGuard guard;
+  obs::setMetricsEnabled(false);
+  obs::Gauge& g = obs::gauge("test.gauge_disabled");
+  g.set(7.0);
+  g.add(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(g.updateCount(), 0);
+}
+
+// --- Windowed snapshots ---------------------------------------------------
+
+TEST(ObsWindows, CounterDeltasArePerWindow) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setMetricsEnabled(true);
+  obs::windowSnapshot();  // establish a baseline at the current values
+
+  obs::Counter& c = obs::counter("test.win_counter");
+  c.add(5);
+  const obs::WindowSnapshot w1 = obs::windowSnapshot();
+  c.add(3);
+  const obs::WindowSnapshot w2 = obs::windowSnapshot();
+  const obs::WindowSnapshot w3 = obs::windowSnapshot();
+
+  auto deltaOf = [](const obs::WindowSnapshot& w, const std::string& name,
+                    long fallback) {
+    for (const auto& [n, v] : w.counters) {
+      if (n == name) return v;
+    }
+    return fallback;
+  };
+  EXPECT_EQ(deltaOf(w1, "test.win_counter", -1), 5);
+  EXPECT_EQ(deltaOf(w2, "test.win_counter", -1), 3);
+  // An idle window omits the counter entirely (delta 0).
+  EXPECT_EQ(deltaOf(w3, "test.win_counter", 0), 0);
+  EXPECT_LT(w1.seq, w2.seq);
+  EXPECT_LT(w2.seq, w3.seq);
+  EXPECT_LE(w1.endUs, w2.endUs);
+
+  // The cumulative value is untouched by windowing.
+  EXPECT_EQ(c.value(), 8);
+
+  // The NDJSON rendering of a window parses back.
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(obs::windowJson(w1)).parse(doc));
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("test.win_counter"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("test.win_counter")->number, 5.0);
+  ASSERT_NE(doc.find("seq"), nullptr);
+}
+
+TEST(ObsWindows, QuantilesUnderConcurrentWriters) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setMetricsEnabled(true);
+  obs::windowSnapshot();
+
+  // 900 samples in the [2,4) us bucket and 100 in [64,128) us, recorded
+  // from pool threads: p50 must land in the low bucket, p95/p99 in the
+  // high one (interpolated within log2 buckets, so ranges not points).
+  obs::LatencyHistogram& h = obs::histogram("test.win_us");
+  setThreadCount(4);
+  parallelFor(0, 1000, [&](long i) { h.record(i % 10 == 0 ? 100.0 : 3.0); });
+  setThreadCount(1);
+
+  const obs::WindowSnapshot w = obs::windowSnapshot();
+  const obs::WindowHistogramStats* stats = nullptr;
+  for (const auto& hist : w.histograms) {
+    if (hist.name == "test.win_us") stats = &hist;
+  }
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, 1000);
+  EXPECT_NEAR(stats->sumUs, 900 * 3.0 + 100 * 100.0, 1.0);
+  EXPECT_GE(stats->p50Us, 2.0);
+  EXPECT_LE(stats->p50Us, 4.0);
+  EXPECT_GE(stats->p95Us, 64.0);
+  EXPECT_LE(stats->p95Us, 128.0);
+  EXPECT_GE(stats->p99Us, 64.0);
+  EXPECT_LE(stats->p99Us, 128.0);
+  EXPECT_LE(stats->p50Us, stats->p95Us);
+  EXPECT_LE(stats->p95Us, stats->p99Us);
+
+  // The next window sees none of these samples.
+  const obs::WindowSnapshot w2 = obs::windowSnapshot();
+  for (const auto& hist : w2.histograms) {
+    EXPECT_NE(hist.name, "test.win_us");
+  }
+}
+
+TEST(ObsWindows, ResetRebaselinesInsteadOfNegativeDeltas) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setMetricsEnabled(true);
+  obs::windowSnapshot();
+
+  obs::counter("test.win_reset").add(100);
+  obs::windowSnapshot();  // baseline now 100
+  obs::counter("test.win_reset").add(10);
+  obs::resetMetrics();  // value drops 110 -> 0 under the baseline
+  obs::counter("test.win_reset").add(2);
+
+  // The window spanning the reset reports no deltas -- flagged instead of
+  // emitting -108.
+  const obs::WindowSnapshot flagged = obs::windowSnapshot();
+  EXPECT_TRUE(flagged.baselineReset);
+  EXPECT_TRUE(flagged.counters.empty());
+  EXPECT_TRUE(flagged.histograms.empty());
+
+  // After rebaselining, windows are back to exact deltas.
+  obs::counter("test.win_reset").add(4);
+  const obs::WindowSnapshot next = obs::windowSnapshot();
+  EXPECT_FALSE(next.baselineReset);
+  long delta = -1;
+  for (const auto& [n, v] : next.counters) {
+    if (n == "test.win_reset") delta = v;
+  }
+  EXPECT_EQ(delta, 4);
+}
+
+// --- Flight recorder ------------------------------------------------------
+
+TEST(ObsFlight, RingWraparoundKeepsNewestEventsInOrder) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setMetricsEnabled(false);
+  obs::setFlightEnabled(true);
+
+  // Overfill the calling thread's ring so it wraps: only the newest
+  // kFlightCapacity events survive, still in recording order.
+  const long total = obs::kFlightCapacity + 808;
+  obs::Counter& c = obs::counter("test.flight_wrap");
+  for (long i = 0; i < total; ++i) c.add(i + 1);
+  EXPECT_EQ(c.value(), 0);  // metrics off: only the flight ring saw these
+  EXPECT_EQ(obs::flightEventCount(), obs::kFlightCapacity);
+
+  const std::string path = testing::TempDir() + "obs_flight_wrap.json";
+  ASSERT_TRUE(obs::dumpFlightRecorder(path, "test"));
+  const std::string text = readWholeFile(path);
+  std::remove(path.c_str());
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(text).parse(doc));
+  EXPECT_EQ(doc.find("reason")->str, "test");
+  const JsonValue* events = doc.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(),
+            static_cast<std::size_t>(obs::kFlightCapacity));
+
+  // args were 1..total; the retained window must be the last capacity of
+  // them, contiguous and increasing, with non-decreasing timestamps.
+  double lastTs = -1.0;
+  long expectedArg = total - obs::kFlightCapacity + 1;
+  for (const JsonValue& event : events->array) {
+    EXPECT_EQ(event.find("kind")->str, "count");
+    EXPECT_EQ(event.find("name")->str, "test.flight_wrap");
+    EXPECT_EQ(static_cast<long>(event.find("arg")->number), expectedArg);
+    ++expectedArg;
+    const double ts = event.find("ts_us")->number;
+    EXPECT_GE(ts, lastTs);
+    lastTs = ts;
+  }
+
+  obs::clearFlightRecorder();
+  EXPECT_EQ(obs::flightEventCount(), 0);
+}
+
+TEST(ObsFlight, SpansLeaveBeginEndPairsAndFaultEventAutoDumpIsOnce) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setFlightEnabled(true);
+
+  {
+    PCNN_SPAN_ARG("test.flight_span", "item", 3);
+  }
+  EXPECT_EQ(obs::flightEventCount(), 2);
+
+  const std::string path = testing::TempDir() + "obs_flight_span.json";
+  ASSERT_TRUE(obs::dumpFlightRecorder(path, "test"));
+  const std::string text = readWholeFile(path);
+  std::remove(path.c_str());
+  JsonValue doc;
+  ASSERT_TRUE(JsonReader(text).parse(doc));
+  const JsonValue* events = doc.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);
+  EXPECT_EQ(events->array[0].find("kind")->str, "begin");
+  EXPECT_EQ(events->array[0].find("name")->str, "test.flight_span");
+  EXPECT_DOUBLE_EQ(events->array[0].find("arg")->number, 3.0);
+  EXPECT_EQ(events->array[1].find("kind")->str, "end");
+
+  // Without a configured PCNN_FLIGHT path, fault events cannot auto-dump.
+  EXPECT_FALSE(obs::flightAutoDumped());
+  obs::noteFaultEvent("test.fault");
+  EXPECT_FALSE(obs::flightAutoDumped());
+}
+
+// --- Streaming exporter ---------------------------------------------------
+
+TEST(ObsExporter, PeriodicNdjsonStreamThroughEnv) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  const std::string path = testing::TempDir() + "obs_stream.ndjson";
+  std::remove(path.c_str());
+
+  ::setenv("PCNN_METRICS", path.c_str(), 1);
+  ::setenv("PCNN_METRICS_PERIOD_MS", "20", 1);
+  ::unsetenv("PCNN_OBS");
+  obs::configureFromEnv();
+  EXPECT_TRUE(obs::metricsExporterRunning());
+  EXPECT_EQ(obs::configuredMetricsPeriodMs(), 20);
+  obs::windowSnapshot();  // absorb the guard's reset epoch before counting
+
+  obs::Counter& c = obs::counter("test.stream_counter");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(90);
+  while (std::chrono::steady_clock::now() < deadline) {
+    c.add();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ::unsetenv("PCNN_METRICS");
+  ::unsetenv("PCNN_METRICS_PERIOD_MS");
+  obs::configureFromEnv();
+  EXPECT_FALSE(obs::metricsExporterRunning());
+
+  // At least two windows over ~90ms of 20ms periods (plus the final
+  // flush), each line independently parseable with increasing seq.
+  const std::string text = readWholeFile(path);
+  std::remove(path.c_str());
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;
+    if (nl > start) lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 2u);
+  double lastSeq = -1.0;
+  long streamed = 0;
+  for (const std::string& line : lines) {
+    JsonValue doc;
+    ASSERT_TRUE(JsonReader(line).parse(doc)) << line;
+    const JsonValue* seq = doc.find("seq");
+    ASSERT_NE(seq, nullptr);
+    EXPECT_GT(seq->number, lastSeq);
+    lastSeq = seq->number;
+    const JsonValue* counters = doc.find("counters");
+    if (counters != nullptr) {
+      const JsonValue* delta = counters->find("test.stream_counter");
+      if (delta != nullptr) {
+        EXPECT_GT(delta->number, 0.0);  // per-window deltas, never totals
+        streamed += static_cast<long>(delta->number);
+      }
+    }
+  }
+  // Deltas over all windows sum to at most the cumulative count (exactly,
+  // unless a window raced the baseline absorption above).
+  EXPECT_GT(streamed, 0);
+  EXPECT_LE(streamed, c.value());
+}
+
+TEST(ObsExporter, PeriodWithoutPathStartsNothing) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  ::unsetenv("PCNN_METRICS");
+  ::setenv("PCNN_METRICS_PERIOD_MS", "20", 1);
+  ::unsetenv("PCNN_OBS");
+  obs::configureFromEnv();
+  EXPECT_FALSE(obs::metricsExporterRunning());
+  ::unsetenv("PCNN_METRICS_PERIOD_MS");
+  obs::configureFromEnv();
+}
+
+TEST(ObsExporter, ConcurrentResetNeverStreamsNegativeDeltas) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setMetricsEnabled(true);
+  const std::string path = testing::TempDir() + "obs_stream_reset.ndjson";
+  std::remove(path.c_str());
+
+  obs::startMetricsExporter(path, 5);
+  obs::Counter& c = obs::counter("test.reset_race");
+  for (int burst = 0; burst < 8; ++burst) {
+    for (int i = 0; i < 500; ++i) c.add();
+    std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    obs::resetMetrics();  // races the exporter's windowSnapshot
+  }
+  // A quiet tail with no resets: these windows must emit normally (every
+  // window spanning a reset above was legitimately skipped).
+  for (int i = 0; i < 500; ++i) c.add();
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  obs::stopMetricsExporter();
+
+  const std::string text = readWholeFile(path);
+  std::remove(path.c_str());
+  std::size_t start = 0, parsed = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    JsonValue doc;
+    ASSERT_TRUE(JsonReader(line).parse(doc)) << line;
+    ++parsed;
+    const JsonValue* counters = doc.find("counters");
+    if (counters == nullptr) continue;
+    for (const auto& [name, value] : counters->object) {
+      EXPECT_GE(value.number, 0.0) << name << " streamed a negative delta";
+    }
+  }
+  EXPECT_GE(parsed, 1u);
+}
+
+// --- Prometheus exposition ------------------------------------------------
+
+TEST(ObsProm, ExpositionTextDeclaresEachMetricOnce) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with PCNN_OBS=OFF";
+  ObsStateGuard guard;
+  obs::setMetricsEnabled(true);
+
+  obs::counter("test.prom_counter").add(4);
+  obs::gauge("test.prom_gauge").set(1.5);
+  obs::histogram("test.prom_us").record(3.0);
+  obs::setTag("test.prom_tag", "v");
+  const std::string text = obs::expositionText();
+
+  auto countOf = [&](const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  // Names are prefixed and sanitized; one TYPE declaration per metric.
+  EXPECT_EQ(countOf("# TYPE pcnn_test_prom_counter counter"), 1u);
+  EXPECT_EQ(countOf("# TYPE pcnn_test_prom_gauge gauge"), 1u);
+  EXPECT_EQ(countOf("# TYPE pcnn_test_prom_us histogram"), 1u);
+  EXPECT_EQ(countOf("pcnn_test_prom_counter 4"), 1u);
+  EXPECT_EQ(countOf("pcnn_test_prom_gauge 1.5"), 1u);
+  // Histogram series: cumulative buckets ending at +Inf, plus sum/count.
+  EXPECT_GE(countOf("pcnn_test_prom_us_bucket{le=\""), 2u);
+  EXPECT_EQ(countOf("pcnn_test_prom_us_bucket{le=\"+Inf\"} 1"), 1u);
+  EXPECT_EQ(countOf("pcnn_test_prom_us_count 1"), 1u);
+  EXPECT_EQ(countOf("pcnn_test_prom_us_sum"), 1u);
+  // Tags ride on a single info gauge.
+  EXPECT_EQ(countOf("# TYPE pcnn_info gauge"), 1u);
+  EXPECT_EQ(countOf("test_prom_tag=\"v\""), 1u);
+
+  // Every TYPE'd metric name is known, and every sample line belongs to a
+  // declared metric.
+  std::vector<std::string> declared;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string line = text.substr(
+        start, nl == std::string::npos ? std::string::npos : nl - start);
+    start = nl == std::string::npos ? text.size() : nl + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      declared.push_back(line.substr(7, sp - 7));
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unexpected comment: " << line;
+    bool known = false;
+    for (const std::string& name : declared) {
+      if (line.rfind(name, 0) == 0) known = true;
+    }
+    EXPECT_TRUE(known) << "sample without TYPE declaration: " << line;
+  }
 }
 
 // --- Trace spans ----------------------------------------------------------
