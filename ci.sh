@@ -37,7 +37,16 @@ PCNN_TN_ENGINE=dense ctest --test-dir "$BUILD_DIR" -L fast \
 if [[ "${PCNN_SANITIZE:-ON}" == "ON" ]]; then
   cmake -B "$BUILD_DIR-asan" -S . -DPCNN_WERROR=ON -DPCNN_SANITIZE=ON
   cmake --build "$BUILD_DIR-asan" -j"$(nproc)"
-  ctest --test-dir "$BUILD_DIR-asan" -L 'fast|bundle|video' \
+  ctest --test-dir "$BUILD_DIR-asan" -L 'fast|bundle|video|serve' \
+    --output-on-failure -j"$(nproc)"
+
+  # ThreadSanitizer tree over the fast + serve labels: the serving layer
+  # hands frames, promises, and ladder state between the admission threads
+  # and the worker, so data races there must fail CI, not surface as
+  # corrupted responses under production load.
+  cmake -B "$BUILD_DIR-tsan" -S . -DPCNN_WERROR=ON -DPCNN_SANITIZE=thread
+  cmake --build "$BUILD_DIR-tsan" -j"$(nproc)"
+  ctest --test-dir "$BUILD_DIR-tsan" -L 'fast|serve' \
     --output-on-failure -j"$(nproc)"
 fi
 
@@ -194,4 +203,34 @@ print("video smoke: detect.frame spans + tile reuse counters present "
       f"recomputed={counters['detect.tiles_recomputed']})")
 EOF
 
-echo "ci.sh: build + tests (incl. scalar-dispatch + dense-engine + sanitizer fast|bundle|video re-runs + obs, stream, prom, flight, bundle & video smoke) passed"
+# Serve smoke: bench_serve at a heavily overloaded point with the metrics
+# stream on must show the admission ladder actually working -- rejected
+# requests, a serve.level transition observable in the streamed windows --
+# and write a well-formed BENCH_serve.json on the shared provenance schema.
+BS_BIN="$(cd "$BUILD_DIR" && pwd)/bench/bench_serve"
+PCNN_METRICS="$OBS_DIR/serve_stream.ndjson" PCNN_METRICS_PERIOD_MS=25 \
+  "$BS_BIN" "$OBS_DIR/serve_bench.json" 40 320 240 smoke >/dev/null
+python3 - "$OBS_DIR/serve_stream.ndjson" "$OBS_DIR/serve_bench.json" <<'EOF'
+import json, sys
+windows = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert windows, "no metrics windows streamed"
+rejected = sum(w.get("counters", {}).get("serve.rejected", 0)
+               for w in windows)
+assert rejected > 0, "overloaded run never rejected at admission"
+transitions = sum(w.get("counters", {}).get("serve.level.transitions", 0)
+                  for w in windows)
+assert transitions > 0, "no serve.level transition in the metrics windows"
+levels = [w["gauges"]["serve.level"] for w in windows
+          if "serve.level" in w.get("gauges", {})]
+assert levels and max(levels) >= 1, f"ladder never left full quality: {levels}"
+bench = json.load(open(sys.argv[2]))
+assert bench["bench"] == "serve" and "provenance" in bench, bench.keys()
+assert bench["points"], "no offered-load points"
+overloaded = bench["points"][-1]
+assert overloaded["rejected"] > 0 and overloaded["degraded"] > 0, overloaded
+print(f"serve smoke: {rejected} rejected, {transitions} ladder transitions "
+      f"(max level {max(levels):.0f}) across {len(windows)} windows; "
+      f"overloaded point shed {overloaded['shed_rate']:.0%}")
+EOF
+
+echo "ci.sh: build + tests (incl. scalar-dispatch + dense-engine + asan fast|bundle|video|serve and tsan fast|serve re-runs + obs, stream, prom, flight, bundle, video & serve smoke) passed"

@@ -23,8 +23,9 @@ enum class StatusCode {
   kOutOfRange,          ///< index/size outside the valid domain
   kDataLoss,            ///< truncated or corrupt serialized data
   kFailedPrecondition,  ///< operation needs state the object is not in
-  kUnavailable,         ///< resource missing (file, backend)
+  kUnavailable,         ///< resource missing (file, backend) or shedding load
   kInternal,            ///< unexpected failure escaping a lower layer
+  kDeadlineExceeded,    ///< work abandoned because its deadline passed
 };
 
 /// Stable upper-case name ("INVALID_ARGUMENT") for logs and messages.
@@ -55,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -9,7 +9,16 @@
 // non-v3 hosts get batched kernels too. Clang and non-x86 targets get a
 // single clone -- the kernels are plain loops either way, only the
 // vector width changes.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+//
+// Under ThreadSanitizer the clones must be disabled: the ifunc
+// resolvers GCC generates are themselves tsan-instrumented, and the
+// dynamic loader invokes them while processing IRELATIVE relocations --
+// before any constructor (even the runtime's .preinit_array hook) has
+// initialized tsan's thread state. The instrumented resolver prologue
+// then reads unset sanitizer TLS and the process segfaults before
+// main. A single baseline clone keeps every kernel race-checkable.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
 #define PCNN_TARGET_CLONES \
   __attribute__((target_clones("default", "arch=x86-64-v3")))
 #else

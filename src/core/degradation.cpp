@@ -1,8 +1,24 @@
 #include "core/degradation.hpp"
 
+#include <limits>
+
 #include "obs/flight.hpp"
 
 namespace pcnn::core {
+
+namespace {
+
+/// Saturating add: a long-lived serving process merges per-frame reports
+/// indefinitely, so the accumulated tallies clamp at the type maximum
+/// instead of wrapping into signed-overflow UB.
+long saturatingAdd(long a, long b) {
+  if (b > 0 && a > std::numeric_limits<long>::max() - b) {
+    return std::numeric_limits<long>::max();
+  }
+  return a + b;
+}
+
+}  // namespace
 
 void DegradationReport::addSkip(int level, long windowsLostAtLevel,
                                 Status status) {
@@ -10,20 +26,25 @@ void DegradationReport::addSkip(int level, long windowsLostAtLevel,
   // armed), preserving the events leading up to the skip.
   obs::noteFaultEvent("degradation.level_skip");
   ++levelsSkipped;
-  windowsLost += windowsLostAtLevel;
+  windowsLost = saturatingAdd(windowsLost, windowsLostAtLevel);
   if (skips.size() < kMaxSkips) {
     skips.push_back({level, windowsLostAtLevel, std::move(status)});
   }
 }
 
 void DegradationReport::merge(const DegradationReport& other) {
-  faults.droppedSpikes += other.faults.droppedSpikes;
-  faults.deadCoreDrops += other.faults.deadCoreDrops;
-  faults.stuckOnSpikes += other.faults.stuckOnSpikes;
-  faults.stuckOffSuppressed += other.faults.stuckOffSuppressed;
-  faults.weightFlips += other.faults.weightFlips;
+  faults.droppedSpikes =
+      saturatingAdd(faults.droppedSpikes, other.faults.droppedSpikes);
+  faults.deadCoreDrops =
+      saturatingAdd(faults.deadCoreDrops, other.faults.deadCoreDrops);
+  faults.stuckOnSpikes =
+      saturatingAdd(faults.stuckOnSpikes, other.faults.stuckOnSpikes);
+  faults.stuckOffSuppressed =
+      saturatingAdd(faults.stuckOffSuppressed, other.faults.stuckOffSuppressed);
+  faults.weightFlips =
+      saturatingAdd(faults.weightFlips, other.faults.weightFlips);
   levelsSkipped += other.levelsSkipped;
-  windowsLost += other.windowsLost;
+  windowsLost = saturatingAdd(windowsLost, other.windowsLost);
   for (const LevelSkip& skip : other.skips) {
     if (skips.size() >= kMaxSkips) break;
     skips.push_back(skip);

@@ -19,6 +19,11 @@ struct DetectMetrics {
   obs::Counter& scenes = obs::counter("detect.scenes");
   obs::Counter& levelsDegraded = obs::counter("detect.level.degraded");
   obs::Counter& windowsLost = obs::counter("detect.windows_lost");
+  /// Levels deliberately shed (DetectOptions::skipFinestLevels) and levels
+  /// abandoned by a deadline/cancel hook -- deliberate quality loss, kept
+  /// separate from the failure-driven detect.level.degraded counter.
+  obs::Counter& levelsShed = obs::counter("detect.level.shed");
+  obs::Counter& levelsExpired = obs::counter("detect.level.deadline");
   static DetectMetrics& instance() {
     static DetectMetrics m;
     return m;
@@ -68,6 +73,12 @@ std::vector<vision::Detection> GridDetector::detectRaw(
 std::vector<vision::Detection> GridDetector::detectRaw(
     const vision::Image& scene, float scoreThreshold,
     DegradationReport* report) const {
+  return detectRaw(scene, scoreThreshold, report, DetectOptions{});
+}
+
+std::vector<vision::Detection> GridDetector::detectRaw(
+    const vision::Image& scene, float scoreThreshold,
+    DegradationReport* report, const DetectOptions& options) const {
   PCNN_SPAN("detect.detectRaw");
   DetectMetrics& metrics = DetectMetrics::instance();
   metrics.scenes.add();
@@ -88,8 +99,36 @@ std::vector<vision::Detection> GridDetector::detectRaw(
       featureExtractor_->layout() == extract::FeatureLayout::kBlockNorm;
 
   long levelIndex = -1;
+  bool abandoned = false;  // a cancel/deadline hook fired; shed the rest
   for (const vision::PyramidLevel& level : levels) {
     ++levelIndex;
+    // Deliberate shedding (the serving layer's coarser-pyramid rung):
+    // the finest levels are the most expensive and are given up first,
+    // attributed as kUnavailable so the caller can see exactly what
+    // quality was traded away.
+    if (levelIndex < options.skipFinestLevels) {
+      metrics.levelsShed.add();
+      if (report != nullptr) {
+        report->addSkip(static_cast<int>(levelIndex),
+                        expectedLevelWindows(level.image, params_),
+                        Status::Unavailable("detect: level shed by caller"));
+      }
+      continue;
+    }
+    // Deadline enforcement between pyramid levels: once the hook fires,
+    // every remaining level is abandoned and attributed; detections from
+    // completed levels survive.
+    if (!abandoned && options.cancel && options.cancel()) abandoned = true;
+    if (abandoned) {
+      metrics.levelsExpired.add();
+      if (report != nullptr) {
+        report->addSkip(static_cast<int>(levelIndex),
+                        expectedLevelWindows(level.image, params_),
+                        Status::DeadlineExceeded(
+                            "detect: level abandoned past deadline"));
+      }
+      continue;
+    }
     PCNN_SPAN_ARG("detect.level", "level", levelIndex);
     // The grid is extracted once per level (extractors may be stateful, so
     // this stays on the calling thread); every window over the level then
@@ -219,8 +258,14 @@ std::vector<vision::Detection> GridDetector::detect(
 std::vector<vision::Detection> GridDetector::detect(
     const vision::Image& scene, float scoreThreshold,
     DegradationReport* report) const {
+  return detect(scene, scoreThreshold, report, DetectOptions{});
+}
+
+std::vector<vision::Detection> GridDetector::detect(
+    const vision::Image& scene, float scoreThreshold,
+    DegradationReport* report, const DetectOptions& options) const {
   std::vector<vision::Detection> raw =
-      detectRaw(scene, scoreThreshold, report);
+      detectRaw(scene, scoreThreshold, report, options);
   PCNN_SPAN_ARG("detect.nms", "candidates", raw.size());
   return vision::nonMaximumSuppression(std::move(raw), params_.nmsEpsilon);
 }

@@ -52,6 +52,34 @@ struct GridDetectorParams {
   TemporalParams temporal;  ///< detectBatch cross-frame reuse knobs
 };
 
+/// Per-call scan controls for deliberate quality shedding and deadline
+/// abandonment -- the knobs serve::DetectionService turns under overload.
+/// Default-constructed options change nothing: the scan is bitwise
+/// identical to the plain detect()/detectBatch() overloads.
+struct DetectOptions {
+  /// Skip the N finest (largest, most expensive) pyramid levels. Each
+  /// skipped level is recorded in the DegradationReport as a LevelSkip
+  /// with StatusCode::kUnavailable, so shed quality is attributed rather
+  /// than silent. Small far-away targets are lost first; coarse levels
+  /// (near, large targets) keep scanning.
+  int skipFinestLevels = 0;
+  /// Polled before every pyramid level; returning true abandons this and
+  /// all remaining levels, each recorded as a LevelSkip with
+  /// StatusCode::kDeadlineExceeded. Detections from levels that already
+  /// completed are still returned.
+  std::function<bool()> cancel;
+};
+
+/// Per-burst controls for detectBatch.
+struct BatchOptions {
+  DetectOptions detect;  ///< applied to every frame of the burst
+  /// Absolute per-frame deadlines on the obs::nowMicros() clock. Empty =
+  /// no deadlines; 0 for a frame = no deadline for that frame. A frame
+  /// whose deadline passes mid-scan abandons its remaining pyramid levels
+  /// exactly like DetectOptions::cancel.
+  std::vector<double> deadlineUs;
+};
+
 /// What one frame of a detectBatch burst cost, at tile and window
 /// granularity. Tiles are (temporal.tileCells)^2-cell squares of each
 /// pyramid level's cell grid; a frame that could not reuse anything (cold
@@ -112,6 +140,15 @@ class GridDetector {
                                         float scoreThreshold,
                                         DegradationReport* report) const;
 
+  /// Same, additionally honoring per-call shed/deadline controls: the
+  /// options' skipped and abandoned levels join `report` as LevelSkips
+  /// (kUnavailable / kDeadlineExceeded). Default options reproduce the
+  /// three-argument overload bitwise.
+  std::vector<vision::Detection> detect(const vision::Image& scene,
+                                        float scoreThreshold,
+                                        DegradationReport* report,
+                                        const DetectOptions& options) const;
+
   /// Produces the frames of a video burst lazily (frame index -> image),
   /// so a full-HD burst never has to be resident all at once.
   using FrameProvider = std::function<vision::Image(int)>;
@@ -142,6 +179,20 @@ class GridDetector {
   BatchDetectResult detectBatch(const std::vector<vision::Image>& frames);
   BatchDetectResult detectBatch(int numFrames, const FrameProvider& frames);
 
+  /// Same, additionally honoring per-burst shed/deadline controls and --
+  /// when `reports` is non-null -- filling one DegradationReport per frame
+  /// (shed levels as kUnavailable, deadline-abandoned levels as
+  /// kDeadlineExceeded, plus fault attribution). A level skipped on the
+  /// temporal path is invalidated so it rebuilds from the live frame when
+  /// the ladder re-enables it. Default options with a null `reports`
+  /// reproduce the plain overloads bitwise.
+  BatchDetectResult detectBatch(int numFrames, const FrameProvider& frames,
+                                const BatchOptions& options,
+                                std::vector<DegradationReport>* reports);
+  BatchDetectResult detectBatch(const std::vector<vision::Image>& frames,
+                                const BatchOptions& options,
+                                std::vector<DegradationReport>* reports);
+
   /// Drops the persistent per-level grids and smoother tracks; the next
   /// frame recomputes everything (use between unrelated bursts).
   void resetTemporalCache();
@@ -153,6 +204,10 @@ class GridDetector {
   std::vector<vision::Detection> detectRaw(const vision::Image& scene,
                                            float scoreThreshold,
                                            DegradationReport* report) const;
+  std::vector<vision::Detection> detectRaw(const vision::Image& scene,
+                                           float scoreThreshold,
+                                           DegradationReport* report,
+                                           const DetectOptions& options) const;
 
   const GridDetectorParams& params() const { return params_; }
 
@@ -174,9 +229,12 @@ class GridDetector {
   obs::LatencyHistogram& cellGridUs() const { return *cellGridUs_; }
 
   /// One frame of the temporal path: reuse what the cache allows, refresh
-  /// the rest, leave the cache describing this frame.
+  /// the rest, leave the cache describing this frame. `deadlineUs` <= 0
+  /// means no deadline; `report` may be null.
   std::vector<vision::Detection> detectFrameTemporal(
-      const vision::Image& frame, FrameStats& stats);
+      const vision::Image& frame, FrameStats& stats,
+      const DetectOptions& options, double deadlineUs,
+      DegradationReport* report);
 
   GridDetectorParams params_;
   std::shared_ptr<extract::FeatureExtractor> featureExtractor_;

@@ -49,6 +49,12 @@ struct BatchMetrics {
   obs::Counter& windowsReused = obs::counter("detect.windows_reused");
   obs::Counter& levelsDegraded = obs::counter("detect.level.degraded");
   obs::Counter& windowsLost = obs::counter("detect.windows_lost");
+  /// Deliberate quality loss (shed / deadline-abandoned levels), kept
+  /// separate from failure-driven degradation. Shared names with the
+  /// single-scene path in detector.cpp (the registry hands back the same
+  /// counters).
+  obs::Counter& levelsShed = obs::counter("detect.level.shed");
+  obs::Counter& levelsExpired = obs::counter("detect.level.deadline");
   /// Fraction of tiles served from the temporal cache on the most recent
   /// frame, and the most recent frame's instantaneous rate; both are
   /// live-telemetry signals for the streaming exporter.
@@ -261,14 +267,27 @@ PxRect mapRectToLevel(const PxRect& r, const vision::Image& scene,
 
 BatchDetectResult GridDetector::detectBatch(
     const std::vector<vision::Image>& frames) {
+  return detectBatch(frames, BatchOptions{}, nullptr);
+}
+
+BatchDetectResult GridDetector::detectBatch(
+    const std::vector<vision::Image>& frames, const BatchOptions& options,
+    std::vector<DegradationReport>* reports) {
   return detectBatch(static_cast<int>(frames.size()),
                      [&frames](int index) {
                        return frames[static_cast<std::size_t>(index)];
-                     });
+                     },
+                     options, reports);
 }
 
 BatchDetectResult GridDetector::detectBatch(int numFrames,
                                             const FrameProvider& frames) {
+  return detectBatch(numFrames, frames, BatchOptions{}, nullptr);
+}
+
+BatchDetectResult GridDetector::detectBatch(
+    int numFrames, const FrameProvider& frames, const BatchOptions& options,
+    std::vector<DegradationReport>* reports) {
   PCNN_SPAN_ARG("detect.batch", "frames", numFrames);
   BatchMetrics& metrics = BatchMetrics::instance();
   const bool temporalOn =
@@ -278,6 +297,10 @@ BatchDetectResult GridDetector::detectBatch(int numFrames,
   result.temporalEnabled = temporalOn;
   result.frames.reserve(static_cast<std::size_t>(numFrames > 0 ? numFrames
                                                                : 0));
+  if (reports != nullptr) {
+    reports->assign(static_cast<std::size_t>(numFrames > 0 ? numFrames : 0),
+                    DegradationReport{});
+  }
   if (!temporal_) {
     TemporalSmootherParams sp;
     sp.alpha = params_.temporal.smoothingAlpha;
@@ -290,15 +313,38 @@ BatchDetectResult GridDetector::detectBatch(int numFrames,
     metrics.frames.add();
     const bool measure = obs::metricsEnabled();
     const double frameStartUs = measure ? obs::nowMicros() : 0.0;
+    DegradationReport* report =
+        reports != nullptr ? &(*reports)[static_cast<std::size_t>(f)]
+                           : nullptr;
+    const double deadlineUs =
+        static_cast<std::size_t>(f) < options.deadlineUs.size()
+            ? options.deadlineUs[static_cast<std::size_t>(f)]
+            : 0.0;
     FrameResult fr;
     if (!temporalOn) {
       // The reference path: exactly the single-scene pipeline per frame
       // (bitwise-identical detections at any thread count, no smoothing).
       fr.stats.fullRecompute = true;
-      fr.detections = detect(frame);
+      DetectOptions frameOptions = options.detect;
+      if (deadlineUs > 0.0) {
+        // Fold the frame's absolute deadline into the cancel hook, which
+        // detectRaw polls between pyramid levels.
+        std::function<bool()> userCancel = frameOptions.cancel;
+        frameOptions.cancel = [userCancel, deadlineUs]() {
+          return (userCancel && userCancel()) ||
+                 obs::nowMicros() > deadlineUs;
+        };
+      }
+      fr.detections =
+          detect(frame, params_.scoreThreshold, report, frameOptions);
     } else {
-      std::vector<vision::Detection> raw =
-          detectFrameTemporal(frame, fr.stats);
+      const tn::FaultCounts faultsBefore =
+          report != nullptr ? tn::globalFaultCounts() : tn::FaultCounts{};
+      std::vector<vision::Detection> raw = detectFrameTemporal(
+          frame, fr.stats, options.detect, deadlineUs, report);
+      if (report != nullptr) {
+        report->faults = tn::globalFaultCounts() - faultsBefore;
+      }
       {
         PCNN_SPAN_ARG("detect.nms", "candidates", raw.size());
         fr.detections = vision::nonMaximumSuppression(std::move(raw),
@@ -324,7 +370,9 @@ BatchDetectResult GridDetector::detectBatch(int numFrames,
 }
 
 std::vector<vision::Detection> GridDetector::detectFrameTemporal(
-    const vision::Image& frame, FrameStats& stats) {
+    const vision::Image& frame, FrameStats& stats,
+    const DetectOptions& options, double deadlineUs,
+    DegradationReport* report) {
   BatchMetrics& metrics = BatchMetrics::instance();
   TemporalCache& cache = *temporal_;
   const float threshold = params_.scoreThreshold;
@@ -371,6 +419,7 @@ std::vector<vision::Detection> GridDetector::detectFrameTemporal(
   }
 
   long levelIndex = -1;
+  bool abandoned = false;  // the deadline/cancel hook fired mid-frame
   for (TemporalCache::Level& lc : cache.levels) {
     ++levelIndex;
     PCNN_SPAN_ARG("detect.level", "level", levelIndex);
@@ -382,24 +431,74 @@ std::vector<vision::Detection> GridDetector::detectFrameTemporal(
     lc.spanX = cellsX - params_.windowCellsX + 1;
     lc.spanY = cellsY - params_.windowCellsY + 1;
     if (lc.spanX <= 0 || lc.spanY <= 0) continue;
+    const long levelWindowSpan =
+        static_cast<long>(lc.spanX) * static_cast<long>(lc.spanY);
 
-    auto skipLevel = [&]() {
+    // Deliberate shedding and deadline abandonment (the serving ladder).
+    // A skipped level's cached grid goes stale against the live stream, so
+    // it is invalidated and rebuilds from the current frame when the
+    // ladder re-enables it.
+    if (levelIndex < options.skipFinestLevels) {
+      metrics.levelsShed.add();
+      lc.valid = false;
+      if (report != nullptr) {
+        report->addSkip(static_cast<int>(levelIndex), levelWindowSpan,
+                        Status::Unavailable("detect: level shed by caller"));
+      }
+      continue;
+    }
+    if (!abandoned &&
+        ((options.cancel && options.cancel()) ||
+         (deadlineUs > 0.0 && obs::nowMicros() > deadlineUs))) {
+      abandoned = true;
+    }
+    if (abandoned) {
+      metrics.levelsExpired.add();
+      lc.valid = false;
+      if (report != nullptr) {
+        report->addSkip(static_cast<int>(levelIndex), levelWindowSpan,
+                        Status::DeadlineExceeded(
+                            "detect: level abandoned past deadline"));
+      }
+      continue;
+    }
+
+    auto skipLevel = [&](Status status) {
       PCNN_SPAN_ARG("detect.level.degraded", "level", levelIndex);
       obs::noteFaultEvent("detect.level.degraded");
       metrics.levelsDegraded.add();
       lc.valid = false;  // rebuilt from scratch on the next frame
+      if (report != nullptr) {
+        report->addSkip(static_cast<int>(levelIndex), levelWindowSpan,
+                        std::move(status));
+      }
     };
 
     if (!lc.valid) {
       // Full compute: cold cache, or the level was invalidated by a
-      // failed incremental update -- the always-available fallback.
+      // failed incremental update or a shed/abandoned scan. On a warm
+      // cache the level's pixels are stale (the incremental splice only
+      // runs for valid levels), so refresh the whole level from the live
+      // frame first -- resizeBilinearInto over the full rect reproduces
+      // buildPyramid's resize bit for bit.
+      if (!cold) {
+        if (levelIndex == 0) {
+          std::memcpy(&lc.image.at(0, 0), frame.data().data(),
+                      sizeof(float) *
+                          static_cast<std::size_t>(frame.width()) *
+                          static_cast<std::size_t>(frame.height()));
+        } else {
+          vision::resizeBilinearInto(frame, lc.image, 0, 0,
+                                     lc.image.width(), lc.image.height());
+        }
+      }
       {
         PCNN_SPAN("detect.cellGrid");
         obs::ScopedTimer timer(cellGridUs());
         StatusOr<hog::CellGrid> gridOr =
             featureExtractor_->tryCellGrid(lc.image);
         if (!gridOr.ok()) {
-          skipLevel();
+          skipLevel(gridOr.status());
           continue;
         }
         lc.grid = std::move(gridOr).value();
@@ -408,8 +507,9 @@ std::vector<vision::Detection> GridDetector::detectFrameTemporal(
         PCNN_SPAN("detect.blockGrid");
         try {
           lc.blocks = featureExtractor_->prepareBlocks(lc.grid);
-        } catch (const std::exception&) {
-          skipLevel();
+        } catch (const std::exception& e) {
+          skipLevel(
+              Status::Internal(std::string("prepareBlocks: ") + e.what()));
           continue;
         }
       }
@@ -419,7 +519,10 @@ std::vector<vision::Detection> GridDetector::detectFrameTemporal(
       long lost = 0;
       scoreAllWindows(*featureExtractor_, scorer_, blockPath, lc.grid,
                       lc.blocks, lc, params_.parallelScan, lost);
-      if (lost > 0) metrics.windowsLost.add(lost);
+      if (lost > 0) {
+        metrics.windowsLost.add(lost);
+        if (report != nullptr) report->windowsLost += lost;
+      }
       lc.valid = true;
       stats.tilesRecomputed += levelTiles;
       stats.windowsRescored += levelWindows;
@@ -509,7 +612,7 @@ std::vector<vision::Detection> GridDetector::detectFrameTemporal(
       StatusOr<long> updated = featureExtractor_->tryUpdateCellGrid(
           lc.image, cellRects, lc.grid);
       if (!updated.ok()) {
-        skipLevel();
+        skipLevel(updated.status());
         continue;
       }
     }
@@ -517,8 +620,9 @@ std::vector<vision::Detection> GridDetector::detectFrameTemporal(
       PCNN_SPAN("detect.blockGrid");
       try {
         featureExtractor_->updateBlocks(lc.grid, cellRects, lc.blocks);
-      } catch (const std::exception&) {
-        skipLevel();
+      } catch (const std::exception& e) {
+        skipLevel(
+            Status::Internal(std::string("updateBlocks: ") + e.what()));
         continue;
       }
     }
@@ -590,7 +694,10 @@ std::vector<vision::Detection> GridDetector::detectFrameTemporal(
     long rescored = 0, lost = 0;
     for (long r : rowRescored) rescored += r;
     for (long l : rowLost) lost += l;
-    if (lost > 0) metrics.windowsLost.add(lost);
+    if (lost > 0) {
+      metrics.windowsLost.add(lost);
+      if (report != nullptr) report->windowsLost += lost;
+    }
     stats.tilesRecomputed += dirtyTileCount;
     stats.tilesReused += levelTiles - dirtyTileCount;
     stats.windowsRescored += rescored;

@@ -421,10 +421,10 @@ void resetMetrics() {
 // --------------------------------------------------------------------------
 // Windowed snapshot
 
-namespace {
-
 /// Linear interpolation of the q-quantile inside log2 delta buckets.
-/// Bucket i covers [2^i, 2^(i+1)) us (bucket 0: [0, 2)).
+/// Bucket i covers [2^i, 2^(i+1)) us (bucket 0: [0, 2)). Public: control
+/// loops keeping their own baselines (serve::DetectionService) share the
+/// exact interpolation the streaming exporter reports.
 double quantileFromDeltaBuckets(const long* delta, long count, double q) {
   if (count <= 0) return 0.0;
   double rank = q * static_cast<double>(count);
@@ -445,8 +445,6 @@ double quantileFromDeltaBuckets(const long* delta, long count, double q) {
   }
   return last;
 }
-
-}  // namespace
 
 WindowSnapshot windowSnapshot() {
   WindowSnapshot w;

@@ -285,6 +285,16 @@ struct WindowSnapshot {
 /// this instant the new baseline. Thread-safe; concurrent callers see
 /// disjoint windows.
 WindowSnapshot windowSnapshot();
+
+/// Linear interpolation of the q-quantile inside log2 delta buckets
+/// (bucket i covers [2^i, 2^(i+1)) us; bucket 0 covers [0, 2)). This is
+/// the interpolation windowSnapshot() uses for its p50/p95/p99 fields,
+/// exposed for control loops that window a histogram against their own
+/// baseline instead of consuming (and stealing) the global window -- the
+/// serving layer's p99 ladder signal (serve::DetectionService).
+/// `delta` must point at LatencyHistogram::kBuckets per-window counts and
+/// `count` at their total; returns 0 for an empty window.
+double quantileFromDeltaBuckets(const long* delta, long count, double q);
 /// One compact NDJSON line (no trailing newline) for a window.
 std::string windowJson(const WindowSnapshot& w);
 

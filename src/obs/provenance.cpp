@@ -47,6 +47,8 @@ Provenance provenance() {
   p.temporalEnv = envOrUnset("PCNN_TEMPORAL");
   p.faultsEnv = envOrUnset("PCNN_FAULTS");
   p.tnEngineEnv = envOrUnset("PCNN_TN_ENGINE");
+  p.serveQueueEnv = envOrUnset("PCNN_SERVE_QUEUE");
+  p.serveDeadlineEnv = envOrUnset("PCNN_SERVE_DEADLINE_MS");
   p.obsBuild = kCompiledIn ? "on" : "off";
   return p;
 }
@@ -62,6 +64,8 @@ std::string provenanceJson(
   out += ", \"temporal_env\": \"" + p.temporalEnv + "\"";
   out += ", \"faults_env\": \"" + p.faultsEnv + "\"";
   out += ", \"tn_engine_env\": \"" + p.tnEngineEnv + "\"";
+  out += ", \"serve_queue_env\": \"" + p.serveQueueEnv + "\"";
+  out += ", \"serve_deadline_ms_env\": \"" + p.serveDeadlineEnv + "\"";
   out += ", \"obs_build\": \"" + p.obsBuild + "\"";
   for (const auto& [key, value] : extra) {
     out += ", \"" + key + "\": \"" + value + "\"";

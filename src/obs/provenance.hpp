@@ -17,6 +17,8 @@ struct Provenance {
   std::string temporalEnv;    ///< PCNN_TEMPORAL value, or "unset"
   std::string faultsEnv;      ///< PCNN_FAULTS value, or "unset"
   std::string tnEngineEnv;    ///< PCNN_TN_ENGINE value, or "unset"
+  std::string serveQueueEnv;  ///< PCNN_SERVE_QUEUE value, or "unset"
+  std::string serveDeadlineEnv;  ///< PCNN_SERVE_DEADLINE_MS, or "unset"
   std::string obsBuild;       ///< "on" / "off" (compile-time PCNN_OBS)
 };
 

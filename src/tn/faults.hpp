@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -84,9 +85,19 @@ struct FaultCounts {
   long stuckOffSuppressed = 0;  ///< genuine firings eaten by stuck-at-off
   long weightFlips = 0;         ///< LUT entries corrupted at materialize
 
+  /// Saturating sum: long-lived serving processes merge per-frame
+  /// DegradationReports indefinitely, so fields (and their sum) clamp at
+  /// the type maximum instead of wrapping into signed-overflow UB.
   long total() const {
-    return droppedSpikes + deadCoreDrops + stuckOnSpikes +
-           stuckOffSuppressed + weightFlips;
+    long sum = 0;
+    for (long field : {droppedSpikes, deadCoreDrops, stuckOnSpikes,
+                       stuckOffSuppressed, weightFlips}) {
+      if (field > 0 && sum > std::numeric_limits<long>::max() - field) {
+        return std::numeric_limits<long>::max();
+      }
+      sum += field;
+    }
+    return sum;
   }
   FaultCounts operator-(const FaultCounts& other) const {
     return {droppedSpikes - other.droppedSpikes,

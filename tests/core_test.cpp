@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hpp"
 #include "core/detector.hpp"
 #include "core/pipeline.hpp"
@@ -257,6 +259,85 @@ TEST(Absorbed, RawPixelFeatures) {
   const auto f = rawPixelFeatures(window);
   EXPECT_EQ(f.size(), static_cast<std::size_t>(64 * 128));
   EXPECT_FLOAT_EQ(f[0], 0.25f);
+}
+
+// ------------------------------------------- DegradationReport merging
+
+TEST(DegradationReport, MergeEmptyIntoEmptyStaysHealthy) {
+  DegradationReport a;
+  DegradationReport b;
+  a.merge(b);
+  EXPECT_FALSE(a.degraded());
+  EXPECT_EQ(a.levelsSkipped, 0);
+  EXPECT_EQ(a.windowsLost, 0);
+  EXPECT_TRUE(a.skips.empty());
+  EXPECT_EQ(a.summary(), "healthy");
+}
+
+TEST(DegradationReport, MergeConcatenatesSkipAndFaultAttribution) {
+  DegradationReport a;
+  a.addSkip(0, 100, Status::Unavailable("shed"));
+  a.faults.droppedSpikes = 3;
+  DegradationReport b;
+  b.addSkip(2, 50, Status::DeadlineExceeded("late"));
+  b.faults.droppedSpikes = 4;
+  b.faults.weightFlips = 1;
+  a.merge(b);
+  EXPECT_EQ(a.levelsSkipped, 2);
+  EXPECT_EQ(a.windowsLost, 150);
+  ASSERT_EQ(a.skips.size(), 2u);
+  EXPECT_EQ(a.skips[0].level, 0);
+  EXPECT_EQ(a.skips[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(a.skips[1].level, 2);
+  EXPECT_EQ(a.skips[1].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(a.faults.droppedSpikes, 7);
+  EXPECT_EQ(a.faults.weightFlips, 1);
+  EXPECT_EQ(a.faults.total(), 8);
+  EXPECT_NE(a.summary().find("2 levels skipped"), std::string::npos);
+}
+
+TEST(DegradationReport, MergeCapsStoredSkipsButKeepsTrueCounts) {
+  DegradationReport a;
+  DegradationReport b;
+  for (int i = 0; i < 20; ++i) a.addSkip(i, 1, Status::Unavailable("a"));
+  for (int i = 0; i < 20; ++i) b.addSkip(i, 1, Status::Unavailable("b"));
+  a.merge(b);
+  EXPECT_EQ(a.skips.size(), DegradationReport::kMaxSkips);
+  EXPECT_EQ(a.levelsSkipped, 40);  // true count survives the cap
+  EXPECT_EQ(a.windowsLost, 40);
+}
+
+TEST(DegradationReport, WindowsLostAccumulatesWithoutOverflow) {
+  constexpr long kMax = std::numeric_limits<long>::max();
+  DegradationReport a;
+  a.windowsLost = kMax - 5;
+  DegradationReport b;
+  b.windowsLost = 10;
+  a.merge(b);
+  EXPECT_EQ(a.windowsLost, kMax);  // saturates, never wraps negative
+  // addSkip saturates the running total the same way.
+  DegradationReport c;
+  c.addSkip(0, kMax - 1, Status::Unavailable("x"));
+  c.addSkip(1, kMax - 1, Status::Unavailable("y"));
+  EXPECT_EQ(c.windowsLost, kMax);
+  EXPECT_EQ(c.levelsSkipped, 2);
+}
+
+TEST(DegradationReport, FaultTalliesSaturateIncludingTotal) {
+  constexpr long kMax = std::numeric_limits<long>::max();
+  DegradationReport a;
+  a.faults.droppedSpikes = kMax - 2;
+  DegradationReport b;
+  b.faults.droppedSpikes = 100;
+  b.faults.deadCoreDrops = 7;
+  a.merge(b);
+  EXPECT_EQ(a.faults.droppedSpikes, kMax);
+  EXPECT_EQ(a.faults.deadCoreDrops, 7);
+  // total() must not wrap either once the fields sit near the ceiling.
+  EXPECT_EQ(a.faults.total(), kMax);
+  EXPECT_TRUE(a.degraded());
+  // summary() on a saturated report stays well-formed.
+  EXPECT_NE(a.summary().find("fault events"), std::string::npos);
 }
 
 }  // namespace
